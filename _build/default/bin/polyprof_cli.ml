@@ -1,0 +1,249 @@
+(* POLY-PROF command-line interface.
+
+   Usage examples:
+     polyprof list
+     polyprof run backprop
+     polyprof flamegraph backprop -o backprop.svg
+     polyprof table5 --paper
+     polyprof polly lud
+     polyprof trace backprop --limit 40 *)
+
+open Cmdliner
+
+let bench_arg =
+  let doc = "Benchmark name (see $(b,polyprof list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let find_workload name =
+  try Ok (Workloads.Rodinia.find name)
+  with Invalid_argument _ ->
+    if name = "gems_fdtd" then Ok Workloads.Gems_fdtd.workload
+    else
+      Error
+        (Printf.sprintf "unknown benchmark %s (try: %s, gems_fdtd)" name
+           (String.concat ", " Workloads.Rodinia.names))
+
+let list_cmd =
+  let run () =
+    List.iter print_endline Workloads.Rodinia.names;
+    print_endline "gems_fdtd";
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available mini benchmarks")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run name =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w -> (
+        let o = Workloads.Runner.run w in
+        match o.pipeline with
+        | None ->
+            Format.printf
+              "scheduling stage bailed out (%d dependence relations > budget \
+               %d)@."
+              o.dep_keys Workloads.Runner.sched_budget;
+            0
+        | Some t ->
+            Format.printf "== %s ==@." name;
+            Polyprof.render_feedback Format.std_formatter t;
+            Format.printf "@.== metrics ==@.";
+            Sched.Metrics.pp_table Format.std_formatter [ o.row ];
+            Format.printf "@.== static Polly baseline ==@.%a@."
+              Staticbase.Polly_lite.pp_verdict o.polly;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run the full POLY-PROF pipeline on a benchmark and print its \
+             feedback")
+    Term.(const run $ bench_arg)
+
+let flamegraph_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write an SVG flame graph.")
+  in
+  let run name out =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w ->
+        let t = Polyprof.run_hir w.Workloads.Workload.hir in
+        (match out with
+        | Some path ->
+            let annot =
+              Report.Flamegraph.annot_of_analysis t.Polyprof.prog
+                t.Polyprof.analysis
+            in
+            Report.Flamegraph.write_svg ~path ~annot ~name:(Polyprof.ctx_name t)
+              t.Polyprof.profile.Ddg.Depprof.stree;
+            Format.printf "wrote %s@." path
+        | None -> print_string (Polyprof.flamegraph_ascii t));
+        0
+  in
+  Cmd.v
+    (Cmd.info "flamegraph"
+       ~doc:"Render the dynamic schedule tree as a flame graph")
+    Term.(const run $ bench_arg $ out)
+
+let table5_cmd =
+  let paper =
+    Arg.(
+      value & flag
+      & info [ "paper" ] ~doc:"Interleave the paper's reference rows.")
+  in
+  let run paper =
+    let results = Workloads.Runner.run_all () in
+    print_string
+      (if paper then Workloads.Runner.table5_with_paper results
+       else Workloads.Runner.table5 results);
+    0
+  in
+  Cmd.v
+    (Cmd.info "table5"
+       ~doc:"Reproduce the paper's Table 5 over all 19 mini benchmarks")
+    Term.(const run $ paper)
+
+let polly_cmd =
+  let run name =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w ->
+        let v =
+          Staticbase.Polly_lite.analyse_function w.Workloads.Workload.hir
+            w.Workloads.Workload.kernel_func
+        in
+        Format.printf "%s (%s): %a@." name w.Workloads.Workload.kernel_func
+          Staticbase.Polly_lite.pp_verdict v;
+        0
+  in
+  Cmd.v
+    (Cmd.info "polly"
+       ~doc:"Run the static Polly baseline on a benchmark's kernel \
+             (Experiment II)")
+    Term.(const run $ bench_arg)
+
+let trace_cmd =
+  let limit =
+    Arg.(
+      value & opt int 60
+      & info [ "limit" ] ~docv:"N" ~doc:"Stop after N loop events.")
+  in
+  let run name limit =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w ->
+        let prog = Vm.Hir.lower w.Workloads.Workload.hir in
+        let structure = Cfg.Cfg_builder.run prog in
+        let iiv = Ddg.Iiv.create () in
+        let levents =
+          Ddg.Loop_events.create structure ~main:prog.Vm.Prog.main
+        in
+        let count = ref 0 in
+        let exception Done in
+        let show evs =
+          List.iter
+            (fun ev ->
+              Ddg.Iiv.update iiv ev;
+              incr count;
+              if !count <= limit then
+                Format.printf "%4d: %-28s %s@." !count
+                  (Format.asprintf "%a" Ddg.Loop_events.pp ev)
+                  (Ddg.Iiv.to_string iiv)
+              else raise Done)
+            evs
+        in
+        (try
+           show (Ddg.Loop_events.start levents);
+           let callbacks =
+             { Vm.Interp.on_control =
+                 (fun ev -> show (Ddg.Loop_events.feed levents ev));
+               on_exec = ignore }
+           in
+           ignore (Vm.Interp.run ~callbacks prog)
+         with Done -> ());
+        0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the loop-event / dynamic-IIV trace of a benchmark \
+             (paper Fig. 3 style)")
+    Term.(const run $ bench_arg $ limit)
+
+let deps_cmd =
+  let run name =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w ->
+        let t = Polyprof.run_hir w.Workloads.Workload.hir in
+        let fname fid = (t.Polyprof.prog.Vm.Prog.funcs.(fid)).Vm.Prog.fname in
+        Format.printf "== folded dependence relations of %s ==@." name;
+        List.iter
+          (fun (d : Ddg.Depprof.dep_info) ->
+            Format.printf "%s.%a -> %s.%a (%s, %d dynamic edges):@."
+              (fname (Vm.Isa.Sid.fid d.dk.src_sid))
+              Vm.Isa.Sid.pp d.dk.src_sid
+              (fname (Vm.Isa.Sid.fid d.dk.dst_sid))
+              Vm.Isa.Sid.pp d.dk.dst_sid
+              (match d.dk.kind with
+              | Ddg.Depprof.Reg_dep -> "reg"
+              | Ddg.Depprof.Mem_dep -> "mem"
+              | Ddg.Depprof.Out_dep -> "waw")
+              d.d_count;
+            List.iter
+              (fun p ->
+                Format.printf "  %a@."
+                  (Fold.pp_piece ?names:None ?label_names:None) p)
+              d.d_pieces)
+          t.Polyprof.profile.Ddg.Depprof.deps;
+        Format.printf
+          "(%d relations; SCEV pruning removed %d of %d dynamic edges)@."
+          (List.length t.Polyprof.profile.Ddg.Depprof.deps)
+          t.Polyprof.profile.Ddg.Depprof.pruned_dep_edges
+          t.Polyprof.profile.Ddg.Depprof.total_dep_edges;
+        0
+  in
+  Cmd.v
+    (Cmd.info "deps"
+       ~doc:"Print the folded polyhedral dependence relations of a benchmark")
+    Term.(const run $ bench_arg)
+
+let source_cmd =
+  let run name =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w ->
+        Format.printf "%a@." Vm.Hir.pp_program w.Workloads.Workload.hir;
+        0
+  in
+  Cmd.v
+    (Cmd.info "source"
+       ~doc:"Print the C-like source listing of a benchmark (what the              static baseline analyses)")
+    Term.(const run $ bench_arg)
+
+let () =
+  let doc =
+    "data-flow/dependence profiling for structured transformations \
+     (PPoPP 2019 reproduction)"
+  in
+  let info = Cmd.info "polyprof" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; run_cmd; flamegraph_cmd; table5_cmd; polly_cmd; trace_cmd;
+            deps_cmd; source_cmd ]))

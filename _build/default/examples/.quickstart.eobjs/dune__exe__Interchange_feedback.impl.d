@@ -1,0 +1,1 @@
+examples/interchange_feedback.ml: Array Format Kernels List Polyprof Printf Sched Staticbase String Unix Workloads

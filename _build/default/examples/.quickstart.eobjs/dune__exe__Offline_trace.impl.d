@@ -1,0 +1,1 @@
+examples/offline_trace.ml: Cfg Ddg Filename Format List Sys Vm Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ddg Fold Format List Polyprof Sched Vm Workloads

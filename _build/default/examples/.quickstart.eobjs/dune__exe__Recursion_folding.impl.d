@@ -1,0 +1,1 @@
+examples/recursion_folding.ml: Cfg Ddg Fold Format List Polyprof Printf Vm Workloads

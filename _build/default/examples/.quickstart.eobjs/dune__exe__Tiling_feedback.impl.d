@@ -1,0 +1,1 @@
+examples/tiling_feedback.ml: Array Format Kernels List Polyprof Sched String Unix Workloads

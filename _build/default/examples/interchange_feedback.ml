@@ -1,0 +1,65 @@
+(* Case study I (paper §7, Table 3): backprop.
+
+   POLY-PROF pinpoints that the dependences of the two hot 2-D kernels
+   live within the first quadrant, so a loop interchange (plus scalar
+   expansion of the reduction) is legal — and profitable, because the
+   outer dimension has 100% stride-0/1 accesses while the inner one does
+   not.  This example prints the feedback and then measures the actual
+   speedup of the suggested interchange with the native kernels.
+
+   Run with:  dune exec examples/interchange_feedback.exe *)
+
+let () =
+  let w = Workloads.Backprop.workload in
+  let t = Polyprof.run_hir w.Workloads.Workload.hir in
+
+  Format.printf "== flame graph (regions of interest) ==@.%s@."
+    (Polyprof.flamegraph_ascii ~width:30 t);
+
+  (* Table 3's per-loop-dimension statistics for the hot nests *)
+  Format.printf "== per-nest feedback ==@.";
+  List.iter
+    (fun (n : Sched.Depanalysis.nest_info) ->
+      if n.ndepth = 3 && n.nweight > 1000 then begin
+        let sg = Sched.Transform.suggest t.Polyprof.analysis n in
+        Format.printf "nest (%d ops): %a@." n.nweight
+          Sched.Transform.pp_suggestion sg;
+        Format.printf
+          "  parallel per dim: [%s]   interchange suggested: %s   simd: %b@."
+          (String.concat "; "
+             (List.map string_of_bool (Array.to_list n.nparallel)))
+          (match sg.Sched.Transform.interchange with
+          | Some (a, b) -> Printf.sprintf "d%d <-> d%d" a b
+          | None -> "no")
+          sg.Sched.Transform.simd
+      end)
+    t.Polyprof.analysis.Sched.Depanalysis.nests;
+
+  (* the static baseline fails on these kernels (aliasing), which is the
+     whole point of doing the analysis dynamically *)
+  Format.printf "@.== what a static tool sees ==@.";
+  List.iter
+    (fun kernel ->
+      let v =
+        Staticbase.Polly_lite.analyse_function w.Workloads.Workload.hir kernel
+      in
+      Format.printf "  %-22s %a@." kernel Staticbase.Polly_lite.pp_verdict v)
+    [ "bpnn_layerforward"; "bpnn_adjust_weights" ];
+
+  (* measure the transformation the feedback suggests *)
+  let inst = Kernels.Backprop_kernels.create ~n1:32768 ~n2:16 in
+  let time f =
+    f ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 5 do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. 5.0
+  in
+  let lf_o = time (fun () -> Kernels.Backprop_kernels.layerforward_original inst) in
+  let lf_i = time (fun () -> Kernels.Backprop_kernels.layerforward_interchanged inst) in
+  let aw_o = time (fun () -> Kernels.Backprop_kernels.adjust_original inst) in
+  let aw_i = time (fun () -> Kernels.Backprop_kernels.adjust_interchanged inst) in
+  Format.printf "@.== measured speedups of the suggested interchange ==@.";
+  Format.printf "  bpnn_layerforward  : %.2fx (paper: 5.3x)@." (lf_o /. lf_i);
+  Format.printf "  bpnn_adjust_weights: %.2fx (paper: 7.8x)@." (aw_o /. aw_i)

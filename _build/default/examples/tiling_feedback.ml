@@ -1,0 +1,47 @@
+(* Case study II (paper §7, Table 4): GemsFDTD.
+
+   The exact dependence "directions" captured by the folded DDG show that
+   the 3-D stencil update loops are fully parallel and tilable, so
+   POLY-PROF suggests tiling every dimension (tile size 32) and marking
+   the outermost loop parallel.  This example prints the feedback,
+   renders the post-transformation AST, and measures the sequential part
+   of the speedup with the native kernels.
+
+   Run with:  dune exec examples/tiling_feedback.exe *)
+
+let () =
+  let w = Workloads.Gems_fdtd.workload in
+  let t = Polyprof.run_hir w.Workloads.Workload.hir in
+
+  Format.printf "== feedback for the update kernels ==@.";
+  Polyprof.render_feedback Format.std_formatter t;
+
+  Format.printf "@.== tilability summary (Table 4 shape) ==@.";
+  List.iter
+    (fun (n : Sched.Depanalysis.nest_info) ->
+      if n.ndepth >= 3 then
+        Format.printf
+          "  nest depth %d (%6d ops): tilable band width %d, parallel dims \
+           [%s]@."
+          n.ndepth n.nweight
+          (Sched.Depanalysis.max_band_width n)
+          (String.concat "; "
+             (List.map string_of_bool (Array.to_list n.nparallel))))
+    t.Polyprof.analysis.Sched.Depanalysis.nests;
+
+  let inst = Kernels.Gems_kernels.create ~n:256 in
+  let time f =
+    f ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to 3 do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. 3.0
+  in
+  let orig = time (fun () -> Kernels.Gems_kernels.update_original inst) in
+  let tiled = time (fun () -> Kernels.Gems_kernels.update_tiled ~tile:12 inst) in
+  Format.printf
+    "@.== measured speedup of the suggested tiling (sequential part) ==@.\
+    \  update kernel: %.2fx (paper: 1.9x-2.6x including the 24-thread \
+     wavefront)@."
+    (orig /. tiled)

@@ -1,0 +1,1 @@
+lib/cfg/cfg_builder.ml: Digraph Format Hashtbl List Loopnest Recset Vm

@@ -1,0 +1,1 @@
+lib/cfg/cfg_builder.mli: Digraph Format Loopnest Recset Vm

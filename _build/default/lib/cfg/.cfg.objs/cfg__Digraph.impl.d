@@ -1,0 +1,1 @@
+lib/cfg/digraph.ml: Format Hashtbl Int List Set String

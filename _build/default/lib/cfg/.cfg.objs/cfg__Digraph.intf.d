@@ -1,0 +1,1 @@
+lib/cfg/digraph.mli: Format

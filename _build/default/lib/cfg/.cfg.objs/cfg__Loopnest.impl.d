@@ -1,0 +1,1 @@
+lib/cfg/loopnest.ml: Digraph Format Hashtbl Int List Scc Set String

@@ -1,0 +1,1 @@
+lib/cfg/loopnest.mli: Digraph Format

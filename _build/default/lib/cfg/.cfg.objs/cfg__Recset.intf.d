@@ -1,0 +1,1 @@
+lib/cfg/recset.mli: Digraph Format

@@ -1,0 +1,1 @@
+lib/cfg/scc.ml: Digraph Hashtbl List

@@ -1,0 +1,26 @@
+(** "Instrumentation I" (paper Fig. 1): build the dynamic per-function
+    CFGs and the dynamic call graph from the raw control-event stream,
+    then derive the loop-nesting forests and the recursive-component-set.
+
+    Only the executed part of the program is recorded — the advantage
+    §3 highlights for large programs with a small hot part. *)
+
+type structure = {
+  cfgs : (int * Loopnest.t * Digraph.t) list;
+      (** per executed function: fid, loop forest, dynamic CFG *)
+  cg : Digraph.t;
+  recset : Recset.t;
+  call_sites : (int * int * int) list;  (** caller fid, site bid, callee fid *)
+}
+
+type t
+
+val create : Vm.Prog.t -> t
+val callbacks : t -> Vm.Interp.callbacks
+val finalize : t -> structure
+
+val run : ?max_steps:int -> ?args:int list -> Vm.Prog.t -> structure
+(** Convenience: execute the program once under Instrumentation I. *)
+
+val forest_of : structure -> int -> Loopnest.t option
+val pp_structure : Format.formatter -> structure -> unit

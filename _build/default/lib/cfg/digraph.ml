@@ -1,0 +1,71 @@
+module Iset = Set.Make (Int)
+
+type t = {
+  mutable node_set : Iset.t;
+  succ : (int, Iset.t) Hashtbl.t;
+  pred : (int, Iset.t) Hashtbl.t;
+}
+
+let create () = { node_set = Iset.empty; succ = Hashtbl.create 16; pred = Hashtbl.create 16 }
+let add_node t n = t.node_set <- Iset.add n t.node_set
+
+let adj tbl n = match Hashtbl.find_opt tbl n with Some s -> s | None -> Iset.empty
+
+let add_edge t a b =
+  add_node t a;
+  add_node t b;
+  Hashtbl.replace t.succ a (Iset.add b (adj t.succ a));
+  Hashtbl.replace t.pred b (Iset.add a (adj t.pred b))
+
+let mem_node t n = Iset.mem n t.node_set
+let mem_edge t a b = Iset.mem b (adj t.succ a)
+let nodes t = Iset.elements t.node_set
+let succs t n = Iset.elements (adj t.succ n)
+let preds t n = Iset.elements (adj t.pred n)
+let n_nodes t = Iset.cardinal t.node_set
+
+let edges t =
+  List.concat_map (fun a -> List.map (fun b -> (a, b)) (succs t a)) (nodes t)
+
+let n_edges t = List.length (edges t)
+
+let copy t =
+  let c = create () in
+  c.node_set <- t.node_set;
+  Hashtbl.iter (fun k v -> Hashtbl.replace c.succ k v) t.succ;
+  Hashtbl.iter (fun k v -> Hashtbl.replace c.pred k v) t.pred;
+  c
+
+let subgraph t keep =
+  let keep_set = Iset.of_list keep in
+  let g = create () in
+  Iset.iter (fun n -> if Iset.mem n t.node_set then add_node g n) keep_set;
+  List.iter
+    (fun (a, b) ->
+      if Iset.mem a keep_set && Iset.mem b keep_set then add_edge g a b)
+    (edges t);
+  g
+
+let remove_edge t a b =
+  Hashtbl.replace t.succ a (Iset.remove b (adj t.succ a));
+  Hashtbl.replace t.pred b (Iset.remove a (adj t.pred b))
+
+let reverse_postorder t ~root =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      List.iter dfs (succs t n);
+      order := n :: !order
+    end
+  in
+  if mem_node t root then dfs root;
+  !order
+
+let pp fmt t =
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "%d -> [%s]@\n" n
+        (String.concat "; " (List.map string_of_int (succs t n))))
+    (nodes t)

@@ -1,0 +1,31 @@
+(** Simple mutable directed graphs over integer node ids, as used for
+    dynamically discovered control-flow graphs and call graphs. *)
+
+type t
+
+val create : unit -> t
+val add_node : t -> int -> unit
+val add_edge : t -> int -> int -> unit
+(** Adds both endpoints; parallel edges are collapsed. *)
+
+val mem_node : t -> int -> bool
+val mem_edge : t -> int -> int -> bool
+val nodes : t -> int list
+(** Sorted. *)
+
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val n_nodes : t -> int
+val n_edges : t -> int
+val edges : t -> (int * int) list
+val copy : t -> t
+
+val subgraph : t -> int list -> t
+(** Induced subgraph on the given nodes. *)
+
+val remove_edge : t -> int -> int -> unit
+
+val reverse_postorder : t -> root:int -> int list
+(** RPO of the nodes reachable from [root]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+module Iset = Set.Make (Int)
+
+type loop = {
+  loop_id : int;
+  header : int;
+  members : int list;
+  back_edges : (int * int) list;
+  mutable children : loop list;
+  depth : int;
+  parent_id : int option;
+}
+
+type t = {
+  toplevel : loop list;
+  all : loop list;
+  by_header : (int, loop) Hashtbl.t;
+  innermost : (int, loop) Hashtbl.t;
+  member_sets : (int, Iset.t) Hashtbl.t;  (* loop_id -> members *)
+}
+
+let compute g ~entry =
+  let rpo = Digraph.reverse_postorder g ~root:entry in
+  let rpo_index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace rpo_index n i) rpo;
+  let rank n = match Hashtbl.find_opt rpo_index n with Some i -> i | None -> max_int in
+  let next_id = ref 0 in
+  let all = ref [] in
+  let by_header = Hashtbl.create 16 in
+  let innermost = Hashtbl.create 16 in
+  let member_sets = Hashtbl.create 16 in
+  (* [build sub depth parent] finds the loops of subgraph [sub]. *)
+  let rec build sub depth parent_id =
+    let sccs = Scc.compute sub in
+    List.filter_map
+      (fun comp ->
+        if not (Scc.has_cycle sub comp) then None
+        else begin
+          let comp_set = Iset.of_list comp in
+          (* entry nodes: targets of edges from outside the component *)
+          let entries =
+            List.filter
+              (fun n ->
+                List.exists (fun p -> not (Iset.mem p comp_set)) (Digraph.preds sub n))
+              comp
+          in
+          let candidates = if entries = [] then comp else entries in
+          let header =
+            List.fold_left
+              (fun best n ->
+                if rank n < rank best || (rank n = rank best && n < best) then n
+                else best)
+              (List.hd candidates) (List.tl candidates)
+          in
+          let back_edges =
+            List.filter_map
+              (fun src ->
+                if Digraph.mem_edge sub src header then Some (src, header) else None)
+              comp
+          in
+          let id = !next_id in
+          incr next_id;
+          let region = Digraph.subgraph sub comp in
+          List.iter (fun (s, h) -> Digraph.remove_edge region s h) back_edges;
+          let children = build region (depth + 1) (Some id) in
+          let loop =
+            { loop_id = id;
+              header;
+              members = List.sort compare comp;
+              back_edges;
+              children;
+              depth;
+              parent_id }
+          in
+          Hashtbl.replace by_header header loop;
+          Hashtbl.replace member_sets id comp_set;
+          (* innermost: children registered theirs already (deeper depth);
+             only claim nodes not yet claimed *)
+          List.iter
+            (fun n -> if not (Hashtbl.mem innermost n) then Hashtbl.add innermost n loop)
+            comp;
+          all := loop :: !all;
+          Some loop
+        end)
+      sccs
+  in
+  let toplevel = build g 1 None in
+  { toplevel; all = List.rev !all; by_header; innermost; member_sets }
+
+let toplevel t = t.toplevel
+let all_loops t = t.all
+let n_loops t = List.length t.all
+let loop_of_header t h = Hashtbl.find_opt t.by_header h
+let is_header t h = Hashtbl.mem t.by_header h
+let innermost_containing t n = Hashtbl.find_opt t.innermost n
+let loop_contains loop n = List.mem n loop.members
+
+let max_depth t = List.fold_left (fun acc l -> max acc l.depth) 0 t.all
+
+let parent t loop =
+  match loop.parent_id with
+  | None -> None
+  | Some id -> List.find_opt (fun l -> l.loop_id = id) t.all
+
+let loops_containing t n =
+  let rec chain acc loop =
+    match parent t loop with None -> loop :: acc | Some p -> chain (loop :: acc) p
+  in
+  match innermost_containing t n with None -> [] | Some l -> chain [] l
+
+let rec pp_loop fmt indent loop =
+  Format.fprintf fmt "%sL%d header=%d depth=%d members=[%s]@\n" indent
+    loop.loop_id loop.header loop.depth
+    (String.concat ";" (List.map string_of_int loop.members));
+  List.iter (pp_loop fmt (indent ^ "  ")) loop.children
+
+let pp fmt t = List.iter (pp_loop fmt "") t.toplevel

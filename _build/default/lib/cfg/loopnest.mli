@@ -1,0 +1,41 @@
+(** Loop-nesting forest of a control-flow graph, following the recursive
+    characterisation of Ramalingam used by POLY-PROF (§3.1):
+
+    1. each SCC of the CFG containing a cycle is the region of an
+       outermost loop;
+    2. one entry node of the loop is designated its header;
+    3. edges inside the loop targeting the header are back-edges;
+    4. removing the back-edges recursively defines the sub-loops. *)
+
+type loop = {
+  loop_id : int;
+  header : int;
+  members : int list;  (** all nodes of the loop region, sorted *)
+  back_edges : (int * int) list;  (** (source, header) *)
+  mutable children : loop list;
+  depth : int;  (** outermost = 1 *)
+  parent_id : int option;
+}
+
+type t
+
+val compute : Digraph.t -> entry:int -> t
+(** Header designation is deterministic: among the entry nodes of an SCC
+    (targets of edges from outside the SCC; or all nodes for an
+    unreachable SCC), the one appearing first in reverse postorder from
+    [entry] is chosen. *)
+
+val toplevel : t -> loop list
+val all_loops : t -> loop list
+val n_loops : t -> int
+val loop_of_header : t -> int -> loop option
+val is_header : t -> int -> bool
+val innermost_containing : t -> int -> loop option
+val loop_contains : loop -> int -> bool
+val max_depth : t -> int
+val parent : t -> loop -> loop option
+
+val loops_containing : t -> int -> loop list
+(** Outermost first. *)
+
+val pp : Format.formatter -> t -> unit

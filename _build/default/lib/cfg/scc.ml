@@ -1,0 +1,68 @@
+(* Iterative Tarjan to avoid stack overflow on long chains. *)
+
+let compute g =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let sccs = ref [] in
+  let visit root =
+    if not (Hashtbl.mem index root) then begin
+      (* explicit DFS stack: (node, remaining successors) *)
+      let work = ref [ (root, ref (Digraph.succs g root)) ] in
+      Hashtbl.add index root !next_index;
+      Hashtbl.add lowlink root !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      Hashtbl.add on_stack root ();
+      while !work <> [] do
+        match !work with
+        | [] -> ()
+        | (n, succs) :: rest -> (
+            match !succs with
+            | s :: more ->
+                succs := more;
+                if not (Hashtbl.mem index s) then begin
+                  Hashtbl.add index s !next_index;
+                  Hashtbl.add lowlink s !next_index;
+                  incr next_index;
+                  stack := s :: !stack;
+                  Hashtbl.add on_stack s ();
+                  work := (s, ref (Digraph.succs g s)) :: !work
+                end
+                else if Hashtbl.mem on_stack s then
+                  Hashtbl.replace lowlink n
+                    (min (Hashtbl.find lowlink n) (Hashtbl.find index s))
+            | [] ->
+                work := rest;
+                (match rest with
+                | (p, _) :: _ ->
+                    Hashtbl.replace lowlink p
+                      (min (Hashtbl.find lowlink p) (Hashtbl.find lowlink n))
+                | [] -> ());
+                if Hashtbl.find lowlink n = Hashtbl.find index n then begin
+                  (* pop the component *)
+                  let comp = ref [] in
+                  let continue_pop = ref true in
+                  while !continue_pop do
+                    match !stack with
+                    | [] -> continue_pop := false
+                    | x :: tl ->
+                        stack := tl;
+                        Hashtbl.remove on_stack x;
+                        comp := x :: !comp;
+                        if x = n then continue_pop := false
+                  done;
+                  sccs := !comp :: !sccs
+                end)
+      done
+    end
+  in
+  List.iter visit (Digraph.nodes g);
+  List.rev !sccs
+
+let has_cycle g = function
+  | [] -> false
+  | [ n ] -> Digraph.mem_edge g n n
+  | _ -> true

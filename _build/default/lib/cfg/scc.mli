@@ -1,0 +1,9 @@
+(** Tarjan strongly-connected components. *)
+
+val compute : Digraph.t -> int list list
+(** Components in reverse topological order (callees/successors first).
+    Every node appears in exactly one component. *)
+
+val has_cycle : Digraph.t -> int list -> bool
+(** Whether the component (given as its node list) contains a cycle:
+    more than one node, or a self-edge. *)

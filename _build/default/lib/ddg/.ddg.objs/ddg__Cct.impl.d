@@ -1,0 +1,1 @@
+lib/ddg/cct.ml: Format Hashtbl List Printf Vm

@@ -1,0 +1,1 @@
+lib/ddg/cct.mli: Format Hashtbl Vm

@@ -1,0 +1,1 @@
+lib/ddg/depprof.ml: Array Cct Cfg Fold Hashtbl Iiv List Loop_events Minisl Sched_tree Shadow Vm

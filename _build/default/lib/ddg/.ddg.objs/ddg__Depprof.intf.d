@@ -1,0 +1,1 @@
+lib/ddg/depprof.mli: Cct Cfg Fold Minisl Sched_tree Vm

@@ -1,0 +1,1 @@
+lib/ddg/iiv.ml: Array Cfg Format Hashtbl List Loop_events

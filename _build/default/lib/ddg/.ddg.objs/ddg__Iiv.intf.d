@@ -1,0 +1,1 @@
+lib/ddg/iiv.mli: Format Loop_events

@@ -1,0 +1,1 @@
+lib/ddg/loop_events.ml: Cfg Format Hashtbl List Printf Vm

@@ -1,0 +1,1 @@
+lib/ddg/loop_events.mli: Cfg Format Vm

@@ -1,0 +1,1 @@
+lib/ddg/sched_tree.ml: Format Hashtbl Iiv List Printf

@@ -1,0 +1,1 @@
+lib/ddg/sched_tree.mli: Format Hashtbl Iiv

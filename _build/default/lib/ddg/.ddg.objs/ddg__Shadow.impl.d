@@ -1,0 +1,1 @@
+lib/ddg/shadow.ml: Hashtbl List Vm

@@ -1,0 +1,1 @@
+lib/ddg/shadow.mli: Vm

@@ -1,0 +1,326 @@
+type config = {
+  stmt_cap : int;
+  dep_cap : int;
+  max_pieces : int;
+  track_reg_deps : bool;
+  track_waw : bool;
+  scev_prune : bool;
+  boundary_splits : bool;
+  per_component_labels : bool;
+}
+
+let default_config =
+  { stmt_cap = 100_000;
+    dep_cap = 50_000;
+    max_pieces = 16;
+    track_reg_deps = true;
+    track_waw = false;
+    scev_prune = true;
+    boundary_splits = true;
+    per_component_labels = true }
+
+type label_kind = Lvalue | Laddr | Lnone
+
+type stmt_key = { s_ctx : int; s_sid : Vm.Isa.Sid.t }
+
+type stmt_info = {
+  sk : stmt_key;
+  cls : Vm.Isa.op_class;
+  s_count : int;
+  s_pieces : Fold.piece list;
+  label_kind : label_kind;
+  is_scev : bool;
+  affine_exact : bool;
+  depth : int;
+}
+
+type dep_kind = Reg_dep | Mem_dep | Out_dep
+
+type dep_key = {
+  src_sid : Vm.Isa.Sid.t;
+  src_ctx : int;
+  dst_sid : Vm.Isa.Sid.t;
+  dst_ctx : int;
+  kind : dep_kind;
+}
+
+type dep_info = {
+  dk : dep_key;
+  d_count : int;
+  d_pieces : Fold.piece list;
+  src_depth : int;
+  dst_depth : int;
+}
+
+type result = {
+  stmts : stmt_info list;
+  deps : dep_info list;
+  pruned_dep_edges : int;
+  total_dep_edges : int;
+  stree : Sched_tree.t;
+  cct : Cct.t;
+  run_stats : Vm.Interp.stats;
+  structure : Cfg.Cfg_builder.structure;
+}
+
+type stmt_rec = {
+  collector : Fold.Collector.t;
+  mutable count : int;
+  r_cls : Vm.Isa.op_class;
+  r_label : label_kind;
+  mutable poisoned : bool;  (* saw a label of the wrong shape *)
+  r_depth : int;
+}
+
+type dep_rec = {
+  d_collector : Fold.Collector.t;
+  mutable d_n : int;
+  dr_src_depth : int;
+  dr_dst_depth : int;
+}
+
+let label_kind_of prog sid =
+  match Vm.Prog.instr_at prog sid with
+  | Vm.Isa.Cmp _ | Vm.Isa.Fcmp _ -> Lnone
+  | Vm.Isa.Load _ | Vm.Isa.Store _ -> Laddr
+  | i -> (
+      match Vm.Isa.class_of_instr i with
+      | Vm.Isa.Int_alu -> Lvalue
+      | Vm.Isa.Fp_alu | Vm.Isa.Mem_load | Vm.Isa.Mem_store | Vm.Isa.Other_op ->
+          Lnone)
+
+let profile ?(config = default_config) ?max_steps ?args prog ~structure =
+  Iiv.reset_intern_table ();
+  let iiv = Iiv.create () in
+  let levents =
+    Loop_events.create structure ~main:prog.Vm.Prog.main
+  in
+  let stree = Sched_tree.create () in
+  let cct = Cct.create ~main:prog.Vm.Prog.main in
+  let shadow = Shadow.create () in
+  let stmts : (stmt_key, stmt_rec) Hashtbl.t = Hashtbl.create 512 in
+  let deps : (dep_key, dep_rec) Hashtbl.t = Hashtbl.create 512 in
+
+  let apply_levent ev =
+    Iiv.update iiv ev;
+    match ev with
+    | Loop_events.Iterate _ ->
+        Sched_tree.record_iteration stree ~ctx_key:(Iiv.context_id iiv)
+          (Iiv.context iiv)
+    | Loop_events.Enter _ | Loop_events.Exit _ | Loop_events.Block _
+    | Loop_events.Call_push _ | Loop_events.Ret_pop _ ->
+        ()
+  in
+  List.iter apply_levent (Loop_events.start levents);
+
+  let on_control ev =
+    Cct.on_control cct ev;
+    (match ev with
+    | Vm.Event.Call _ -> Shadow.push_frame shadow
+    | Vm.Event.Return _ -> Shadow.pop_frame shadow
+    | Vm.Event.Jump _ -> ());
+    List.iter apply_levent (Loop_events.feed levents ev)
+  in
+
+  let stmt_rec_of ctx sid depth first_value =
+    let key = { s_ctx = ctx; s_sid = sid } in
+    match Hashtbl.find_opt stmts key with
+    | Some r -> (key, r)
+    | None ->
+        let r_label =
+          (* an integer-class instruction that turns out to carry a float
+             (e.g. a Mov copying a loaded float) has no integer value to
+             recognise a SCEV on: demote it to label-less *)
+          match (label_kind_of prog sid, first_value) with
+          | Lvalue, Some (Vm.Event.F _) -> Lnone
+          | k, _ -> k
+        in
+        let label_dim = match r_label with Lnone -> 0 | Lvalue | Laddr -> 1 in
+        let r =
+          { collector =
+              Fold.Collector.create ~cap:config.stmt_cap
+                ~max_pieces:config.max_pieces
+                ~boundary_splits:config.boundary_splits
+                ~per_component:config.per_component_labels ~dim:depth
+                ~label_dim ();
+            count = 0;
+            r_cls = (match Vm.Prog.instr_at prog sid with i -> Vm.Isa.class_of_instr i);
+            r_label;
+            poisoned = false;
+            r_depth = depth }
+        in
+        Hashtbl.add stmts key r;
+        (key, r)
+  in
+
+  let dep_rec_of key ~src_depth ~dst_depth =
+    match Hashtbl.find_opt deps key with
+    | Some r -> r
+    | None ->
+        let r =
+          { d_collector =
+              Fold.Collector.create ~cap:config.dep_cap
+                ~max_pieces:config.max_pieces
+                ~boundary_splits:config.boundary_splits
+                ~per_component:config.per_component_labels ~dim:dst_depth
+                ~label_dim:src_depth ();
+            d_n = 0;
+            dr_src_depth = src_depth;
+            dr_dst_depth = dst_depth }
+        in
+        Hashtbl.add deps key r;
+        r
+  in
+
+  let on_exec (e : Vm.Event.exec) =
+    let ctx = Iiv.context_id iiv in
+    let coords = Iiv.coords iiv in
+    let depth = Array.length coords in
+    Cct.add_weight cct 1;
+    Sched_tree.record stree ~ctx_key:ctx (Iiv.context iiv) ~weight:1;
+    (* statement domain + label *)
+    let _, r = stmt_rec_of ctx e.sid depth e.value in
+    r.count <- r.count + 1;
+    (if Fold.Collector.dim r.collector = depth then begin
+       let label =
+         match r.r_label with
+         | Lnone -> [||]
+         | Lvalue -> (
+             match e.value with
+             | Some (Vm.Event.I v) -> [| v |]
+             | Some (Vm.Event.F _) | None ->
+                 r.poisoned <- true;
+                 [| 0 |])
+         | Laddr -> (
+             match (e.addr_read, e.addr_written) with
+             | Some a, _ | None, Some a -> [| a |]
+             | None, None ->
+                 r.poisoned <- true;
+                 [| 0 |])
+       in
+       Fold.Collector.add r.collector coords label
+     end
+     else r.poisoned <- true);
+    (* dependences: consult shadows before recording this instruction's
+       own writes *)
+    let record_dep kind (o : Shadow.origin) =
+      let key =
+        { src_sid = o.o_sid; src_ctx = o.o_ctx; dst_sid = e.sid; dst_ctx = ctx;
+          kind }
+      in
+      let dr =
+        dep_rec_of key ~src_depth:(Array.length o.o_coords) ~dst_depth:depth
+      in
+      dr.d_n <- dr.d_n + 1;
+      if
+        Fold.Collector.dim dr.d_collector = depth
+        && Array.length o.o_coords = dr.dr_src_depth
+      then Fold.Collector.add dr.d_collector coords o.o_coords
+    in
+    if config.track_reg_deps then
+      List.iter
+        (fun reg ->
+          match Shadow.last_reg_writer shadow ~reg with
+          | Some o -> record_dep Reg_dep o
+          | None -> ())
+        e.reads;
+    (match e.addr_read with
+    | Some addr -> (
+        match Shadow.last_mem_writer shadow ~addr with
+        | Some o -> record_dep Mem_dep o
+        | None -> ())
+    | None -> ());
+    (match e.addr_written with
+    | Some addr ->
+        (if config.track_waw then
+           match Shadow.last_mem_writer shadow ~addr with
+           | Some o -> record_dep Out_dep o
+           | None -> ());
+        Shadow.write_mem shadow ~addr { o_sid = e.sid; o_ctx = ctx; o_coords = coords }
+    | None -> ());
+    match e.writes with
+    | Some reg ->
+        Shadow.write_reg shadow ~reg { o_sid = e.sid; o_ctx = ctx; o_coords = coords }
+    | None -> ()
+  in
+
+  let run_stats =
+    Vm.Interp.run ?max_steps ?args
+      ~callbacks:{ Vm.Interp.on_control; on_exec }
+      prog
+  in
+  List.iter apply_levent (Loop_events.finish levents);
+
+  (* finalize statements *)
+  let stmt_infos =
+    Hashtbl.fold
+      (fun sk r acc ->
+        let pieces = Fold.Collector.result r.collector in
+        let affine =
+          (not r.poisoned) && Fold.Collector.is_affine r.collector
+        in
+        { sk;
+          cls = r.r_cls;
+          s_count = r.count;
+          s_pieces = pieces;
+          label_kind = r.r_label;
+          is_scev = (r.r_label = Lvalue && affine);
+          affine_exact = affine;
+          depth = r.r_depth }
+        :: acc)
+      stmts []
+  in
+  let scev_set = Hashtbl.create 64 in
+  List.iter
+    (fun s -> if s.is_scev then Hashtbl.replace scev_set (s.sk.s_ctx, s.sk.s_sid) ())
+    stmt_infos;
+  (* SCEV pruning: drop dependence edges whose producer or consumer is a
+     recognised scalar-evolution instruction *)
+  let total_dep_edges = ref 0 in
+  let pruned = ref 0 in
+  let dep_infos =
+    Hashtbl.fold
+      (fun dk dr acc ->
+        total_dep_edges := !total_dep_edges + dr.d_n;
+        if
+          config.scev_prune
+          && (Hashtbl.mem scev_set (dk.src_ctx, dk.src_sid)
+             || Hashtbl.mem scev_set (dk.dst_ctx, dk.dst_sid))
+        then begin
+          pruned := !pruned + dr.d_n;
+          acc
+        end
+        else
+          { dk;
+            d_count = dr.d_n;
+            d_pieces = Fold.Collector.result dr.d_collector;
+            src_depth = dr.dr_src_depth;
+            dst_depth = dr.dr_dst_depth }
+          :: acc)
+      deps []
+  in
+  { stmts = List.sort (fun a b -> compare a.sk b.sk) stmt_infos;
+    deps = List.sort (fun a b -> compare a.dk b.dk) dep_infos;
+    pruned_dep_edges = !pruned;
+    total_dep_edges = !total_dep_edges;
+    stree;
+    cct;
+    run_stats;
+    structure }
+
+let stmt_domain (s : stmt_info) =
+  Minisl.Pset.of_polyhedra s.depth
+    (List.map (fun (p : Fold.piece) -> p.Fold.dom) s.s_pieces)
+
+let dep_map (d : dep_info) =
+  let pieces =
+    List.filter_map
+      (fun (p : Fold.piece) ->
+        match Fold.piece_label_fn p with
+        | Some out -> Some { Minisl.Pmap.dom = p.Fold.dom; out }
+        | None -> None)
+      d.d_pieces
+  in
+  if List.length pieces = List.length d.d_pieces then
+    Some (Minisl.Pmap.make ~in_dim:d.dst_depth ~out_dim:d.src_depth pieces)
+  else None

@@ -1,0 +1,83 @@
+(** "Instrumentation II" (paper §4–§5): profile the dynamic dependence
+    graph of an execution.
+
+    Each dynamic instruction is tagged with its dynamic IIV; dependences
+    are discovered through shadow memory (for loads/stores) and shadow
+    registers (per call frame), and streamed, together with statement
+    domains and value/address labels, into per-context folding
+    collectors.  The result is the compact polyhedral DDG: folded
+    statement domains with SCEV/stride information and folded dependence
+    relations, SCEV-pruned (§5, "SCEV recognition"). *)
+
+type config = {
+  stmt_cap : int;  (** buffered points per statement before widening *)
+  dep_cap : int;
+  max_pieces : int;
+  track_reg_deps : bool;
+  track_waw : bool;  (** also record output (write-after-write) deps *)
+  scev_prune : bool;  (** drop dep edges touching SCEV statements (§5) *)
+  boundary_splits : bool;  (** folding ablation knob *)
+  per_component_labels : bool;  (** folding ablation knob *)
+}
+
+val default_config : config
+
+type label_kind = Lvalue | Laddr | Lnone
+
+type stmt_key = { s_ctx : int; s_sid : Vm.Isa.Sid.t }
+
+type stmt_info = {
+  sk : stmt_key;
+  cls : Vm.Isa.op_class;
+  s_count : int;  (** dynamic executions *)
+  s_pieces : Fold.piece list;  (** folded domain; labels per [label_kind] *)
+  label_kind : label_kind;
+  is_scev : bool;  (** integer value expressible as an affine function *)
+  affine_exact : bool;  (** domain folded exactly with affine labels *)
+  depth : int;  (** iteration-vector dimensionality *)
+}
+
+type dep_kind = Reg_dep | Mem_dep | Out_dep
+
+type dep_key = {
+  src_sid : Vm.Isa.Sid.t;
+  src_ctx : int;
+  dst_sid : Vm.Isa.Sid.t;
+  dst_ctx : int;
+  kind : dep_kind;
+}
+
+type dep_info = {
+  dk : dep_key;
+  d_count : int;
+  d_pieces : Fold.piece list;
+      (** domain: consumer coordinates; labels: producer coordinates *)
+  src_depth : int;
+  dst_depth : int;
+}
+
+type result = {
+  stmts : stmt_info list;
+  deps : dep_info list;  (** with SCEV-producer/consumer edges pruned *)
+  pruned_dep_edges : int;  (** dynamic dep edges dropped by SCEV pruning *)
+  total_dep_edges : int;
+  stree : Sched_tree.t;
+  cct : Cct.t;
+  run_stats : Vm.Interp.stats;
+  structure : Cfg.Cfg_builder.structure;
+}
+
+val profile :
+  ?config:config ->
+  ?max_steps:int ->
+  ?args:int list ->
+  Vm.Prog.t ->
+  structure:Cfg.Cfg_builder.structure ->
+  result
+(** Run the program under Instrumentation II.  [structure] comes from a
+    previous Instrumentation-I run ({!Cfg.Cfg_builder.run}). *)
+
+val stmt_domain : stmt_info -> Minisl.Pset.t
+val dep_map : dep_info -> Minisl.Pmap.t option
+(** The dependence as a piecewise affine map consumer -> producer; [None]
+    if any piece has unknown (top) labels. *)

@@ -1,0 +1,516 @@
+module P = Minisl.Polyhedron
+module A = Minisl.Affine
+module Cstr = Minisl.Constr
+module Rat = Pp_util.Rat
+module Matrix = Pp_util.Matrix
+
+type piece = {
+  dom : P.t;
+  labels : A.t option array;
+  exact : bool;
+  points : int;
+  under : P.t option;
+      (* for over-approximated domains: a certified exact inner region
+         (the paper's §10 future work, "under-approximation schemes in
+         the DDG"); [None] when [exact] (the domain is its own under-
+         approximation) or when no inner region was recovered *)
+}
+
+let piece_label_fn p =
+  if Array.for_all Option.is_some p.labels then
+    Some (Array.map Option.get p.labels)
+  else None
+
+let pp_piece ?names ?label_names fmt p =
+  Format.fprintf fmt "%a (%d pts%s%s)" (P.pp ?names) p.dom p.points
+    (if p.exact then "" else ", approx")
+    (match p.under with None -> "" | Some _ -> ", has under-approx");
+  if Array.length p.labels = 0 then ()
+  else begin
+    Format.fprintf fmt " -> [";
+    Array.iteri
+      (fun i f ->
+        if i > 0 then Format.fprintf fmt ", ";
+        (match label_names with
+        | Some ns when i < Array.length ns -> Format.fprintf fmt "%s = " ns.(i)
+        | _ -> ());
+        match f with
+        | Some f -> A.pp ?names fmt f
+        | None -> Format.fprintf fmt "T")
+      p.labels;
+    Format.fprintf fmt "]"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Affine fitting with sampling + verification                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Fit an affine function of [sub_dim] leading coordinates through all
+   (point, value) samples, by fitting a small sample then verifying the
+   rest; points failing verification are added to the sample and the fit
+   is retried a bounded number of times. *)
+let fit_affine ~sub_dim (points : int array array) (values : Rat.t array) :
+    A.t option =
+  let n = Array.length points in
+  if n = 0 then None
+  else begin
+    let take = min n (sub_dim + 2) in
+    let sample = ref (List.init take Fun.id) in
+    let rec attempt round =
+      if round > sub_dim + 4 then None
+      else begin
+        let idxs = !sample in
+        let pts = Array.of_list (List.map (fun i -> Array.sub points.(i) 0 sub_dim) idxs) in
+        let vals = Array.of_list (List.map (fun i -> values.(i)) idxs) in
+        match Matrix.affine_fit pts vals with
+        | None -> None
+        | Some (coeffs, const) ->
+            let f = A.make coeffs const in
+            (* verify on the full set *)
+            let bad = ref (-1) in
+            (try
+               for i = 0 to n - 1 do
+                 let v = A.eval f (Array.sub points.(i) 0 sub_dim) in
+                 if not (Rat.equal v values.(i)) then begin
+                   bad := i;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !bad < 0 then Some (A.extend f (Array.length points.(0)))
+            else begin
+              sample := !bad :: idxs;
+              attempt (round + 1)
+            end
+      end
+    in
+    attempt 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Nest fitting: lo_d(outer) <= c_d <= hi_d(outer) with affine bounds   *)
+(* ------------------------------------------------------------------ *)
+
+type nest = { bnds : (A.t * A.t) array (* per dim, over the full space *) }
+
+let fit_domain ~dim (points : int array array) : nest option =
+  let n = Array.length points in
+  if n = 0 then None
+  else begin
+    let bnds = Array.make dim (A.const ~dim Rat.zero, A.const ~dim Rat.zero) in
+    let ok = ref true in
+    for d = 0 to dim - 1 do
+      if !ok then begin
+        (* group by prefix c_0..c_{d-1} *)
+        let tbl : (int list, int * int) Hashtbl.t = Hashtbl.create 64 in
+        let order = ref [] in
+        Array.iter
+          (fun p ->
+            let key = Array.to_list (Array.sub p 0 d) in
+            match Hashtbl.find_opt tbl key with
+            | None ->
+                Hashtbl.add tbl key (p.(d), p.(d));
+                order := key :: !order
+            | Some (lo, hi) ->
+                Hashtbl.replace tbl key (min lo p.(d), max hi p.(d)))
+          points;
+        let prefixes = Array.of_list (List.rev_map Array.of_list !order) in
+        let los =
+          Array.map (fun pre -> Rat.of_int (fst (Hashtbl.find tbl (Array.to_list pre)))) prefixes
+        in
+        let his =
+          Array.map (fun pre -> Rat.of_int (snd (Hashtbl.find tbl (Array.to_list pre)))) prefixes
+        in
+        (* prefixes have length d; pad to at least length d for sub *)
+        let padded = Array.map (fun pre -> Array.append pre (Array.make (dim - d) 0)) prefixes in
+        match
+          (fit_affine ~sub_dim:d padded los, fit_affine ~sub_dim:d padded his)
+        with
+        | Some lo_f, Some hi_f -> bnds.(d) <- (lo_f, hi_f)
+        | _ -> ok := false
+      end
+    done;
+    if !ok then Some { bnds } else None
+  end
+
+(* Count the integer points implied by the nest, aborting early past
+   [limit]. *)
+let implied_count ~dim nest ~limit =
+  let exception Too_many in
+  let prefix = Array.make dim 0 in
+  let work = ref 0 in
+  let rec go d =
+    if d = dim then 1
+    else begin
+      let lo_f, hi_f = nest.bnds.(d) in
+      let lo = Rat.ceil (A.eval lo_f prefix) in
+      let hi = Rat.floor (A.eval hi_f prefix) in
+      (* bound the sheer iteration count too: extrapolated bounds on
+         prefixes absent from the data can span huge empty ranges *)
+      if hi - lo > limit then raise Too_many;
+      let total = ref 0 in
+      for v = lo to hi do
+        incr work;
+        if !work > 4 * (limit + dim + 1) then raise Too_many;
+        prefix.(d) <- v;
+        total := !total + go (d + 1);
+        if !total > limit then raise Too_many
+      done;
+      prefix.(d) <- 0;
+      !total
+    end
+  in
+  try Some (go 0) with Too_many -> None
+
+let point_in_nest ~dim nest p =
+  let ok = ref true in
+  for d = 0 to dim - 1 do
+    let lo_f, hi_f = nest.bnds.(d) in
+    let c = Rat.of_int p.(d) in
+    if Rat.compare c (A.eval lo_f p) < 0 || Rat.compare c (A.eval hi_f p) > 0
+    then ok := false
+  done;
+  !ok
+
+let nest_to_polyhedron ~dim nest =
+  let cons = ref [] in
+  for d = 0 to dim - 1 do
+    let lo_f, hi_f = nest.bnds.(d) in
+    let v = A.var ~dim d in
+    cons := Cstr.of_affine Ge (A.sub v lo_f) :: Cstr.of_affine Ge (A.sub hi_f v) :: !cons
+  done;
+  P.make dim !cons
+
+(* Exact fit of a segment: affine-bounded nest + affine labels.  With
+   [strict:false] individual label components may come out as top. *)
+let fit_segment ?(strict = true) ~dim ~label_dim (points : int array array)
+    (labels : int array array) lo len : piece option =
+  let pts = Array.sub points lo len in
+  let lbs = Array.sub labels lo len in
+  if dim = 0 then begin
+    (* scalar context: a single execution; several executions of a
+       0-dimensional statement cannot be folded exactly *)
+    if len <> 1 then None
+    else
+      Some
+        { dom = P.universe 0;
+          labels =
+            Array.map (fun v -> Some (A.const ~dim:0 (Rat.of_int v))) lbs.(0);
+          exact = true;
+          points = 1;
+          under = None }
+  end
+  else
+    match fit_domain ~dim pts with
+    | None -> None
+    | Some nest ->
+        if not (Array.for_all (point_in_nest ~dim nest) pts) then None
+        else if implied_count ~dim nest ~limit:len <> Some len then None
+        else begin
+          let fit_label k =
+            fit_affine ~sub_dim:dim pts
+              (Array.map (fun l -> Rat.of_int l.(k)) lbs)
+          in
+          let lfs = Array.init label_dim fit_label in
+          if Array.for_all Option.is_some lfs then
+            Some
+              { dom = nest_to_polyhedron ~dim nest;
+                labels = lfs;
+                exact = true;
+                points = len;
+                under = None }
+          else if strict then None
+          else
+            Some
+              { dom = nest_to_polyhedron ~dim nest;
+                labels = lfs;
+                exact = true;
+                points = len;
+                under = None }
+        end
+
+let box_piece ~dim ~label_dim (points : int array array)
+    (labels : int array array) =
+  let dom =
+    if Array.length points = 0 then P.empty dim
+    else Minisl.Hull.box_of_points (Array.to_list points)
+  in
+  let lfs =
+    Array.init label_dim (fun k ->
+        fit_affine ~sub_dim:dim points
+          (Array.map (fun l -> Rat.of_int l.(k)) labels))
+  in
+  (* under-approximation: the longest exactly-foldable prefix of the
+     stream certifies an inner region that is definitely iterated *)
+  let under =
+    if dim = 0 || Array.length points < 2 then None
+    else begin
+      let n = Array.length points in
+      let fits len =
+        fit_segment ~strict:false ~dim ~label_dim points labels 0 len
+      in
+      let len = ref 1 in
+      while (2 * !len <= n) && fits (2 * !len) <> None do
+        len := 2 * !len
+      done;
+      match fits !len with
+      | Some p when !len > 1 -> Some p.dom
+      | _ -> None
+    end
+  in
+  { dom; labels = lfs; exact = false; points = Array.length points; under }
+
+(* Split the stream by a per-dimension boundary predicate: points at the
+   first iteration of dim [d] (within their prefix) versus the rest.
+   This captures the classic boundary pieces of dependence relations —
+   e.g. a reduction whose first inner iteration reads the previous outer
+   iteration's result (paper Table 2: the I4->I4 dependence holds on
+   ck >= 1 only). *)
+let split_boundary_iteration ~last part d =
+  let extremes : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let better a b = if last then a > b else a < b in
+  List.iter
+    (fun ((p : int array), _) ->
+      let key = Array.to_list (Array.sub p 0 d) in
+      match Hashtbl.find_opt extremes key with
+      | None -> Hashtbl.add extremes key p.(d)
+      | Some m -> if better p.(d) m then Hashtbl.replace extremes key p.(d))
+    part;
+  let boundary = ref [] and rest = ref [] in
+  List.iter
+    (fun ((p : int array), l) ->
+      let m = Hashtbl.find extremes (Array.to_list (Array.sub p 0 d)) in
+      if p.(d) = m then boundary := (p, l) :: !boundary
+      else rest := (p, l) :: !rest)
+    part;
+  (List.rev !boundary, List.rev !rest)
+
+let fold_exact ?(boundary_splits = true) ~dim ~label_dim ~max_pieces points
+    labels =
+  let n = Array.length points in
+  if n = 0 then []
+  else
+    let fit_list part =
+      let pts = Array.of_list (List.map fst part) in
+      let lbs = Array.of_list (List.map snd part) in
+      fit_segment ~dim ~label_dim pts lbs 0 (Array.length pts)
+    in
+    (* recursive boundary splitting, innermost dimension first, with a
+       small budget (up to 4 pieces) *)
+    let rec fit_with_splits part budget =
+      match fit_list part with
+      | Some p -> Some [ p ]
+      | None when budget > 0 ->
+          let rec go d last =
+            if d < 0 then if last then None else go (dim - 1) true
+            else begin
+              let first, rest = split_boundary_iteration ~last part d in
+              if first = [] || rest = [] then go (d - 1) last
+              else
+                match
+                  ( fit_with_splits first (budget - 1),
+                    fit_with_splits rest (budget - 1) )
+                with
+                | Some a, Some b -> Some (a @ b)
+                | _ -> go (d - 1) last
+            end
+          in
+          go (dim - 1) false
+      | None -> None
+    in
+    let all = Array.to_list (Array.mapi (fun k p -> (p, labels.(k))) points) in
+    match fit_segment ~dim ~label_dim points labels 0 n with
+    | Some p -> [ p ]
+    | None ->
+    match
+      if dim > 0 && boundary_splits then fit_with_splits all 2 else None
+    with
+    | Some ps -> ps
+    | None ->
+        (* greedy segmentation with doubling + binary search *)
+        let pieces = ref [] in
+        let i = ref 0 in
+        let too_many = ref false in
+        while !i < n && not !too_many do
+          let fits len = Option.is_some (fit_segment ~dim ~label_dim points labels !i len) in
+          (* grow the segment by doubling + binary search; fits() is not
+             monotone (a partial inner row can fail where the next full
+             row succeeds), so retry the expansion from each new best
+             until it stops improving *)
+          let best = ref 1 in
+          let improved = ref true in
+          while !improved do
+            improved := false;
+            let len = ref !best in
+            while !i + (2 * !len) <= n && fits (2 * !len) do
+              len := 2 * !len
+            done;
+            let lo = ref !len and hi = ref (min (2 * !len) (n - !i)) in
+            while !lo < !hi do
+              let mid = (!lo + !hi + 1) / 2 in
+              if fits mid then lo := mid else hi := mid - 1
+            done;
+            if !lo > !best then begin
+              best := !lo;
+              improved := true
+            end
+          done;
+          let best = !best in
+          (match fit_segment ~dim ~label_dim points labels !i best with
+          | Some p -> pieces := p :: !pieces
+          | None -> assert false);
+          i := !i + best;
+          if List.length !pieces > max_pieces then too_many := true
+        done;
+        if !too_many then
+          (* before giving up the domain, try the whole stream with
+             per-component label over-approximation: an exact domain
+             whose irregular label components are top *)
+          match fit_segment ~strict:false ~dim ~label_dim points labels 0 n with
+          | Some p -> [ p ]
+          | None -> [ box_piece ~dim ~label_dim points labels ]
+        else List.rev !pieces
+
+(* ------------------------------------------------------------------ *)
+(* Streaming collector                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Collector = struct
+  type approx_state = {
+    mutable lo : int array;
+    mutable hi : int array;
+    mutable labels : A.t option array;  (* still-valid incremental fits *)
+  }
+
+  type mode =
+    | Buffering of (int array * int array) list ref
+    | Approx of approx_state
+
+  type t = {
+    dim : int;
+    label_dim : int;
+    cap : int;
+    max_pieces : int;
+    boundary_splits : bool;
+    per_component : bool;
+    mutable n : int;
+    mutable mode : mode;
+    mutable finalized : piece list option;
+  }
+
+  let create ?(cap = 100_000) ?(max_pieces = 16) ?(boundary_splits = true)
+      ?(per_component = true) ~dim ~label_dim () =
+    { dim;
+      label_dim;
+      cap;
+      max_pieces;
+      boundary_splits;
+      per_component;
+      n = 0;
+      mode = Buffering (ref []);
+      finalized = None }
+
+  let npoints t = t.n
+  let dim t = t.dim
+
+  let to_arrays buf =
+    let items = Array.of_list (List.rev !buf) in
+    (Array.map fst items, Array.map snd items)
+
+  let switch_to_approx t buf =
+    let points, labels = to_arrays buf in
+    let n = Array.length points in
+    let lo = Array.copy points.(0) and hi = Array.copy points.(0) in
+    Array.iter
+      (fun p ->
+        Array.iteri
+          (fun k v ->
+            if v < lo.(k) then lo.(k) <- v;
+            if v > hi.(k) then hi.(k) <- v)
+          p)
+      points;
+    ignore n;
+    let lfs =
+      Array.init t.label_dim (fun k ->
+          fit_affine ~sub_dim:t.dim points
+            (Array.map (fun l -> Rat.of_int l.(k)) labels))
+    in
+    let st = { lo; hi; labels = lfs } in
+    t.mode <- Approx st;
+    st
+
+  let add t coords label =
+    assert (Array.length coords = t.dim && Array.length label = t.label_dim);
+    assert (t.finalized = None);
+    t.n <- t.n + 1;
+    match t.mode with
+    | Buffering buf ->
+        buf := (coords, label) :: !buf;
+        if t.n >= t.cap then ignore (switch_to_approx t buf)
+    | Approx st ->
+        Array.iteri
+          (fun k v ->
+            if v < st.lo.(k) then st.lo.(k) <- v;
+            if v > st.hi.(k) then st.hi.(k) <- v)
+          coords;
+        Array.iteri
+          (fun k f ->
+            match f with
+            | Some f ->
+                if not (Rat.equal (A.eval f coords) (Rat.of_int label.(k)))
+                then st.labels.(k) <- None
+            | None -> ())
+          st.labels
+
+  let box_of_bounds dim lo hi =
+    let cons = ref [] in
+    for k = 0 to dim - 1 do
+      let up = Array.make dim 0 and dn = Array.make dim 0 in
+      up.(k) <- 1;
+      dn.(k) <- -1;
+      cons := Cstr.make Ge up (-lo.(k)) :: Cstr.make Ge dn hi.(k) :: !cons
+    done;
+    P.make dim !cons
+
+  let result t =
+    match t.finalized with
+    | Some ps -> ps
+    | None ->
+        let ps =
+          match t.mode with
+          | Buffering buf ->
+              let points, labels = to_arrays buf in
+              fold_exact ~boundary_splits:t.boundary_splits ~dim:t.dim
+                ~label_dim:t.label_dim ~max_pieces:t.max_pieces points labels
+          | Approx st ->
+              [ { dom = box_of_bounds t.dim st.lo st.hi;
+                  labels = st.labels;
+                  exact = false;
+                  points = t.n;
+                  under = None } ]
+        in
+        let ps =
+          if t.per_component then ps
+          else
+            (* ablation: the paper-style all-or-nothing label
+               over-approximation — one irregular component tops them all *)
+            List.map
+              (fun (p : piece) ->
+                if Array.exists Option.is_none p.labels then
+                  { p with labels = Array.map (fun _ -> None) p.labels }
+                else p)
+              ps
+        in
+        t.finalized <- Some ps;
+        ps
+
+  let is_affine t =
+    List.for_all
+      (fun p -> p.exact && Array.for_all Option.is_some p.labels)
+      (result t)
+end
+
+let fold_points ~dim ~label_dim pts =
+  let c = Collector.create ~dim ~label_dim () in
+  List.iter (fun (p, l) -> Collector.add c p l) pts;
+  Collector.result c

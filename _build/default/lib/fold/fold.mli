@@ -1,0 +1,69 @@
+(** Folding (paper §5 and companion report [29]): compress a stream of
+    (iteration vector, label vector) pairs into a union of polyhedra,
+    each carrying an affine function that reproduces the labels.
+
+    For dynamic instructions the label is the produced integer value
+    and/or accessed address (SCEV and stride recognition); for
+    dependencies the label is the producer's iteration vector.
+
+    The algorithm is geometric: it recognises domains of the form
+    [lo_d(c_0..c_{d-1}) <= c_d <= hi_d(c_0..c_{d-1})] with affine bounds
+    (rectangles, triangles, trapezoids — the shapes loop nests produce),
+    piecewise if necessary, and verifies exactness by point counting.
+    When a stream is too irregular (or too large to buffer) it
+    over-approximates: bounding-box domains and/or unknown (top)
+    labels. *)
+
+type piece = {
+  dom : Minisl.Polyhedron.t;
+  labels : Minisl.Affine.t option array;
+      (** one entry per label component; [None] means that component
+          could not be expressed affinely over this piece (top) — the
+          paper's label over-approximation is per component *)
+  exact : bool;  (** whether [dom] contains exactly the folded points *)
+  points : int;  (** number of points folded into this piece *)
+  under : Minisl.Polyhedron.t option;
+      (** for over-approximated pieces, a certified inner region every
+          point of which was definitely iterated — the paper's §10
+          future work ("under-approximation schemes in the DDG") *)
+}
+
+val piece_label_fn : piece -> Minisl.Affine.t array option
+(** All label components, if every one of them folded affinely. *)
+
+val pp_piece :
+  ?names:string array -> ?label_names:string array -> Format.formatter
+  -> piece -> unit
+
+(** Streaming collector for one folding context. *)
+module Collector : sig
+  type t
+
+  val create :
+    ?cap:int -> ?max_pieces:int -> ?boundary_splits:bool ->
+    ?per_component:bool -> dim:int -> label_dim:int -> unit -> t
+  (** [cap] (default 100_000) bounds the number of buffered points; past
+      it the collector switches to streaming over-approximation.
+      [max_pieces] (default 16) bounds the number of exact pieces before
+      widening.  [boundary_splits] (default true) enables splitting on
+      first/last-iteration boundaries; [per_component] (default true)
+      enables per-label-component over-approximation — both exist as
+      knobs for the ablation benches. *)
+
+  val add : t -> int array -> int array -> unit
+  (** [add t coords label].  [coords] must have length [dim] and [label]
+      length [label_dim]. *)
+
+  val npoints : t -> int
+  val dim : t -> int
+  val result : t -> piece list
+  (** Finalize (idempotent).  The union of the returned pieces covers all
+      added points; pieces marked [exact] contain exactly their points. *)
+
+  val is_affine : t -> bool
+  (** After {!result}: all pieces exact with every label component
+      affine. *)
+end
+
+val fold_points : dim:int -> label_dim:int -> (int array * int array) list -> piece list
+(** One-shot folding of a point list (convenience for tests). *)

@@ -1,0 +1,1 @@
+lib/kernels/backprop_kernels.mli:

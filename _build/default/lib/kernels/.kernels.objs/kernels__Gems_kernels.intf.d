@@ -1,0 +1,1 @@
+lib/kernels/gems_kernels.mli:

@@ -1,0 +1,83 @@
+type t = {
+  n1 : int;
+  n2 : int;
+  l1 : float array;
+  l2 : float array;
+  conn : float array;
+  delta : float array;
+  oldw : float array;
+}
+
+let squash x = x /. (1.0 +. (x *. x))
+
+let create ~n1 ~n2 =
+  let fill n f = Array.init n f in
+  { n1;
+    n2;
+    l1 = fill (n1 + 1) (fun i -> float_of_int ((i * 7 mod 23) - 11) /. 17.0);
+    l2 = Array.make (n2 + 1) 0.0;
+    conn =
+      fill ((n1 + 1) * (n2 + 1)) (fun i ->
+          float_of_int ((i * 13 mod 101) - 50) /. 99.0);
+    delta = fill (n2 + 1) (fun i -> float_of_int (i mod 5) /. 7.0);
+    oldw = fill ((n1 + 1) * (n2 + 1)) (fun i -> float_of_int (i mod 3) /. 5.0) }
+
+(* Fig. 6: j outer, k inner; conn is traversed with stride n2+1. *)
+let layerforward_original t =
+  let w = t.n2 + 1 in
+  t.l1.(0) <- 1.0;
+  for j = 1 to t.n2 do
+    let sum = ref 0.0 in
+    for k = 0 to t.n1 do
+      sum := !sum +. (t.conn.((k * w) + j) *. t.l1.(k))
+    done;
+    t.l2.(j) <- squash !sum
+  done
+
+(* Suggested: interchange + array expansion of sum; conn now stride 1. *)
+let layerforward_interchanged t =
+  let w = t.n2 + 1 in
+  t.l1.(0) <- 1.0;
+  let sums = Array.make w 0.0 in
+  for k = 0 to t.n1 do
+    let row = k * w in
+    let l1k = t.l1.(k) in
+    for j = 1 to t.n2 do
+      sums.(j) <- sums.(j) +. (t.conn.(row + j) *. l1k)
+    done
+  done;
+  for j = 1 to t.n2 do
+    t.l2.(j) <- squash sums.(j)
+  done
+
+let eta = 0.3
+let momentum = 0.3
+
+let adjust_original t =
+  let w = t.n2 + 1 in
+  for j = 1 to t.n2 do
+    for k = 0 to t.n1 do
+      let idx = (k * w) + j in
+      let newdw = (eta *. t.delta.(j) *. t.l1.(k)) +. (momentum *. t.oldw.(idx)) in
+      t.conn.(idx) <- t.conn.(idx) +. newdw;
+      t.oldw.(idx) <- newdw
+    done
+  done
+
+let adjust_interchanged t =
+  let w = t.n2 + 1 in
+  for k = 0 to t.n1 do
+    let row = k * w in
+    let l1k = t.l1.(k) in
+    for j = 1 to t.n2 do
+      let idx = row + j in
+      let newdw = (eta *. t.delta.(j) *. l1k) +. (momentum *. t.oldw.(idx)) in
+      t.conn.(idx) <- t.conn.(idx) +. newdw;
+      t.oldw.(idx) <- newdw
+    done
+  done
+
+let checksum t =
+  Array.fold_left ( +. ) 0.0 t.l2
+  +. Array.fold_left ( +. ) 0.0 t.oldw
+  +. Array.fold_left ( +. ) 0.0 t.conn

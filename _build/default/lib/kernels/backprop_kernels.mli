@@ -1,0 +1,35 @@
+(** Native OCaml implementations of the backprop case-study kernels
+    (paper §7, Table 3), in their original form and with the
+    transformation POLY-PROF suggests (loop interchange + scalar
+    expansion of [sum]), so the speedup measurement can be reproduced on
+    this machine. *)
+
+type t = {
+  n1 : int;  (** input layer size *)
+  n2 : int;  (** output layer size *)
+  l1 : float array;  (** n1 + 1 *)
+  l2 : float array;  (** n2 + 1 *)
+  conn : float array;  (** (n1+1) * (n2+1), row-major [k][j] *)
+  delta : float array;  (** n2 + 1 *)
+  oldw : float array;  (** (n1+1) * (n2+1) *)
+}
+
+val create : n1:int -> n2:int -> t
+(** Deterministically initialised problem instance. *)
+
+val layerforward_original : t -> unit
+(** Fig. 6: [for j { sum = 0; for k sum += conn[k][j]*l1[k]; l2[j] = squash sum }] —
+    column-major traversal of [conn]. *)
+
+val layerforward_interchanged : t -> unit
+(** The suggested transformation: k outer, j inner (stride-1 over
+    [conn]), [sum] array-expanded. *)
+
+val adjust_original : t -> unit
+(** bpnn_adjust_weights with the original (j outer, k inner) order. *)
+
+val adjust_interchanged : t -> unit
+(** Interchanged (k outer, j inner): every access stride-0/1. *)
+
+val checksum : t -> float
+(** For validating that variants compute the same result. *)

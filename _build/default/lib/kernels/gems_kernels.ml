@@ -1,0 +1,59 @@
+type t = { n : int; h_field : float array; e_field : float array }
+
+let create ~n =
+  let sz = (n + 1) * (n + 1) * (n + 1) in
+  { n;
+    h_field = Array.init sz (fun i -> float_of_int ((i * 31 mod 199) - 99) /. 211.0);
+    e_field = Array.init sz (fun i -> float_of_int ((i * 17 mod 157) - 78) /. 163.0) }
+
+(* The Fortran arrays are column-major; compiled to a linear layout the
+   update loops traverse the grid with the large stride innermost, which
+   is what the profiled binary of the case study executes. *)
+let update_point t i =
+  let s = t.n + 1 in
+  let h = t.h_field and e = t.e_field in
+  let e0 = e.(i) in
+  h.(i) <-
+    h.(i)
+    +. (0.5
+       *. (e.(i + 1) -. e0 +. (e.(i + s) -. e0) +. (e.(i + (s * s)) -. e0)))
+
+let update_original t =
+  let n = t.n in
+  let s = n + 1 in
+  for z = 0 to n - 2 do
+    for y = 0 to n - 2 do
+      for x = 0 to n - 2 do
+        (* x innermost: stride s*s *)
+        update_point t (((x * s) + y) * s + z)
+      done
+    done
+  done
+
+(* The suggested transformation: tile all three dimensions (size 32), so
+   each tile's working set stays in cache despite the bad stride. *)
+let update_tiled ?(tile = 32) t =
+  let n = t.n in
+  let s = n + 1 in
+  let lim = n - 2 in
+  let zt = ref 0 in
+  while !zt <= lim do
+    let yt = ref 0 in
+    while !yt <= lim do
+      let xt = ref 0 in
+      while !xt <= lim do
+        for z = !zt to min lim (!zt + tile - 1) do
+          for y = !yt to min lim (!yt + tile - 1) do
+            for x = !xt to min lim (!xt + tile - 1) do
+              update_point t (((x * s) + y) * s + z)
+            done
+          done
+        done;
+        xt := !xt + tile
+      done;
+      yt := !yt + tile
+    done;
+    zt := !zt + tile
+  done
+
+let checksum t = Array.fold_left ( +. ) 0.0 t.h_field

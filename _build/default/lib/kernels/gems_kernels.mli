@@ -1,0 +1,20 @@
+(** Native OCaml implementations of the GemsFDTD case-study kernels
+    (paper §7, Table 4): a 3-D field update in its original form and
+    tiled along all three dimensions with tile size 32, the
+    transformation POLY-PROF suggests. *)
+
+type t = {
+  n : int;  (** grid edge *)
+  h_field : float array;  (** n^3 (padded) *)
+  e_field : float array;
+}
+
+val create : n:int -> t
+
+val update_original : t -> unit
+(** The updateH_homo-like triple nest. *)
+
+val update_tiled : ?tile:int -> t -> unit
+(** Same computation, tiled along all three dims (default tile 32). *)
+
+val checksum : t -> float

@@ -1,0 +1,1 @@
+lib/poly/affine.mli: Format Pp_util

@@ -1,0 +1,1 @@
+lib/poly/hull.ml: Array Constr List Polyhedron Pp_util Pset

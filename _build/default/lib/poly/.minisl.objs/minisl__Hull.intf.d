@@ -1,0 +1,1 @@
+lib/poly/hull.mli: Polyhedron Pset

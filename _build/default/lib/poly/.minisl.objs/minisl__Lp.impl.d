@@ -1,0 +1,1 @@
+lib/poly/lp.ml: Affine Array Constr List Polyhedron Pp_util Seq

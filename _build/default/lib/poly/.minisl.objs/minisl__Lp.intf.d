@@ -1,0 +1,1 @@
+lib/poly/lp.mli: Affine Polyhedron Pp_util

@@ -1,0 +1,1 @@
+lib/poly/pmap.ml: Affine Array Format List Polyhedron Pp_util Pset

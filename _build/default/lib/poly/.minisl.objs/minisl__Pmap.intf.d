@@ -1,0 +1,1 @@
+lib/poly/pmap.mli: Affine Format Polyhedron Pp_util Pset

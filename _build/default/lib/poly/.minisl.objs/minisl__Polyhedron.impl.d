@@ -1,0 +1,1 @@
+lib/poly/polyhedron.ml: Affine Array Constr Format Fun Hashtbl List Pp_util

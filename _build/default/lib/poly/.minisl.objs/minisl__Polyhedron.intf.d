@@ -1,0 +1,1 @@
+lib/poly/polyhedron.mli: Affine Constr Format Pp_util

@@ -1,0 +1,1 @@
+lib/poly/pset.ml: Format List Polyhedron

@@ -1,0 +1,1 @@
+lib/poly/pset.mli: Format Polyhedron

@@ -1,0 +1,55 @@
+module Rat = Pp_util.Rat
+
+type kind = Eq | Ge
+type t = { kind : kind; v : int array; c : int }
+
+let normalize kind v c =
+  let g = Array.fold_left (fun acc x -> Rat.gcd acc x) (abs c) v in
+  let v, c = if g > 1 then (Array.map (fun x -> x / g) v, c / g) else (v, c) in
+  match kind with
+  | Ge -> { kind; v; c }
+  | Eq ->
+      (* make leading coefficient positive for canonical equalities *)
+      let rec lead i =
+        if i >= Array.length v then 0 else if v.(i) <> 0 then v.(i) else lead (i + 1)
+      in
+      if lead 0 < 0 then { kind; v = Array.map (fun x -> -x) v; c = -c }
+      else { kind; v; c }
+
+let make kind v c = normalize kind (Array.copy v) c
+
+let of_affine kind (a : Affine.t) =
+  (* multiply by lcm of denominators *)
+  let l =
+    Array.fold_left
+      (fun acc r -> Rat.lcm acc (Rat.den r))
+      (Rat.den a.const) a.coeffs
+  in
+  let l = if l = 0 then 1 else l in
+  let scale r = Rat.to_int_exn (Rat.mul (Rat.of_int l) r) in
+  make kind (Array.map scale a.coeffs) (scale a.const)
+
+let dim t = Array.length t.v
+
+let eval t x =
+  let acc = ref t.c in
+  Array.iteri (fun i v -> acc := !acc + (v * x.(i))) t.v;
+  !acc
+
+let sat t x =
+  let e = eval t x in
+  match t.kind with Eq -> e = 0 | Ge -> e >= 0
+
+let affine t = Affine.of_int_coeffs t.v t.c
+let negate_ge t =
+  assert (t.kind = Ge);
+  make Ge (Array.map (fun x -> -x) t.v) (-t.c - 1)
+
+let equal a b = a.kind = b.kind && a.v = b.v && a.c = b.c
+let compare = Stdlib.compare
+
+let pp ?names fmt t =
+  let op = match t.kind with Eq -> "=" | Ge -> ">=" in
+  Format.fprintf fmt "%a %s 0" (Affine.pp ?names) (affine t) op
+
+let to_string ?names t = Format.asprintf "%a" (pp ?names) t

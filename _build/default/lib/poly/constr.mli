@@ -1,0 +1,26 @@
+(** Integer affine constraints: [v . x + c >= 0] or [v . x + c = 0].
+    Canonical form: coefficients are divided by their (positive) gcd; for
+    equalities the leading non-zero coefficient is positive. *)
+
+type kind = Eq | Ge
+
+type t = private { kind : kind; v : int array; c : int }
+
+val make : kind -> int array -> int -> t
+val of_affine : kind -> Affine.t -> t
+(** Clears rational denominators.  For [Ge], the direction is preserved. *)
+
+val dim : t -> int
+val eval : t -> int array -> int
+(** Value of [v . x + c]. *)
+
+val sat : t -> int array -> bool
+val affine : t -> Affine.t
+val negate_ge : t -> t
+(** [negate_ge c] for a [Ge] constraint [e >= 0] is the strict complement
+    [-e - 1 >= 0] (integer negation). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : ?names:string array -> Format.formatter -> t -> unit
+val to_string : ?names:string array -> t -> string

@@ -1,0 +1,24 @@
+(** Exact rational linear programming (two-phase primal simplex with
+    Bland's rule, so termination is guaranteed).
+
+    Used as the exact optimisation engine for {!Polyhedron.bounds} in
+    dimensions where Fourier–Motzkin elimination would blow up; interval
+    propagation remains as the cheap first attempt. *)
+
+module Rat = Pp_util.Rat
+
+type result =
+  | Opt of Rat.t  (** finite optimum *)
+  | Unbounded
+  | Infeasible
+
+val maximize : Polyhedron.t -> Affine.t -> result
+(** Maximum of the affine objective over the (rational relaxation of
+    the) polyhedron. *)
+
+val minimize : Polyhedron.t -> Affine.t -> result
+
+val bounds : Polyhedron.t -> Affine.t -> Rat.t option * Rat.t option
+(** [(min, max)]; [None] on the unbounded side.
+    @raise Invalid_argument if the polyhedron is empty (check
+    emptiness first, or use {!maximize} which reports [Infeasible]). *)

@@ -1,0 +1,66 @@
+type t = { dim : int; ps : Polyhedron.t list }
+
+let of_polyhedra dim ps =
+  List.iter (fun p -> assert (Polyhedron.dim p = dim)) ps;
+  { dim; ps = List.filter (fun p -> not (Polyhedron.is_empty p)) ps }
+
+let empty dim = { dim; ps = [] }
+let universe dim = { dim; ps = [ Polyhedron.universe dim ] }
+let singleton p = of_polyhedra (Polyhedron.dim p) [ p ]
+let dim t = t.dim
+let disjuncts t = t.ps
+let n_disjuncts t = List.length t.ps
+let mem t x = List.exists (fun p -> Polyhedron.mem p x) t.ps
+
+let union a b =
+  assert (a.dim = b.dim);
+  { dim = a.dim; ps = a.ps @ b.ps }
+
+let add t p = union t (singleton p)
+
+let intersect a b =
+  assert (a.dim = b.dim);
+  let ps =
+    List.concat_map
+      (fun pa ->
+        List.filter_map
+          (fun pb ->
+            let q = Polyhedron.intersect pa pb in
+            if Polyhedron.is_empty q then None else Some q)
+          b.ps)
+      a.ps
+  in
+  { dim = a.dim; ps }
+
+let is_empty t = t.ps = []
+
+let is_subset a b =
+  List.for_all
+    (fun pa -> List.exists (fun pb -> Polyhedron.is_subset pa pb) b.ps)
+    a.ps
+
+let coalesce t =
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+        let covered =
+          List.exists (Polyhedron.is_subset p) rest
+          || List.exists (Polyhedron.is_subset p) acc
+        in
+        if covered then keep acc rest else keep (p :: acc) rest
+  in
+  { t with ps = keep [] t.ps }
+
+let count ?max_points t =
+  List.fold_left (fun acc p -> acc + Polyhedron.count ?max_points p) 0 t.ps
+
+let pp ?names fmt t =
+  if t.ps = [] then Format.fprintf fmt "{ }"
+  else
+    List.iteri
+      (fun i p ->
+        if i > 0 then Format.fprintf fmt " u ";
+        Polyhedron.pp ?names fmt p)
+      t.ps
+
+let to_string ?names t = Format.asprintf "%a" (pp ?names) t

@@ -1,0 +1,29 @@
+(** Finite unions of convex polyhedra of a common dimensionality. *)
+
+type t
+
+val of_polyhedra : int -> Polyhedron.t list -> t
+val empty : int -> t
+val universe : int -> t
+val singleton : Polyhedron.t -> t
+val dim : t -> int
+val disjuncts : t -> Polyhedron.t list
+val n_disjuncts : t -> int
+val mem : t -> int array -> bool
+val union : t -> t -> t
+val add : t -> Polyhedron.t -> t
+val intersect : t -> t -> t
+val is_empty : t -> bool
+val is_subset : t -> t -> bool
+(** Sound but incomplete for unions: checks that every disjunct of the
+    first is contained in some single disjunct of the second. *)
+
+val coalesce : t -> t
+(** Drop disjuncts contained in other disjuncts. *)
+
+val count : ?max_points:int -> t -> int
+(** Number of integer points, assuming the disjuncts are pairwise
+    disjoint (folding produces disjoint pieces). *)
+
+val pp : ?names:string array -> Format.formatter -> t -> unit
+val to_string : ?names:string array -> t -> string

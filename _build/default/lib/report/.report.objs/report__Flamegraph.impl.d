@@ -1,0 +1,1 @@
+lib/report/flamegraph.ml: Array Buffer Ddg Format Hashtbl List Printf Sched String Vm

@@ -1,0 +1,1 @@
+lib/report/flamegraph.mli: Ddg Hashtbl Sched Vm

@@ -1,0 +1,1 @@
+lib/report/texttable.ml: Array Buffer Format List Printf String

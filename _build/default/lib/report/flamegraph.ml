@@ -1,0 +1,180 @@
+module ST = Ddg.Sched_tree
+
+type annot = {
+  a_loops_parallel : (Ddg.Iiv.ctx_id, bool) Hashtbl.t;
+  a_blacklisted : int -> bool;
+  a_affine : Ddg.Iiv.ctx_id -> bool;
+}
+
+let no_annot =
+  { a_loops_parallel = Hashtbl.create 1;
+    a_blacklisted = (fun _ -> false);
+    a_affine = (fun _ -> true) }
+
+let annot_of_analysis prog (t : Sched.Depanalysis.t) =
+  let parallel = Hashtbl.create 32 in
+  List.iter
+    (fun (l : Sched.Depanalysis.loop_info) ->
+      match List.rev l.lpath with
+      | stack :: _ -> (
+          match List.rev stack with
+          | elt :: _ -> Hashtbl.replace parallel elt l.parallel
+          | [] -> ())
+      | [] -> ())
+    t.loops;
+  let affine_ctx = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Sched.Depanalysis.stmt_ext) ->
+      List.iter
+        (fun stack ->
+          List.iter
+            (fun elt ->
+              let cur =
+                try Hashtbl.find affine_ctx elt with Not_found -> true
+              in
+              Hashtbl.replace affine_ctx elt
+                (cur && s.si.Ddg.Depprof.affine_exact))
+            stack)
+        s.spath)
+    t.stmts;
+  { a_loops_parallel = parallel;
+    a_blacklisted =
+      (fun fid ->
+        fid >= 0
+        && fid < Array.length prog.Vm.Prog.funcs
+        && prog.Vm.Prog.funcs.(fid).Vm.Prog.blacklisted);
+    a_affine =
+      (fun elt -> try Hashtbl.find affine_ctx elt with Not_found -> true) }
+
+let default_name c = Format.asprintf "%a" Ddg.Iiv.pp_ctx_id c
+
+let fid_of_elt = function
+  | Ddg.Iiv.Cblock (f, _) | Ddg.Iiv.Cloop (f, _) -> Some f
+  | Ddg.Iiv.Ccomp _ -> None
+
+let node_kind (n : ST.node) =
+  match n.ST.elt with
+  | Some (Ddg.Iiv.Cloop _) -> "loop"
+  | Some (Ddg.Iiv.Ccomp _) -> "rec-loop"
+  | Some (Ddg.Iiv.Cblock _) -> "block"
+  | None -> "root"
+
+let color annot (n : ST.node) =
+  match n.ST.elt with
+  | None -> "#cccccc"
+  | Some elt -> (
+      let gray =
+        (match fid_of_elt elt with
+        | Some f -> annot.a_blacklisted f
+        | None -> false)
+        || not (annot.a_affine elt)
+      in
+      if gray then "#bbbbbb"
+      else
+        match elt with
+        | Ddg.Iiv.Cloop _ | Ddg.Iiv.Ccomp _ -> (
+            match Hashtbl.find_opt annot.a_loops_parallel elt with
+            | Some true -> "#7bc96f"  (* parallel loop: green *)
+            | Some false -> "#e8a33d"  (* sequential loop: orange *)
+            | None -> "#d9944f")
+        | Ddg.Iiv.Cblock _ -> "#d46a5f")
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '<' -> "&lt;"
+         | '>' -> "&gt;"
+         | '&' -> "&amp;"
+         | '"' -> "&quot;"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_svg ?(width = 1200) ?(annot = no_annot) ?(name = default_name) tree =
+  let buf = Buffer.create 16384 in
+  let root = ST.root tree in
+  let total = max 1 (ST.total_weight root) in
+  let row_h = 18 in
+  let rec depth_of (n : ST.node) =
+    List.fold_left
+      (fun acc c -> max acc (1 + depth_of c))
+      0 (ST.children_in_order n)
+  in
+  let height = ((depth_of root + 2) * row_h) + 30 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        font-family=\"monospace\" font-size=\"11\">\n"
+       width height);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"4\" y=\"14\">poly-prof dynamic schedule tree flame graph \
+        (total %d ops)</text>\n"
+       total);
+  (* root at the bottom: y decreases with depth *)
+  let rec render (n : ST.node) x w depth =
+    if w >= 0.5 then begin
+      let y = height - ((depth + 1) * row_h) in
+      let label =
+        match n.ST.elt with
+        | None -> "all"
+        | Some elt ->
+            let k = node_kind n in
+            Printf.sprintf "%s %s" k (name elt)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<g><title>%s: %d ops (%.1f%%)</title><rect x=\"%.1f\" y=\"%d\" \
+            width=\"%.1f\" height=\"%d\" fill=\"%s\" stroke=\"white\"/>"
+           (escape label) (ST.total_weight n)
+           (100.0 *. float_of_int (ST.total_weight n) /. float_of_int total)
+           x y w (row_h - 1) (color annot n));
+      if w > 40.0 then
+        Buffer.add_string buf
+          (Printf.sprintf "<text x=\"%.1f\" y=\"%d\">%s</text>" (x +. 3.0)
+             (y + 13)
+             (escape
+                (if String.length label > int_of_float (w /. 7.0) then
+                   String.sub label 0 (max 1 (int_of_float (w /. 7.0)))
+                 else label)));
+      Buffer.add_string buf "</g>\n";
+      (* children: self weight first, then children proportionally *)
+      let tw = max 1 (ST.total_weight n) in
+      let cx = ref x in
+      List.iter
+        (fun c ->
+          let cw = w *. float_of_int (ST.total_weight c) /. float_of_int tw in
+          render c !cx cw (depth + 1);
+          cx := !cx +. cw)
+        (ST.children_in_order n)
+    end
+  in
+  render root 0.0 (float_of_int width) 0;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_svg ~path ?width ?annot ?name tree =
+  let oc = open_out path in
+  output_string oc (to_svg ?width ?annot ?name tree);
+  close_out oc
+
+let to_ascii ?(width = 60) ?(name = default_name) tree =
+  let buf = Buffer.create 4096 in
+  let root = ST.root tree in
+  let total = max 1 (ST.total_weight root) in
+  let rec go indent (n : ST.node) =
+    let w = ST.total_weight n in
+    let frac = float_of_int w /. float_of_int total in
+    let bar = int_of_float (frac *. float_of_int width) in
+    let label =
+      match n.ST.elt with None -> "all" | Some elt -> name elt
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%-40s %7d %5.1f%% %s\n"
+         (indent ^ label) w (100.0 *. frac)
+         (String.make (max 0 bar) '#'));
+    List.iter (go (indent ^ "  ")) (ST.children_in_order n)
+  in
+  go "" root;
+  Buffer.contents buf

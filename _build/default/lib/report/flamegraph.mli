@@ -1,0 +1,29 @@
+(** Flame-graph rendering of the dynamic schedule tree (paper Fig. 5b and
+    Fig. 7): the root at the bottom, node width proportional to its
+    dynamic-operation weight, loop/call nodes labelled, blacklisted
+    (libc-like) and non-affine regions grayed out. *)
+
+type annot = {
+  a_loops_parallel : (Ddg.Iiv.ctx_id, bool) Hashtbl.t;
+      (** loop element -> parallel?, used for colouring *)
+  a_blacklisted : int -> bool;  (** fid -> grayed out *)
+  a_affine : Ddg.Iiv.ctx_id -> bool;  (** subtree (by first elt) affine *)
+}
+
+val no_annot : annot
+
+val annot_of_analysis : Vm.Prog.t -> Sched.Depanalysis.t -> annot
+(** Gray out blacklisted functions; colour loops by parallelism. *)
+
+val to_svg :
+  ?width:int -> ?annot:annot -> ?name:(Ddg.Iiv.ctx_id -> string)
+  -> Ddg.Sched_tree.t -> string
+(** Self-contained SVG document. *)
+
+val write_svg :
+  path:string -> ?width:int -> ?annot:annot -> ?name:(Ddg.Iiv.ctx_id -> string)
+  -> Ddg.Sched_tree.t -> unit
+
+val to_ascii :
+  ?width:int -> ?name:(Ddg.Iiv.ctx_id -> string) -> Ddg.Sched_tree.t -> string
+(** Terminal rendering: one line per node, indented, with a weight bar. *)

@@ -1,0 +1,1 @@
+lib/sched/depanalysis.ml: Array Cfg Ddg Fold Format Hashtbl List Minisl Option Pp_util Printf String Vm

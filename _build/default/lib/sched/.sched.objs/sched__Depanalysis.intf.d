@@ -1,0 +1,1 @@
+lib/sched/depanalysis.mli: Ddg Format Vm

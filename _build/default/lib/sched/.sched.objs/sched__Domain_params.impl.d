@@ -1,0 +1,1 @@
+lib/sched/domain_params.ml: Array Format List Minisl Printf String

@@ -1,0 +1,1 @@
+lib/sched/domain_params.mli: Format Minisl

@@ -1,0 +1,1 @@
+lib/sched/feedback.ml: Array Ddg Depanalysis Format Fusion List Printf String Transform Vm

@@ -1,0 +1,1 @@
+lib/sched/feedback.mli: Ddg Depanalysis Format Fusion Transform Vm

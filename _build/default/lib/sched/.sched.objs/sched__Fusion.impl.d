@@ -1,0 +1,1 @@
+lib/sched/fusion.ml: Array Ddg Depanalysis Fold List Minisl Pp_util

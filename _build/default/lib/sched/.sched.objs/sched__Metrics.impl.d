@@ -1,0 +1,1 @@
+lib/sched/metrics.ml: Array Ddg Depanalysis Fold Format Fusion Hashtbl List Minisl Pp_util Printf String Transform Vm

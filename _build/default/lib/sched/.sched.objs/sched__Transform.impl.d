@@ -1,0 +1,1 @@
+lib/sched/transform.ml: Array Ddg Depanalysis Fold Format Fun List Minisl Pp_util Vm

@@ -1,0 +1,1 @@
+lib/sched/transform.mli: Depanalysis Format

@@ -1,0 +1,83 @@
+module P = Minisl.Polyhedron
+module C = Minisl.Constr
+
+type param = { pname : string; base : int }
+
+type t = {
+  threshold : int;
+  slack : int;
+  mutable plist : param list;  (* reverse creation order *)
+}
+
+let create ?(threshold = 128) ?(slack = 20) () = { threshold; slack; plist = [] }
+
+let abstract t c =
+  let a = abs c in
+  if a < t.threshold then string_of_int c
+  else begin
+    let sign = if c < 0 then "-" else "" in
+    match
+      List.find_opt (fun p -> abs (a - p.base) <= t.slack) t.plist
+    with
+    | Some p ->
+        if a = p.base then sign ^ p.pname
+        else if a > p.base then Printf.sprintf "%s(%s + %d)" sign p.pname (a - p.base)
+        else Printf.sprintf "%s(%s - %d)" sign p.pname (p.base - a)
+    | None ->
+        let pname = Printf.sprintf "n%d" (List.length t.plist) in
+        t.plist <- t.plist @ [ { pname; base = a } ];
+        sign ^ pname
+  end
+
+let params t = t.plist
+
+let pp_constr t ?names fmt (c : C.t) =
+  let dim = C.dim c in
+  let name k =
+    match names with
+    | Some ns when k < Array.length ns -> ns.(k)
+    | _ -> "i" ^ string_of_int k
+  in
+  let printed = ref false in
+  Array.iteri
+    (fun k v ->
+      if v <> 0 then begin
+        if !printed then Format.fprintf fmt (if v > 0 then " + " else " - ")
+        else if v < 0 then Format.fprintf fmt "-";
+        let a = abs v in
+        if a = 1 then Format.fprintf fmt "%s" (name k)
+        else Format.fprintf fmt "%d%s" a (name k);
+        printed := true
+      end)
+    c.C.v;
+  ignore dim;
+  if c.C.c <> 0 || not !printed then begin
+    let rendered = abstract t (abs c.C.c) in
+    if !printed then
+      Format.fprintf fmt " %s %s" (if c.C.c > 0 then "+" else "-") rendered
+    else if c.C.c < 0 then Format.fprintf fmt "-%s" rendered
+    else Format.fprintf fmt "%s" rendered
+  end;
+  Format.fprintf fmt " %s 0" (match c.C.kind with C.Eq -> "=" | C.Ge -> ">=")
+
+let pp_domain t ?names fmt p =
+  let before = List.length t.plist in
+  let body = Format.asprintf "{ %s }"
+      (String.concat " and "
+         (List.map (Format.asprintf "%a" (pp_constr t ?names)) (P.constraints p)))
+  in
+  let fresh = List.filteri (fun i _ -> i >= before) t.plist in
+  let binder =
+    match t.plist with
+    | [] -> ""
+    | ps -> Printf.sprintf "[%s] -> " (String.concat ", " (List.map (fun p -> p.pname) ps))
+  in
+  let defs =
+    match fresh with
+    | [] -> ""
+    | ps ->
+        " : "
+        ^ String.concat ", "
+            (List.map (fun p -> Printf.sprintf "%s = %d" p.pname p.base) ps)
+  in
+  Format.fprintf fmt "%s%s%s" binder body defs

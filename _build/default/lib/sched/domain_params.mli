@@ -1,0 +1,27 @@
+(** Parameterisation of large integer constants (paper §6): large
+    constants in iteration domains cause combinatorial blow-up in the ILP
+    scheduler, so a domain like [{[i] : 0 <= i < 1024}] is rewritten as
+    [[n] -> {[i] : 0 <= i < n, n = 1024}].  A parameter is reused for any
+    value within [slack] (the paper sets s = 20) of its base value, the
+    reused occurrence being rendered as [n + (x - base)]. *)
+
+type param = { pname : string; base : int }
+
+type t
+
+val create : ?threshold:int -> ?slack:int -> unit -> t
+(** Defaults: [threshold = 128], [slack = 20]. *)
+
+val abstract : t -> int -> string
+(** [abstract t c] returns the rendering of constant [c]: the constant
+    itself if below threshold, else a (possibly offset) parameter
+    reference, registering a new parameter if needed. *)
+
+val params : t -> param list
+(** Parameters registered so far, in creation order. *)
+
+val pp_domain :
+  t -> ?names:string array -> Format.formatter -> Minisl.Polyhedron.t -> unit
+(** Print the polyhedron with large constants abstracted, prefixed with
+    the parameter binder, e.g.
+    [[n0] -> { i >= 0 and n0 - i >= 0 : n0 = 1024 }]. *)

@@ -1,0 +1,36 @@
+(** The assembled per-region feedback report (paper §6 "Final output" and
+    the case studies of §7): selected fat region, suggested structured
+    transformation sequence, per-dimension legality/profitability
+    statistics, and a simplified AST of the code structure after the
+    transformation. *)
+
+type region_report = {
+  path : Depanalysis.path;
+  loc : string;  (** source reference of the region's outermost loop *)
+  weight_pct : float;  (** %ops of the whole program *)
+  interprocedural : bool;
+  suggestions : Transform.suggestion list;  (** per nest inside the region *)
+  fusion : Fusion.result;
+  parallel_dims : bool list;  (** outermost-first, of the deepest nest *)
+  permutable : bool;  (** the deepest nest is fully permutable *)
+  tile_depth : int;
+  uses_skew : bool;
+  stride01_outer : float;
+  stride01_inner : float;
+}
+
+type t = {
+  regions : region_report list;  (** hottest first *)
+  analysis : Depanalysis.t;
+}
+
+val make : ?max_regions:int -> Vm.Prog.t -> Ddg.Depprof.result -> Depanalysis.t -> t
+
+val render : ?fname:(int -> string) -> Format.formatter -> t -> unit
+(** Human-readable feedback: per region, the transformation steps and a
+    simplified post-transformation AST. *)
+
+val render_ast : Format.formatter -> region_report -> unit
+(** The simplified AST after applying the suggested transformation:
+    loop structure with parallel/tiled/vectorised markers and statement
+    counts (paper: "decorated simplified AST"). *)

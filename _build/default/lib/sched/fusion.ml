@@ -1,0 +1,158 @@
+module A = Minisl.Affine
+module P = Minisl.Polyhedron
+
+type strategy = Smartfuse | Maxfuse
+
+let strategy_code = function Smartfuse -> "S" | Maxfuse -> "M"
+
+type component = {
+  c_path : Depanalysis.path;
+  c_weight : int;
+  c_order : int;
+}
+
+type result = {
+  components_before : int;
+  components_after : int;
+  strategy : strategy;
+  merged_groups : component list list;
+}
+
+let rec take n = function
+  | [] -> []
+  | x :: xs -> if n <= 0 then [] else x :: take (n - 1) xs
+
+let is_prefix p l = take (List.length p) l = p
+
+let components (t : Depanalysis.t) ~prefix ~threshold =
+  let plen = List.length prefix in
+  let region_weight =
+    List.fold_left
+      (fun acc (s : Depanalysis.stmt_ext) ->
+        if is_prefix prefix s.spath then acc + s.si.Ddg.Depprof.s_count else acc)
+      0 t.stmts
+  in
+  let cands =
+    List.filter
+      (fun (l : Depanalysis.loop_info) ->
+        l.ldepth = plen + 1 && is_prefix prefix l.lpath)
+      t.loops
+  in
+  let min_w = int_of_float (threshold *. float_of_int region_weight) in
+  cands
+  |> List.filter (fun (l : Depanalysis.loop_info) -> l.lweight >= min_w)
+  |> List.mapi (fun i (l : Depanalysis.loop_info) ->
+         { c_path = l.lpath; c_weight = l.lweight; c_order = i })
+
+(* Endpoint paths of a dependence. *)
+let dep_paths (d : Depanalysis.dep_ext) =
+  let p c =
+    match List.rev (Ddg.Iiv.context_of_id c) with
+    | [] -> []
+    | _ :: dims_rev -> List.rev dims_rev
+  in
+  (p d.di.Ddg.Depprof.dk.src_ctx, p d.di.Ddg.Depprof.dk.dst_ctx)
+
+(* Is fusing components [a] (earlier) and [b] (later) legal?  Every
+   dependence crossing them must be non-negative along the fused
+   dimension (position [plen], 0-based) under the identification of the
+   two loops' canonical iterators. *)
+let fusion_legal (t : Depanalysis.t) plen a b =
+  List.for_all
+    (fun (d : Depanalysis.dep_ext) ->
+      let sp, dp = dep_paths d in
+      let crosses =
+        (is_prefix a.c_path sp && is_prefix b.c_path dp)
+        || (is_prefix b.c_path sp && is_prefix a.c_path dp)
+      in
+      if not crosses then true
+      else
+        List.for_all
+          (fun (p : Fold.piece) ->
+            match
+              if plen < Array.length p.Fold.labels then p.Fold.labels.(plen)
+              else None
+            with
+            | None -> false
+            | Some out_p ->
+                begin
+                  let n = P.dim p.Fold.dom in
+                  if plen >= n then false
+                  else begin
+                    let expr = A.sub (A.var ~dim:n plen) out_p in
+                    (* consumer executes at or after producer on the
+                       fused dimension *)
+                    let forward = is_prefix a.c_path sp in
+                    let lo, hi =
+                      if P.dim p.Fold.dom <= 4 then P.bounds p.Fold.dom expr
+                      else
+                        try Minisl.Lp.bounds p.Fold.dom expr
+                        with Invalid_argument _ -> (None, None)
+                    in
+                    if forward then
+                      match lo with
+                      | Some l -> Pp_util.Rat.sign l >= 0
+                      | None -> false
+                    else
+                      (* dep from the later loop back into the earlier
+                         one would be reversed by fusion *)
+                      match hi with
+                      | Some h -> Pp_util.Rat.sign h <= 0
+                      | None -> false
+                  end
+                end)
+          d.di.Ddg.Depprof.d_pieces)
+    t.deps
+
+let have_dep (t : Depanalysis.t) a b =
+  List.exists
+    (fun (d : Depanalysis.dep_ext) ->
+      let sp, dp = dep_paths d in
+      (is_prefix a.c_path sp && is_prefix b.c_path dp)
+      || (is_prefix b.c_path sp && is_prefix a.c_path dp))
+    t.deps
+
+let cluster (t : Depanalysis.t) strategy plen comps =
+  let groups = ref [] in
+  List.iter
+    (fun c ->
+      match !groups with
+      | [] -> groups := [ [ c ] ]
+      | g :: rest ->
+          let legal = List.for_all (fun m -> fusion_legal t plen m c) g in
+          let wanted =
+            match strategy with
+            | Maxfuse -> true
+            | Smartfuse -> List.exists (fun m -> have_dep t m c) g
+          in
+          if legal && wanted then groups := (c :: g) :: rest
+          else groups := [ c ] :: g :: rest)
+    comps;
+  List.rev_map List.rev !groups
+
+let fuse (t : Depanalysis.t) strategy ~prefix ?(threshold = 0.05) () =
+  let comps = components t ~prefix ~threshold in
+  let plen = List.length prefix in
+  let merged = cluster t strategy plen comps in
+  (* distribution: a merged outer loop splits into one component per
+     cluster of its sub-loops that cannot (or, for smartfuse, should
+     not) share the fused inner loop after transformation *)
+  let after =
+    List.fold_left
+      (fun acc group ->
+        let children =
+          List.concat_map
+            (fun c -> components t ~prefix:c.c_path ~threshold) group
+        in
+        let sub_groups =
+          match children with
+          | [] | [ _ ] -> 1
+          | cs -> max 1 (List.length (cluster t strategy (plen + 1) cs))
+        in
+        acc + sub_groups)
+      0 merged
+  in
+  { components_before = List.length comps;
+    components_after = after;
+    strategy;
+    merged_groups = merged }

@@ -1,0 +1,36 @@
+(** Loop fusion / distribution structure (paper Table 5 columns C /
+    Comp. / fusion).
+
+    A {e component} is an outermost loop (under a region prefix) whose
+    operation count exceeds a threshold fraction of the region.  The
+    fusion heuristics merge adjacent components when legal:
+    - [Maxfuse] fuses whenever legal;
+    - [Smartfuse] fuses only components that exchange data (a dependence
+      exists between them) — the balanced strategy of the paper. *)
+
+type strategy = Smartfuse | Maxfuse
+
+val strategy_code : strategy -> string
+(** "S" or "M" as printed in Table 5. *)
+
+type component = {
+  c_path : Depanalysis.path;  (** loop prefix of length region+1 *)
+  c_weight : int;
+  c_order : int;  (** textual order of first execution *)
+}
+
+type result = {
+  components_before : int;
+  components_after : int;
+  strategy : strategy;
+  merged_groups : component list list;
+}
+
+val components :
+  Depanalysis.t -> prefix:Depanalysis.path -> threshold:float -> component list
+(** Components under [prefix], in execution order.  [threshold] is the
+    minimum fraction of the region's ops (the paper uses 0.05). *)
+
+val fuse :
+  Depanalysis.t -> strategy -> prefix:Depanalysis.path -> ?threshold:float
+  -> unit -> result

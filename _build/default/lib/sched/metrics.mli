@@ -1,0 +1,52 @@
+(** PolyFeat-equivalent aggregate metrics: every column of the paper's
+    Table 5 computed from the folded DDG and the dependence analysis. *)
+
+type row = {
+  name : string;
+  ops : int;  (** dynamic operations (#ops) *)
+  mem : int;  (** dynamic memory operations (#mem) *)
+  aff_pct : float;  (** %Aff: ops in fully affine folded regions *)
+  region : string;  (** source reference of the selected region *)
+  region_ops_pct : float;  (** %ops of the region *)
+  region_mops_pct : float;  (** %Mops within the region *)
+  region_fpops_pct : float;  (** %FPops within the region *)
+  interproc : bool;
+  skew : bool;
+  par_ops_pct : float;  (** %||ops *)
+  simd_ops_pct : float;  (** %simdops *)
+  reuse_pct : float;  (** %reuse *)
+  preuse_pct : float;  (** %Preuse *)
+  ld_src : int;
+  ld_bin : int;
+  tile_depth : int;  (** TileD *)
+  tile_ops_pct : float;  (** %Tilops *)
+  c_before : int;  (** C: components in the binary *)
+  c_after : int;  (** Comp.: components after the transformation *)
+  fusion : string;  (** "S" / "M" *)
+  failed : bool;  (** scheduler bail-out (streamcluster row) *)
+}
+
+val compute :
+  name:string ->
+  ?ld_src:int ->
+  ?fusion_strategy:Fusion.strategy ->
+  ?region_override:Depanalysis.path ->
+  Vm.Prog.t ->
+  Ddg.Depprof.result ->
+  Depanalysis.t ->
+  row
+
+val failed_row : ?base_row:row -> name:string -> ops:int -> mem:int -> unit -> row
+(** Row for a benchmark whose scheduling stage blew up (the paper's
+    streamcluster exhausted scheduler memory).  When [base_row] is given
+    (computed from the profiling stages alone), its profiling columns
+    (%Aff, region, %ops, %Mops, %FPops, interproc) are kept and only the
+    transformation columns are dashed. *)
+
+val select_region : Depanalysis.t -> Depanalysis.loop_info option
+(** The biggest top-level loop region by operation count — the paper's
+    "biggest region for which the optimizer suggests a transformation". *)
+
+val header : string list
+val to_strings : row -> string list
+val pp_table : Format.formatter -> row list -> unit

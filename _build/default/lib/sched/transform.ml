@@ -1,0 +1,202 @@
+module A = Minisl.Affine
+module Rat = Pp_util.Rat
+
+type step =
+  | Interchange of int * int
+  | Skew of int * int * int
+  | Tile of int * int * int
+  | Parallelize of int
+  | Vectorize of int
+
+let pp_step fmt = function
+  | Interchange (a, b) -> Format.fprintf fmt "interchange(d%d <-> d%d)" a b
+  | Skew (o, i, f) -> Format.fprintf fmt "skew(d%d += %d*d%d)" i f o
+  | Tile (a, b, s) -> Format.fprintf fmt "tile(d%d..d%d, %d)" a b s
+  | Parallelize d -> Format.fprintf fmt "omp parallel(d%d)" d
+  | Vectorize d -> Format.fprintf fmt "simd(d%d)" d
+
+type suggestion = {
+  nest : Depanalysis.nest_info;
+  steps : step list;
+  parallel_dim : int option;
+  simd : bool;
+  tile_depth : int;
+  uses_skew : bool;
+  stride01 : float array;
+  interchange : (int * int) option;
+  permutable : bool array;
+}
+
+(* Fraction of the nest's memory operations (weighted by execution count)
+   whose access function has coefficient 0 or +-1 on dimension [d]. *)
+let stride01_profile (n : Depanalysis.nest_info) =
+  let dims = n.ndepth in
+  let good = Array.make dims 0 and total = ref 0 in
+  List.iter
+    (fun (s : Depanalysis.stmt_ext) ->
+      match s.si.Ddg.Depprof.cls with
+      | Vm.Isa.Mem_load | Vm.Isa.Mem_store ->
+          total := !total + s.si.Ddg.Depprof.s_count;
+          let coeff_ok d =
+            (* stride-0/1 along d in every piece *)
+            s.si.Ddg.Depprof.s_pieces <> []
+            && List.for_all
+                 (fun (p : Fold.piece) ->
+                   match p.Fold.labels with
+                   | [| Some addr |] when d < A.dim addr ->
+                       let c = addr.A.coeffs.(d) in
+                       Rat.is_integer c && abs (Rat.to_int_exn c) <= 1
+                   | _ -> false)
+                 s.si.Ddg.Depprof.s_pieces
+          in
+          for d = 0 to dims - 1 do
+            if coeff_ok d then good.(d) <- good.(d) + s.si.Ddg.Depprof.s_count
+          done
+      | Vm.Isa.Int_alu | Vm.Isa.Fp_alu | Vm.Isa.Other_op -> ())
+    n.nstmts;
+  Array.map
+    (fun g -> if !total = 0 then 0.0 else float_of_int g /. float_of_int !total)
+    good
+
+(* A dependence carried exactly at the innermost dimension, between
+   statements of the same basic block, with constant distance: the
+   signature of a scalar/array reduction, vectorisable with an OpenMP
+   simd reduction clause. *)
+let innermost_only_reductions (t : Depanalysis.t) (n : Depanalysis.nest_info) =
+  let inner = n.Depanalysis.ndepth in
+  inner > 0
+  && List.exists
+       (fun (d : Depanalysis.dep_ext) -> d.common >= inner)
+       t.Depanalysis.deps
+  && List.for_all
+       (fun (d : Depanalysis.dep_ext) ->
+         if not (Depanalysis.dep_relevant_to_prefix d n.Depanalysis.npath) then
+           true
+         else if d.common < inner then true
+         else
+           (* carried before the innermost dim, or innermost-carried
+              reduction-like *)
+           let carried_at_inner =
+             Depanalysis.(
+               Array.for_all dir_can_be_zero (Array.sub d.dirs 0 (inner - 1)))
+             && Depanalysis.dir_can_be_nonzero d.dirs.(inner - 1)
+           in
+           (not carried_at_inner)
+           ||
+           let dk = d.di.Ddg.Depprof.dk in
+           Vm.Isa.Sid.fid dk.src_sid = Vm.Isa.Sid.fid dk.dst_sid
+           && Vm.Isa.Sid.bid dk.src_sid = Vm.Isa.Sid.bid dk.dst_sid)
+       t.Depanalysis.deps
+
+let suggest ?(tile_size = 32) (t : Depanalysis.t) (n : Depanalysis.nest_info) =
+  let steps = ref [] in
+  let push s = steps := s :: !steps in
+  let stride01 = stride01_profile n in
+  let permutable = Array.make n.ndepth false in
+  List.iter
+    (fun (b : Depanalysis.band) ->
+      if b.b_to > b.b_from then
+        for d = b.b_from to b.b_to do
+          permutable.(d - 1) <- true
+        done)
+    n.bands;
+  (* skewing steps come first (they enable the bands) *)
+  let legality_skew = Depanalysis.nest_uses_skew n in
+  List.iter
+    (fun (b : Depanalysis.band) ->
+      List.iter (fun (o, i, f) -> push (Skew (o, i, f))) b.b_skews)
+    n.bands;
+  (* parallelism-exposing skew: a permutable band with no parallel dim
+     still yields wavefront parallelism if the inner dim is skewed
+     against the outer one (paper: "we tend to avoid skewing unless it
+     really provides improvements in parallelism and tilability") *)
+  let no_parallel_dim = not (Array.exists Fun.id n.nparallel) in
+  let wavefront_skew =
+    (not legality_skew) && no_parallel_dim
+    && List.exists (fun (b : Depanalysis.band) -> b.b_to > b.b_from) n.bands
+  in
+  (if wavefront_skew then
+     match
+       List.find_opt (fun (b : Depanalysis.band) -> b.b_to > b.b_from) n.bands
+     with
+     | Some b -> push (Skew (b.b_from, b.b_from + 1, 1))
+     | None -> ());
+  let uses_skew = legality_skew || wavefront_skew in
+  (* profitable interchange: a permutable non-innermost dim with a better
+     stride profile than the innermost dim of its band *)
+  let interchange =
+    if n.ndepth < 2 then None
+    else begin
+      let inner = n.ndepth in
+      let in_same_band a b =
+        List.exists
+          (fun (bd : Depanalysis.band) -> bd.b_from <= a && b <= bd.b_to)
+          n.bands
+      in
+      let best = ref None in
+      for d = 1 to inner - 1 do
+        if
+          in_same_band d inner
+          && stride01.(d - 1) > stride01.(inner - 1) +. 1e-9
+        then
+          (* prefer the deepest candidate on ties: it disturbs the
+             schedule least and matches what a programmer would write *)
+          match !best with
+          | Some (b, _) when stride01.(b - 1) > stride01.(d - 1) -> ()
+          | _ -> best := Some (d, inner)
+      done;
+      !best
+    end
+  in
+  (match interchange with Some (a, b) -> push (Interchange (a, b)) | None -> ());
+  (* tiling of every band of width >= 2 *)
+  List.iter
+    (fun (b : Depanalysis.band) ->
+      if b.b_to > b.b_from then push (Tile (b.b_from, b.b_to, tile_size)))
+    n.bands;
+  let tile_depth = Depanalysis.max_band_width n in
+  (* parallelisation: outermost parallel dim; wavefront exists anyway for
+     tiled bands (paper: "tiled code can always be coarse-grain
+     parallelized using wavefront parallelism") *)
+  let parallel_dim =
+    let rec find d = if d > n.ndepth then None
+      else if n.nparallel.(d - 1) then Some d
+      else find (d + 1)
+    in
+    find 1
+  in
+  (match parallel_dim with Some d -> push (Parallelize d) | None -> ());
+  (* SIMD: the innermost dim after interchange *)
+  let simd =
+    if n.ndepth = 0 then false
+    else
+      let innermost_after =
+        match interchange with Some (a, _) -> a | None -> n.ndepth
+      in
+      n.nparallel.(innermost_after - 1)
+      || (interchange = None && innermost_only_reductions t n)
+  in
+  if simd then push (Vectorize n.ndepth);
+  { nest = n;
+    steps = List.rev !steps;
+    parallel_dim;
+    simd;
+    tile_depth;
+    uses_skew;
+    stride01;
+    interchange;
+    permutable }
+
+let pp_suggestion fmt s =
+  Format.fprintf fmt "nest depth %d (%d ops): " s.nest.Depanalysis.ndepth
+    s.nest.Depanalysis.nweight;
+  if s.steps = [] then Format.fprintf fmt "no transformation"
+  else
+    List.iteri
+      (fun i st ->
+        if i > 0 then Format.fprintf fmt "; ";
+        pp_step fmt st)
+      s.steps;
+  Format.fprintf fmt " [stride01:";
+  Array.iter (fun f -> Format.fprintf fmt " %.0f%%" (100. *. f)) s.stride01;
+  Format.fprintf fmt "]"

@@ -1,0 +1,35 @@
+(** Structured-transformation suggestion per loop nest: the feedback core
+    of paper §6–§7 (interchange, skewing, tiling, parallelisation,
+    SIMDisation), driven by legality from {!Depanalysis} and
+    profitability from stride profiles. *)
+
+type step =
+  | Interchange of int * int  (** bring dim [a] to position [b] (1-based) *)
+  | Skew of int * int * int  (** skew inner dim wrt outer dim by factor *)
+  | Tile of int * int * int  (** tile band dims [a..b] with given size *)
+  | Parallelize of int  (** mark dim parallel (OMP PARALLEL DO) *)
+  | Vectorize of int  (** SIMDise dim *)
+
+val pp_step : Format.formatter -> step -> unit
+
+type suggestion = {
+  nest : Depanalysis.nest_info;
+  steps : step list;
+  parallel_dim : int option;  (** outermost parallel dim, 1-based *)
+  simd : bool;  (** innermost dim parallelisable after the steps *)
+  tile_depth : int;  (** width of the widest permutable band *)
+  uses_skew : bool;
+  stride01 : float array;
+      (** per dim: fraction of the nest's memory operations that are
+          stride-0/1 along that dim *)
+  interchange : (int * int) option;
+      (** profitable interchange: (dim to bring innermost, innermost) *)
+  permutable : bool array;  (** per dim: inside a width>=2 band *)
+}
+
+val stride01_profile : Depanalysis.nest_info -> float array
+(** Per-dimension stride-0/1 profile of the nest's memory accesses
+    (paper Table 3's "% stride 0/1" columns). *)
+
+val suggest : ?tile_size:int -> Depanalysis.t -> Depanalysis.nest_info -> suggestion
+val pp_suggestion : Format.formatter -> suggestion -> unit

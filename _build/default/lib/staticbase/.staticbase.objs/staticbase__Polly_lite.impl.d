@@ -1,0 +1,1 @@
+lib/staticbase/polly_lite.ml: Format List String Vm

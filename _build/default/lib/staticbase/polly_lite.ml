@@ -1,0 +1,276 @@
+module H = Vm.Hir
+
+type reason =
+  | R_call
+  | C_complex_cfg
+  | B_nonaffine_bound
+  | F_nonaffine_access
+  | A_aliasing
+  | P_base_not_invariant
+
+let reason_code = function
+  | R_call -> "R"
+  | C_complex_cfg -> "C"
+  | B_nonaffine_bound -> "B"
+  | F_nonaffine_access -> "F"
+  | A_aliasing -> "A"
+  | P_base_not_invariant -> "P"
+
+(* canonical report order used in the paper's table *)
+let reason_rank = function
+  | R_call -> 0
+  | C_complex_cfg -> 1
+  | B_nonaffine_bound -> 2
+  | F_nonaffine_access -> 3
+  | A_aliasing -> 4
+  | P_base_not_invariant -> 5
+
+type verdict = {
+  modeled : bool;
+  reasons : reason list;
+  modeled_depth : int;
+  total_depth : int;
+}
+
+(* Static classification of scalar variables inside a region. *)
+type var_class =
+  | Affine  (* affine function of loop iterators and parameters *)
+  | Param  (* symbolic constant: function parameter / loop-invariant *)
+  | Loaded_invariant  (* loaded from a loop-invariant address *)
+  | Opaque
+
+type env = {
+  mutable vars : (string * var_class) list;
+  mutable reasons : reason list;
+  mutable in_loop : int;  (* current loop depth *)
+  mutable deepest_clean : int;  (* deepest loop entered with no reason yet *)
+  intrinsics : string list;  (* simple callees Polly can summarise *)
+  program : H.program;
+  mutable inlining : string list;  (* call stack guard *)
+}
+
+let add_reason env r =
+  if not (List.mem r env.reasons) then env.reasons <- r :: env.reasons
+
+let var_class env v =
+  match List.assoc_opt v env.vars with Some c -> c | None -> Opaque
+
+let set_var env v c = env.vars <- (v, c) :: List.remove_assoc v env.vars
+
+(* Is an expression an affine function of iterators/parameters? *)
+let rec is_affine env (e : H.expr) =
+  match e with
+  | H.Int _ -> true
+  | H.Var v -> ( match var_class env v with Affine | Param -> true | _ -> false)
+  | H.Base _ -> true
+  | H.Bin (Vm.Isa.Add, a, b) | H.Bin (Vm.Isa.Sub, a, b) ->
+      is_affine env a && is_affine env b
+  | H.Bin (Vm.Isa.Mul, a, b) ->
+      (* polyhedral tools accept iterator * parameter products: the
+         parameter acts as a symbolic constant coefficient *)
+      (is_invariant env a && is_affine env b)
+      || (is_invariant env b && is_affine env a)
+  | H.Bin ((Vm.Isa.Div | Vm.Isa.Rem | Vm.Isa.And | Vm.Isa.Or | Vm.Isa.Xor
+           | Vm.Isa.Shl | Vm.Isa.Shr), _, _) ->
+      false
+  | H.Flt _ | H.Cmp _ | H.Fcmp _ | H.Fbin _ | H.Load _ | H.Itof _ | H.Ftoi _
+  | H.Callf _ ->
+      false
+
+and is_invariant env = function
+  | H.Int _ -> true
+  | H.Var v -> var_class env v = Param
+  | H.Bin ((Vm.Isa.Add | Vm.Isa.Sub | Vm.Isa.Mul), a, b) ->
+      is_invariant env a && is_invariant env b
+  | _ -> false
+
+(* Does the expression (an address) dereference a loaded base pointer? *)
+let rec mentions_loaded env (e : H.expr) =
+  match e with
+  | H.Var v -> var_class env v = Loaded_invariant
+  | H.Bin (_, a, b) | H.Fbin (_, a, b) | H.Cmp (_, a, b) | H.Fcmp (_, a, b) ->
+      mentions_loaded env a || mentions_loaded env b
+  | H.Load a | H.Itof a | H.Ftoi a -> mentions_loaded env a
+  | H.Callf (_, args) -> List.exists (mentions_loaded env) args
+  | H.Int _ | H.Flt _ | H.Base _ -> false
+
+(* The leftmost additive term of an address expression: its base. *)
+let rec address_root = function
+  | H.Bin ((Vm.Isa.Add | Vm.Isa.Sub), a, _) -> address_root a
+  | e -> e
+
+let check_address env addr =
+  if is_affine env addr then ()
+  else
+    (* distinguish "base pointer not loop invariant" (the base of the
+       address was itself loaded, e.g. a row pointer fetched per
+       iteration) from a generally non-affine access such as an indirect
+       index a[b[i]] *)
+    match address_root addr with
+    | H.Var v when var_class env v = Loaded_invariant ->
+        add_reason env P_base_not_invariant
+    | H.Load _ -> add_reason env P_base_not_invariant
+    | _ ->
+        if mentions_loaded env addr then add_reason env F_nonaffine_access
+        else add_reason env F_nonaffine_access
+
+(* Walk expressions for accesses and calls. *)
+let rec walk_expr env (e : H.expr) =
+  match e with
+  | H.Int _ | H.Flt _ | H.Var _ | H.Base _ -> ()
+  | H.Bin (_, a, b) | H.Fbin (_, a, b) | H.Cmp (_, a, b) | H.Fcmp (_, a, b) ->
+      walk_expr env a;
+      walk_expr env b
+  | H.Load addr ->
+      walk_expr env addr;
+      check_address env addr
+  | H.Itof a | H.Ftoi a -> walk_expr env a
+  | H.Callf (callee, args) ->
+      List.iter (walk_expr env) args;
+      walk_call env callee args
+
+and classify_assign env v (e : H.expr) =
+  if is_affine env e then set_var env v Affine
+  else
+    match e with
+    | H.Load _ -> set_var env v Loaded_invariant
+    | H.Var src -> set_var env v (var_class env src)
+    | _ -> set_var env v Opaque
+
+and walk_stmt env (s : H.stmt) =
+  match s with
+  | H.Let (v, e) ->
+      walk_expr env e;
+      classify_assign env v e
+  | H.Store (addr, value) ->
+      walk_expr env addr;
+      walk_expr env value;
+      check_address env addr
+  | H.CallS (dst, callee, args) ->
+      List.iter (walk_expr env) args;
+      walk_call env callee args;
+      (match dst with Some v -> set_var env v Opaque | None -> ())
+  | H.Return _ -> if env.in_loop > 0 then add_reason env C_complex_cfg
+  | H.Break -> add_reason env C_complex_cfg
+  | H.If (c, a, b) ->
+      walk_expr env c;
+      (* a data-dependent conditional whose branches are pure scalar
+         assignments is if-converted to selects by the compiler; only
+         flag B when the branches have effects the select cannot hide *)
+      let effectful =
+        List.exists
+          (function
+            | H.Let _ -> false
+            (* a guarded break/return is a complex-CFG problem (C), not a
+               bound problem *)
+            | H.Return _ | H.Break -> false
+            | H.Store _ | H.For _ | H.While _ | H.If _ | H.CallS _ -> true)
+          (a @ b)
+      in
+      if (not (is_affine_cond env c)) && effectful then
+        add_reason env B_nonaffine_bound;
+      List.iter (walk_stmt env) a;
+      List.iter (walk_stmt env) b
+  | H.While { cond; wbody; _ } ->
+      walk_expr env cond;
+      add_reason env B_nonaffine_bound;
+      env.in_loop <- env.in_loop + 1;
+      (* two passes so loop-carried reclassifications (e.g. an iterator
+         overwritten by a load) reach their uses *)
+      List.iter (walk_stmt env) wbody;
+      List.iter (walk_stmt env) wbody;
+      env.in_loop <- env.in_loop - 1
+  | H.For { v; lo; hi; body; _ } as loop ->
+      let reasons_before = List.length env.reasons in
+      walk_expr env lo;
+      walk_expr env hi;
+      let bounds_ok = is_affine env lo && is_affine env hi in
+      if not bounds_ok then add_reason env B_nonaffine_bound;
+      env.in_loop <- env.in_loop + 1;
+      set_var env v Affine;
+      (* two passes so loop-carried reclassifications (e.g. an iterator
+         overwritten by a load) reach their uses *)
+      List.iter (walk_stmt env) body;
+      set_var env v Affine;
+      List.iter (walk_stmt env) body;
+      env.in_loop <- env.in_loop - 1;
+      (* a loop subtree that contributed no failure reason is a fully
+         modelable subregion ("Polly was able to model some smaller
+         subregions, 1D or 2D loop nests") *)
+      if List.length env.reasons = reasons_before then
+        env.deepest_clean <- max env.deepest_clean (H.stmt_depth loop)
+
+and is_affine_cond env = function
+  | H.Cmp (_, a, b) -> is_affine env a && is_affine env b
+  | _ -> false
+
+(* The paper inlines multi-function kernels so Polly sees the same region
+   POLY-PROF profiles: calls to defined, non-library functions are
+   analysed inline; library-like (blacklisted) or unknown callees are
+   "unhandled function calls" (reason R). *)
+and walk_call env callee args =
+  if List.mem callee env.intrinsics then ()
+  else
+    match
+      List.find_opt
+        (fun (g : H.fundef) -> g.H.name = callee)
+        env.program.H.funs
+    with
+    | Some g when (not g.H.blacklisted) && not (List.mem callee env.inlining)
+      ->
+        if List.mem H.May_alias g.H.attrs then add_reason env A_aliasing;
+        ignore args;
+        let saved_vars = env.vars in
+        let saved_in_loop = env.in_loop in
+        env.vars <- [];
+        env.in_loop <- 0;
+        (* arguments become symbolic parameters of the inlined body *)
+        List.iter (fun param -> set_var env param Param) g.H.params;
+        env.inlining <- callee :: env.inlining;
+        List.iter (walk_stmt env) g.H.body;
+        env.inlining <- List.tl env.inlining;
+        env.vars <- saved_vars;
+        env.in_loop <- saved_in_loop
+    | Some _ | None -> add_reason env R_call
+
+let default_intrinsics = [ "exp"; "sqrt"; "log"; "fabs"; "squash" ]
+
+let analyse_fundef ?(intrinsics = default_intrinsics) (_p : H.program)
+    (f : H.fundef) =
+  let env =
+    { vars = [];
+      reasons = [];
+      in_loop = 0;
+      deepest_clean = 0;
+      intrinsics;
+      program = _p;
+      inlining = [ f.H.name ] }
+  in
+  (* parameters holding addresses may alias if so attributed *)
+  if List.mem H.May_alias f.H.attrs then add_reason env A_aliasing;
+  List.iter (fun p -> set_var env p Param) f.H.params;
+  List.iter (walk_stmt env) f.H.body;
+  let total_depth = H.loop_depth f in
+  let reasons =
+    List.sort (fun a b -> compare (reason_rank a) (reason_rank b)) env.reasons
+  in
+  { modeled = reasons = [];
+    reasons;
+    modeled_depth = (if reasons = [] then total_depth else env.deepest_clean);
+    total_depth }
+
+let analyse_function ?intrinsics p name =
+  match List.find_opt (fun (f : H.fundef) -> f.H.name = name) p.H.funs with
+  | Some f -> analyse_fundef ?intrinsics p f
+  | None -> invalid_arg ("Polly_lite.analyse_function: unknown " ^ name)
+
+let reasons_string v =
+  if v.modeled then "-"
+  else String.concat "" (List.map reason_code v.reasons)
+
+let pp_verdict fmt v =
+  if v.modeled then
+    Format.fprintf fmt "modeled (depth %d)" v.total_depth
+  else
+    Format.fprintf fmt "failed: %s (modeled %d of %d loop levels)"
+      (reasons_string v) v.modeled_depth v.total_depth

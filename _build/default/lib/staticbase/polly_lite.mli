@@ -1,0 +1,42 @@
+(** A static polyhedral modeller over HIR, standing in for LLVM Polly in
+    the paper's Experiment II.  It attempts to model each function body
+    as an affine program and reports the paper's failure-reason codes:
+
+    - R: unhandled function call
+    - C: complex CFG (break / return inside a loop)
+    - B: non-affine loop bound or non-affine conditional
+    - F: non-affine access function (includes pointer indirection)
+    - A: unhandled possible pointer aliasing
+    - P: base pointer not loop invariant *)
+
+type reason =
+  | R_call
+  | C_complex_cfg
+  | B_nonaffine_bound
+  | F_nonaffine_access
+  | A_aliasing
+  | P_base_not_invariant
+
+val reason_code : reason -> string
+
+type verdict = {
+  modeled : bool;  (** the whole body is an affine region *)
+  reasons : reason list;  (** sorted, deduplicated; empty iff [modeled] *)
+  modeled_depth : int;
+      (** deepest loop-nest prefix that could be modelled (Polly "was
+          able to model some smaller subregions") *)
+  total_depth : int;
+}
+
+val default_intrinsics : string list
+(** Simple callees a static modeller can summarise (exp, sqrt, ...). *)
+
+val analyse_fundef :
+  ?intrinsics:string list -> Vm.Hir.program -> Vm.Hir.fundef -> verdict
+
+val analyse_function :
+  ?intrinsics:string list -> Vm.Hir.program -> string -> verdict
+val reasons_string : verdict -> string
+(** e.g. "RCBF"; "-" when fully modelled. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

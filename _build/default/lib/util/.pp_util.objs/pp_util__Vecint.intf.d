@@ -1,0 +1,1 @@
+lib/util/vecint.mli: Format

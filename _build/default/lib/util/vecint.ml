@@ -1,0 +1,47 @@
+type t = int array
+
+let zero n = Array.make n 0
+let equal a b = a = b
+
+let compare_lex a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let add a b = Array.init (Array.length a) (fun i -> a.(i) + b.(i))
+let sub a b = Array.init (Array.length a) (fun i -> a.(i) - b.(i))
+let scale k a = Array.map (fun x -> k * x) a
+
+let dot a b =
+  let acc = ref 0 in
+  Array.iteri (fun i x -> acc := !acc + (x * b.(i))) a;
+  !acc
+
+let is_zero a = Array.for_all (fun x -> x = 0) a
+
+let first_nonzero a =
+  let rec go i =
+    if i >= Array.length a then None
+    else if a.(i) <> 0 then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let pp fmt a =
+  Format.fprintf fmt "(";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%d" x)
+    a;
+  Format.fprintf fmt ")"
+
+let to_string a = Format.asprintf "%a" pp a
+let hash a = Hashtbl.hash (Array.to_list a)

@@ -1,0 +1,21 @@
+(** Small helpers on [int array] treated as vectors (iteration-vector
+    coordinates, dependence distances, constraint coefficient rows). *)
+
+type t = int array
+
+val zero : int -> t
+val equal : t -> t -> bool
+val compare_lex : t -> t -> int
+(** Lexicographic order; shorter vectors compare by prefix then length. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val dot : t -> t -> int
+val is_zero : t -> bool
+val first_nonzero : t -> int option
+(** Index of the first non-zero component. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val hash : t -> int

@@ -1,0 +1,1 @@
+lib/vm/hir.ml: Format Hashtbl Isa List Option Printf Prog String

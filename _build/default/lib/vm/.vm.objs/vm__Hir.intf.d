@@ -1,0 +1,1 @@
+lib/vm/hir.mli: Format Isa Prog

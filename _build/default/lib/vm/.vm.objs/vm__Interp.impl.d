@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Event Format Hashtbl Isa List Option Prog

@@ -1,0 +1,1 @@
+lib/vm/prog.ml: Array Format Isa List Printf

@@ -1,0 +1,1 @@
+lib/vm/prog.mli: Format Isa

@@ -1,0 +1,42 @@
+(** Events emitted by the instrumented interpreter.
+
+    This is the exact interface POLY-PROF's "Instrumentation I/II" stages
+    consume: raw control transfers (jump / call / return) plus one
+    execution record per dynamic instruction with the produced value and
+    the memory addresses touched. *)
+
+type control =
+  | Jump of { fid : int; src : int; dst : int }
+      (** local jump within function [fid], from block [src] to [dst] *)
+  | Call of { caller : int; site : int; callee : int; dst : int }
+      (** call from block [site] of [caller]; [dst] is the entry block of
+          [callee] *)
+  | Return of { callee : int; caller : int; dst : int }
+      (** return from [callee]; control resumes at block [dst] of
+          [caller] *)
+
+type value = I of int | F of float
+
+type exec = {
+  sid : Isa.Sid.t;
+  cls : Isa.op_class;
+  value : value option;  (** value produced into the destination register *)
+  addr_read : int option;
+  addr_written : int option;
+  reads : Isa.reg list;  (** registers read by the instruction *)
+  writes : Isa.reg option;
+  depth : int;  (** call-stack depth (main = 0) *)
+}
+
+type t = Control of control | Exec of exec
+
+let pp_control fmt = function
+  | Jump { fid; src; dst } -> Format.fprintf fmt "jump f%d: b%d -> b%d" fid src dst
+  | Call { caller; site; callee; dst } ->
+      Format.fprintf fmt "call f%d.b%d -> f%d.b%d" caller site callee dst
+  | Return { callee; caller; dst } ->
+      Format.fprintf fmt "ret f%d -> f%d.b%d" callee caller dst
+
+let pp fmt = function
+  | Control c -> pp_control fmt c
+  | Exec e -> Format.fprintf fmt "exec %a" Isa.Sid.pp e.sid

@@ -1,0 +1,261 @@
+type callbacks = {
+  on_control : Event.control -> unit;
+  on_exec : Event.exec -> unit;
+}
+
+let no_instrumentation = { on_control = ignore; on_exec = ignore }
+
+type stats = {
+  dyn_instrs : int;
+  dyn_mem_ops : int;
+  dyn_fp_ops : int;
+  max_depth : int;
+}
+
+exception Trap of string
+
+type frame = {
+  func : Prog.func;
+  mutable regs : Event.value array;
+  ret_dst : Isa.reg option;  (* register in the CALLER receiving the result *)
+  ret_block : int;  (* block in the caller to resume at *)
+}
+
+let trap fmt = Format.kasprintf (fun s -> raise (Trap s)) fmt
+
+let grow_regs frame r =
+  let n = Array.length frame.regs in
+  if r >= n then begin
+    let bigger = Array.make (max (2 * n) (r + 1)) (Event.I 0) in
+    Array.blit frame.regs 0 bigger 0 n;
+    frame.regs <- bigger
+  end
+
+let get_reg frame r =
+  grow_regs frame r;
+  frame.regs.(r)
+
+let set_reg frame r v =
+  grow_regs frame r;
+  frame.regs.(r) <- v
+
+let operand frame = function
+  | Isa.Reg r -> get_reg frame r
+  | Isa.Imm i -> Event.I i
+
+let as_int what = function
+  | Event.I i -> i
+  | Event.F _ -> trap "%s: expected integer, got float" what
+
+let as_float what = function
+  | Event.F f -> f
+  | Event.I _ -> trap "%s: expected float, got integer" what
+
+let int_bin op a b =
+  match op with
+  | Isa.Add -> a + b
+  | Isa.Sub -> a - b
+  | Isa.Mul -> a * b
+  | Isa.Div -> if b = 0 then trap "division by zero" else a / b
+  | Isa.Rem -> if b = 0 then trap "modulo by zero" else a mod b
+  | Isa.And -> a land b
+  | Isa.Or -> a lor b
+  | Isa.Xor -> a lxor b
+  | Isa.Shl -> a lsl b
+  | Isa.Shr -> a asr b
+
+let float_bin op a b =
+  match op with
+  | Isa.Fadd -> a +. b
+  | Isa.Fsub -> a -. b
+  | Isa.Fmul -> a *. b
+  | Isa.Fdiv -> a /. b
+
+let cmp_int op a b =
+  let r =
+    match op with
+    | Isa.Ceq -> a = b
+    | Isa.Cne -> a <> b
+    | Isa.Clt -> a < b
+    | Isa.Cle -> a <= b
+    | Isa.Cgt -> a > b
+    | Isa.Cge -> a >= b
+  in
+  if r then 1 else 0
+
+let cmp_float op a b =
+  let r =
+    match op with
+    | Isa.Ceq -> a = b
+    | Isa.Cne -> a <> b
+    | Isa.Clt -> a < b
+    | Isa.Cle -> a <= b
+    | Isa.Cgt -> a > b
+    | Isa.Cge -> a >= b
+  in
+  if r then 1 else 0
+
+let operand_regs = function Isa.Reg r -> [ r ] | Isa.Imm _ -> []
+
+let run_internal ?(max_steps = 200_000_000) ?(callbacks = no_instrumentation)
+    ?(args = []) (prog : Prog.t) =
+  let memory : (int, Event.value) Hashtbl.t = Hashtbl.create 4096 in
+  let steps = ref 0 in
+  let dyn_instrs = ref 0 in
+  let dyn_mem = ref 0 in
+  let dyn_fp = ref 0 in
+  let max_depth = ref 0 in
+  let depth = ref 0 in
+  let stack : frame list ref = ref [] in
+  let mainf = prog.funcs.(prog.main) in
+  let main_frame =
+    { func = mainf; regs = Array.make 16 (Event.I 0); ret_dst = None; ret_block = -1 }
+  in
+  List.iteri (fun i a -> set_reg main_frame i (Event.I a)) args;
+  stack := [ main_frame ];
+
+  let exec_instr frame ~fid ~bid ~idx instr =
+    incr dyn_instrs;
+    let cls = Isa.class_of_instr instr in
+    (match cls with
+    | Isa.Mem_load | Isa.Mem_store -> incr dyn_mem
+    | Isa.Fp_alu -> incr dyn_fp
+    | Isa.Int_alu | Isa.Other_op -> ());
+    let sid = Isa.Sid.make ~fid ~bid ~idx in
+    let value = ref None
+    and addr_read = ref None
+    and addr_written = ref None
+    and reads = ref []
+    and writes = ref None in
+    let setv r v =
+      set_reg frame r v;
+      value := Some v;
+      writes := Some r
+    in
+    (match instr with
+    | Isa.Const (r, i) -> setv r (Event.I i)
+    | Isa.Fconst (r, f) -> setv r (Event.F f)
+    | Isa.Mov (r, o) ->
+        reads := operand_regs o;
+        setv r (operand frame o)
+    | Isa.Bin (op, r, a, b) ->
+        reads := operand_regs a @ operand_regs b;
+        let va = as_int "bin" (operand frame a)
+        and vb = as_int "bin" (operand frame b) in
+        setv r (Event.I (int_bin op va vb))
+    | Isa.Fbin (op, r, a, b) ->
+        reads := operand_regs a @ operand_regs b;
+        let va = as_float "fbin" (operand frame a)
+        and vb = as_float "fbin" (operand frame b) in
+        setv r (Event.F (float_bin op va vb))
+    | Isa.Cmp (op, r, a, b) ->
+        reads := operand_regs a @ operand_regs b;
+        let va = as_int "cmp" (operand frame a)
+        and vb = as_int "cmp" (operand frame b) in
+        setv r (Event.I (cmp_int op va vb))
+    | Isa.Fcmp (op, r, a, b) ->
+        reads := operand_regs a @ operand_regs b;
+        let va = as_float "fcmp" (operand frame a)
+        and vb = as_float "fcmp" (operand frame b) in
+        setv r (Event.I (cmp_float op va vb))
+    | Isa.Load (r, a) ->
+        reads := operand_regs a;
+        let addr = as_int "load" (operand frame a) in
+        addr_read := Some addr;
+        let v =
+          match Hashtbl.find_opt memory addr with
+          | Some v -> v
+          | None -> Event.I 0
+        in
+        setv r v
+    | Isa.Store (a, v) ->
+        reads := operand_regs a @ operand_regs v;
+        let addr = as_int "store" (operand frame a) in
+        addr_written := Some addr;
+        Hashtbl.replace memory addr (operand frame v)
+    | Isa.Itof (r, o) ->
+        reads := operand_regs o;
+        setv r (Event.F (float_of_int (as_int "itof" (operand frame o))))
+    | Isa.Ftoi (r, o) ->
+        reads := operand_regs o;
+        setv r (Event.I (int_of_float (as_float "ftoi" (operand frame o)))));
+    callbacks.on_exec
+      { Event.sid;
+        cls;
+        value = !value;
+        addr_read = !addr_read;
+        addr_written = !addr_written;
+        reads = !reads;
+        writes = !writes;
+        depth = !depth }
+  in
+
+  (* Iterative dispatch loop: block transitions must not consume OCaml
+     stack, a trace can contain hundreds of millions of them. *)
+  let cur_frame = ref main_frame in
+  let cur_bid = ref 0 in
+  let running = ref true in
+  while !running do
+    incr steps;
+    if !steps > max_steps then trap "step budget exceeded (%d)" max_steps;
+    let frame = !cur_frame in
+    let fid = frame.func.Prog.fid in
+    let bid = !cur_bid in
+    let b = frame.func.Prog.blocks.(bid) in
+    Array.iteri (fun idx i -> exec_instr frame ~fid ~bid ~idx i) b.Prog.instrs;
+    match b.Prog.term with
+    | Isa.Jump dst ->
+        callbacks.on_control (Event.Jump { fid; src = bid; dst });
+        cur_bid := dst
+    | Isa.Br (c, bthen, belse) ->
+        let dst = if as_int "br" (operand frame c) <> 0 then bthen else belse in
+        callbacks.on_control (Event.Jump { fid; src = bid; dst });
+        cur_bid := dst
+    | Isa.Call { dst; callee; args; cont } ->
+        let cf = prog.funcs.(callee) in
+        let nf =
+          { func = cf;
+            regs = Array.make (max 16 cf.Prog.n_params) (Event.I 0);
+            ret_dst = dst;
+            ret_block = cont }
+        in
+        List.iteri (fun i a -> set_reg nf i (operand frame a)) args;
+        stack := nf :: !stack;
+        incr depth;
+        max_depth := max !max_depth !depth;
+        callbacks.on_control
+          (Event.Call { caller = fid; site = bid; callee; dst = 0 });
+        cur_frame := nf;
+        cur_bid := 0
+    | Isa.Ret v -> (
+        let retval = Option.map (operand frame) v in
+        match !stack with
+        | [] | [ _ ] -> trap "ret from main; use halt"
+        | me :: (caller :: _ as rest) ->
+            assert (me == frame);
+            stack := rest;
+            decr depth;
+            (match (frame.ret_dst, retval) with
+            | Some r, Some v -> set_reg caller r v
+            | Some _, None -> trap "ret: caller expects a value"
+            | None, _ -> ());
+            callbacks.on_control
+              (Event.Return
+                 { callee = fid;
+                   caller = caller.func.Prog.fid;
+                   dst = frame.ret_block });
+            cur_frame := caller;
+            cur_bid := frame.ret_block)
+    | Isa.Halt -> running := false
+  done;
+  ( { dyn_instrs = !dyn_instrs;
+      dyn_mem_ops = !dyn_mem;
+      dyn_fp_ops = !dyn_fp;
+      max_depth = !max_depth },
+    fun addr -> Hashtbl.find_opt memory addr )
+
+let run ?max_steps ?callbacks ?args prog =
+  fst (run_internal ?max_steps ?callbacks ?args prog)
+
+let run_with_memory ?max_steps ?callbacks ?args prog =
+  run_internal ?max_steps ?callbacks ?args prog

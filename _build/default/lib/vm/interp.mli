@@ -1,0 +1,39 @@
+(** The MiniVM interpreter with a QEMU-plugin-style instrumentation
+    interface: client callbacks observe every control transfer and every
+    executed instruction. *)
+
+type callbacks = {
+  on_control : Event.control -> unit;
+  on_exec : Event.exec -> unit;
+}
+
+val no_instrumentation : callbacks
+
+type stats = {
+  dyn_instrs : int;  (** executed non-terminator instructions *)
+  dyn_mem_ops : int;
+  dyn_fp_ops : int;
+  max_depth : int;
+}
+
+exception Trap of string
+(** Runtime error (division by zero, type confusion, step budget
+    exceeded, ...). *)
+
+val run :
+  ?max_steps:int ->
+  ?callbacks:callbacks ->
+  ?args:int list ->
+  Prog.t ->
+  stats
+(** Execute the program from its [main] function.  [args] are passed as
+    [main]'s integer parameters.  Default step budget: 200 million. *)
+
+val run_with_memory :
+  ?max_steps:int ->
+  ?callbacks:callbacks ->
+  ?args:int list ->
+  Prog.t ->
+  stats * (int -> Event.value option)
+(** Like {!run} but also returns a lookup function over the final memory
+    state, for tests. *)

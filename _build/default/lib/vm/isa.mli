@@ -1,0 +1,58 @@
+(** The MiniVM instruction set.
+
+    MiniVM is the reproduction's stand-in for a compiled x86 binary run
+    under QEMU-plugin instrumentation: a register machine with functions,
+    basic blocks, explicit [jump]/[br]/[call]/[ret] control transfers and
+    a flat word-addressed memory.  The analyser never sees this structure
+    directly — only the event stream emitted by {!Interp}. *)
+
+type reg = int
+(** Virtual register index, local to a function frame. *)
+
+type operand = Reg of reg | Imm of int
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+type cmpop = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type instr =
+  | Const of reg * int
+  | Fconst of reg * float
+  | Mov of reg * operand
+  | Bin of binop * reg * operand * operand
+  | Fbin of fbinop * reg * operand * operand
+  | Cmp of cmpop * reg * operand * operand
+  | Fcmp of cmpop * reg * operand * operand
+  | Load of reg * operand        (** load word at address *)
+  | Store of operand * operand   (** [Store (addr, value)] *)
+  | Itof of reg * operand
+  | Ftoi of reg * operand
+
+type terminator =
+  | Jump of int                           (** target block id *)
+  | Br of operand * int * int             (** cond, then-block, else-block *)
+  | Call of { dst : reg option; callee : int; args : operand list; cont : int }
+      (** call function [callee]; on return, resume at block [cont]. *)
+  | Ret of operand option
+  | Halt
+
+type op_class = Int_alu | Fp_alu | Mem_load | Mem_store | Other_op
+
+val class_of_instr : instr -> op_class
+val is_fp : instr -> bool
+val is_mem : instr -> bool
+
+(** Packed static instruction identity: function, block, index in block. *)
+module Sid : sig
+  type t = int
+
+  val make : fid:int -> bid:int -> idx:int -> t
+  val fid : t -> int
+  val bid : t -> int
+  val idx : t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp_terminator : Format.formatter -> terminator -> unit

@@ -1,0 +1,66 @@
+(** MiniVM programs: functions made of basic blocks, plus a tiny linker
+    for global data (array base addresses in the flat memory). *)
+
+type loc = { file : string; line : int }
+
+type block = {
+  bid : int;
+  instrs : Isa.instr array;
+  term : Isa.terminator;
+  block_loc : loc option;
+}
+
+type func = {
+  fid : int;
+  fname : string;
+  n_params : int;  (** parameters arrive in registers [0 .. n_params-1] *)
+  blocks : block array;  (** indexed by block id; entry is block 0 *)
+  blacklisted : bool;
+      (** stands in for libc-like functions the user grays out (Fig. 7) *)
+}
+
+type t = {
+  funcs : func array;  (** indexed by function id *)
+  main : int;
+  globals : (string * int * int) list;  (** name, base address, size (words) *)
+  mem_size : int;  (** first free address after all globals *)
+}
+
+val func_by_name : t -> string -> func
+val func_name : t -> int -> string
+val block : t -> fid:int -> bid:int -> block
+val instr_at : t -> Isa.Sid.t -> Isa.instr
+val loc_of_block : t -> fid:int -> bid:int -> loc option
+val n_static_instrs : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Imperative program builder. *)
+module Builder : sig
+  type prog_builder
+  type func_builder
+
+  val create : unit -> prog_builder
+
+  val alloc_global : prog_builder -> string -> int -> int
+  (** [alloc_global b name size] reserves [size] words and returns the
+      base address. *)
+
+  val declare_func :
+    ?blacklisted:bool -> prog_builder -> string -> n_params:int -> int
+  (** Declare a function (so mutually recursive calls can reference it)
+      and get its id.  Its body is defined by a later [define_func]. *)
+
+  val define_func : prog_builder -> int -> func_builder
+  val fresh_reg : func_builder -> Isa.reg
+  val fresh_block : ?loc:loc -> func_builder -> int
+  (** Allocate an empty block and return its id.  Block 0 is the entry
+      and is allocated implicitly on [define_func]. *)
+
+  val set_block_loc : func_builder -> int -> loc -> unit
+  val emit : func_builder -> int -> Isa.instr -> unit
+  (** Append an instruction to the given block. *)
+
+  val terminate : func_builder -> int -> Isa.terminator -> unit
+  val finish_func : func_builder -> unit
+  val finish : prog_builder -> main:string -> t
+end

@@ -1,0 +1,54 @@
+type t = { events : Event.t array }
+
+let record ?max_steps ?args prog =
+  let buf = ref [] in
+  let n = ref 0 in
+  let callbacks =
+    { Interp.on_control =
+        (fun c ->
+          incr n;
+          buf := Event.Control c :: !buf);
+      on_exec =
+        (fun e ->
+          incr n;
+          buf := Event.Exec e :: !buf) }
+  in
+  let stats = Interp.run ?max_steps ?args ~callbacks prog in
+  let events = Array.make !n (Event.Control (Event.Jump { fid = 0; src = 0; dst = 0 })) in
+  List.iteri (fun i e -> events.(!n - 1 - i) <- e) !buf;
+  ({ events }, stats)
+
+let replay t (cb : Interp.callbacks) =
+  Array.iter
+    (function
+      | Event.Control c -> cb.Interp.on_control c
+      | Event.Exec e -> cb.Interp.on_exec e)
+    t.events
+
+let n_events t = Array.length t.events
+
+let n_control t =
+  Array.fold_left
+    (fun acc e -> match e with Event.Control _ -> acc + 1 | Event.Exec _ -> acc)
+    0 t.events
+
+let n_exec t = n_events t - n_control t
+
+let magic = "polyprof-trace-v1"
+
+let save t path =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  Marshal.to_channel oc t [];
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let m = really_input_string ic (String.length magic) in
+  if m <> magic then begin
+    close_in ic;
+    failwith "Trace.load: not a polyprof trace"
+  end;
+  let t : t = Marshal.from_channel ic in
+  close_in ic;
+  t

@@ -1,0 +1,25 @@
+(** Recorded execution traces.
+
+    The real POLY-PROF can work offline: the instrumentation emits a
+    trace that later stages consume.  This module records the full event
+    stream of a run into a compact in-memory buffer and replays it into
+    any {!Interp.callbacks} consumer — so Instrumentation II can run
+    without re-executing the program, and traces can be saved/loaded. *)
+
+type t
+
+val record : ?max_steps:int -> ?args:int list -> Prog.t -> t * Interp.stats
+(** Execute the program once, recording every control and exec event. *)
+
+val replay : t -> Interp.callbacks -> unit
+(** Deliver the recorded events, in order, to the callbacks. *)
+
+val n_events : t -> int
+val n_control : t -> int
+val n_exec : t -> int
+
+val save : t -> string -> unit
+(** Marshal the trace to a file. *)
+
+val load : string -> t
+(** @raise Failure if the file does not contain a trace. *)

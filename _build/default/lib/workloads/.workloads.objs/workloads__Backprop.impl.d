@@ -1,0 +1,1 @@
+lib/workloads/backprop.ml: Sched Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/figure3.ml: Vm

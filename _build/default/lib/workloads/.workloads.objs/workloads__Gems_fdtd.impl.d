@@ -1,0 +1,1 @@
+lib/workloads/gems_fdtd.ml: Sched Vm Workload

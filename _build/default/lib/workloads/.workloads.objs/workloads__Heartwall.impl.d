@@ -1,0 +1,1 @@
+lib/workloads/heartwall.ml: Sched Vm Workload

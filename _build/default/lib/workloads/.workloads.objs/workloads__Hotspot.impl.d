@@ -1,0 +1,1 @@
+lib/workloads/hotspot.ml: Sched Vm Workload

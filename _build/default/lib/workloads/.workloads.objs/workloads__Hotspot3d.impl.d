@@ -1,0 +1,1 @@
+lib/workloads/hotspot3d.ml: Sched Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/lavamd.ml: Sched Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/leukocyte.ml: Sched Vm Workload

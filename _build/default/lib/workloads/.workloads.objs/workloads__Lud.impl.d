@@ -1,0 +1,1 @@
+lib/workloads/lud.ml: Sched Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/myocyte.ml: Sched Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/nn.ml: Sched Vm Workload

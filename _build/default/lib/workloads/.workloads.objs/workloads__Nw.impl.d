@@ -1,0 +1,1 @@
+lib/workloads/nw.ml: Sched Vm Workload

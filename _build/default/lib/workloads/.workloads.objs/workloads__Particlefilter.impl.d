@@ -1,0 +1,1 @@
+lib/workloads/particlefilter.ml: Sched Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/pathfinder.ml: Sched Vm Workload

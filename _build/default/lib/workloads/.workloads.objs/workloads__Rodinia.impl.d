@@ -1,0 +1,1 @@
+lib/workloads/rodinia.ml: Backprop Bfs Btree Cfd Heartwall Hotspot Hotspot3d Kmeans Lavamd Leukocyte List Lud Myocyte Nn Nw Particlefilter Pathfinder Srad Streamcluster Workload

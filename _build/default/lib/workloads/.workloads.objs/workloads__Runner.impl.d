@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Cfg Ddg List Polyprof Printf Report Rodinia Sched Staticbase Vm Workload

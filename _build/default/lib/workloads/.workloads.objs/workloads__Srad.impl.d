@@ -1,0 +1,1 @@
+lib/workloads/srad.ml: Printf Sched Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/streamcluster.ml: List Sched Vm Workload

@@ -1,0 +1,137 @@
+(** mini-backprop: the paper's running example (Fig. 6, case study I,
+    Table 3).  Supervised neural-network training with two
+    [bpnn_layerforward] and two [bpnn_adjust_weights] 2-D kernels called
+    from a training loop ([facetrain.c:25]).  The weight matrices are
+    traversed column-major w.r.t. the loop order, so the profitable
+    transformation is an interchange (+ SIMD) — Table 3's feedback. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n_in = 32
+let n_hid = 16
+let n_out = 8
+let epochs = 2
+
+(* weight matrix (n1+1) x (n2+1), element [k][j] at k*(n2+1)+j *)
+let sz_in_hid = (n_in + 1) * (n_hid + 1)
+let sz_hid_out = (n_hid + 1) * (n_out + 1)
+
+let layerforward =
+  (* bpnn_layerforward(l1, l2, conn, n1, n2): Fig. 6 *)
+  H.fundef ~attrs:[ H.May_alias ] "bpnn_layerforward"
+    [ "l1"; "l2"; "conn"; "n1"; "n2" ]
+    [ H.Store (v "l1", f 1.0);
+      H.for_ ~loc:(Workload.loc "backprop.c" 253) "j" (i 1) (v "n2" +! i 1)
+        [ H.Let ("sum", f 0.0);
+          H.for_ ~loc:(Workload.loc "backprop.c" 254) "k" (i 0) (v "n1" +! i 1)
+            [ H.Let ("tmp2", load (v "conn" +! ((v "k" *! (v "n2" +! i 1)) +! v "j")));
+              H.Let ("tmp3", load (v "l1" +! v "k"));
+              H.Let ("sum", v "sum" +? (v "tmp2" *? v "tmp3")) ];
+          H.CallS (Some "sq", "squash", [ v "sum" ]);
+          H.Store (v "l2" +! v "j", v "sq") ] ]
+
+let output_error =
+  H.fundef "bpnn_output_error" [ "delta"; "target"; "output"; "nj" ]
+    [ H.for_ ~loc:(Workload.loc "backprop.c" 274) "j" (i 1) (v "nj" +! i 1)
+        [ H.Let ("o", load (v "output" +! v "j"));
+          H.Let ("t", load (v "target" +! v "j"));
+          H.Store
+            ( v "delta" +! v "j",
+              v "o" *? ((f 1.0 -? v "o") *? (v "t" -? v "o")) ) ] ]
+
+let hidden_error =
+  H.fundef ~attrs:[ H.May_alias ] "bpnn_hidden_error"
+    [ "delta_h"; "nh"; "delta_o"; "no"; "who"; "hidden" ]
+    [ H.for_ ~loc:(Workload.loc "backprop.c" 289) "j" (i 1) (v "nh" +! i 1)
+        [ H.Let ("h", load (v "hidden" +! v "j"));
+          H.Let ("sum", f 0.0);
+          H.for_ ~loc:(Workload.loc "backprop.c" 292) "k" (i 1) (v "no" +! i 1)
+            [ H.Let ("d", load (v "delta_o" +! v "k"));
+              H.Let ("w", load (v "who" +! ((v "j" *! (v "no" +! i 1)) +! v "k")));
+              H.Let ("sum", v "sum" +? (v "d" *? v "w")) ];
+          H.Store (v "delta_h" +! v "j", v "h" *? ((f 1.0 -? v "h") *? v "sum")) ] ]
+
+let adjust_weights =
+  (* bpnn_adjust_weights(delta, ndelta, ly, nly, w, oldw) *)
+  H.fundef ~attrs:[ H.May_alias ] "bpnn_adjust_weights"
+    [ "delta"; "ndelta"; "ly"; "nly"; "w"; "oldw" ]
+    [ H.for_ ~loc:(Workload.loc "backprop.c" 320) "j" (i 1) (v "ndelta" +! i 1)
+        [ H.for_ ~loc:(Workload.loc "backprop.c" 322) "k" (i 0) (v "nly" +! i 1)
+            [ H.Let ("idx", (v "k" *! (v "ndelta" +! i 1)) +! v "j");
+              H.Let ("dv", load (v "delta" +! v "j"));
+              H.Let ("lv", load (v "ly" +! v "k"));
+              H.Let ("ow", load (v "oldw" +! v "idx"));
+              H.Let ("newdw", (f 0.3 *? (v "dv" *? v "lv")) +? (f 0.3 *? v "ow"));
+              H.Store (v "w" +! v "idx", load (v "w" +! v "idx") +? v "newdw");
+              H.Store (v "oldw" +! v "idx", v "newdw") ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "input_units" (n_in + 1)
+    @ Workload.init_float_array "target" (n_out + 1)
+    @ Workload.init_float_array "input_weights" sz_in_hid
+    @ Workload.init_float_array "hidden_weights" sz_hid_out
+    @ Workload.init_float_array "input_prev" sz_in_hid
+    @ Workload.init_float_array "hidden_prev" sz_hid_out
+    @ [ H.for_ ~loc:(Workload.loc "facetrain.c" 25) "epoch" (i 0) (i epochs)
+          [ H.CallS
+              ( None, "bpnn_layerforward",
+                [ base "input_units"; base "hidden_units"; base "input_weights";
+                  i n_in; i n_hid ] );
+            H.CallS
+              ( None, "bpnn_layerforward",
+                [ base "hidden_units"; base "output_units"; base "hidden_weights";
+                  i n_hid; i n_out ] );
+            H.CallS
+              ( None, "bpnn_output_error",
+                [ base "output_delta"; base "target"; base "output_units"; i n_out ] );
+            H.CallS
+              ( None, "bpnn_hidden_error",
+                [ base "hidden_delta"; i n_hid; base "output_delta"; i n_out;
+                  base "hidden_weights"; base "hidden_units" ] );
+            H.CallS
+              ( None, "bpnn_adjust_weights",
+                [ base "output_delta"; i n_out; base "hidden_units"; i n_hid;
+                  base "hidden_weights"; base "hidden_prev" ] );
+            H.CallS
+              ( None, "bpnn_adjust_weights",
+                [ base "hidden_delta"; i n_hid; base "input_units"; i n_in;
+                  base "input_weights"; base "input_prev" ] ) ] ])
+
+let hir : H.program =
+  { H.funs = Workload.libm @ [ layerforward; output_error; hidden_error; adjust_weights; main ];
+    arrays =
+      [ ("input_units", n_in + 1);
+        ("hidden_units", n_hid + 1);
+        ("output_units", n_out + 1);
+        ("target", n_out + 1);
+        ("hidden_delta", n_hid + 1);
+        ("output_delta", n_out + 1);
+        ("input_weights", sz_in_hid);
+        ("hidden_weights", sz_hid_out);
+        ("input_prev", sz_in_hid);
+        ("hidden_prev", sz_hid_out) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"backprop" ~kernel:"bpnn_adjust_weights"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "85%";
+        p_region = "facetrain.c:25";
+        p_interproc = true;
+        p_polly = "A";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "100%";
+        p_reuse = "50%";
+        p_preuse = "100%";
+        p_ld_src = 2;
+        p_ld_bin = 2;
+        p_tiled = 2;
+        p_tilops = "100%";
+        p_c = "6";
+        p_comp = "4";
+        p_fusion = "S" }
+    hir

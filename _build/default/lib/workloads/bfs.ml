@@ -1,0 +1,101 @@
+(** mini-bfs: level-synchronous breadth-first search over a CSR graph.
+    Loop bounds come from loaded vertex degrees (Polly reason B) and edge
+    targets are loaded indirections (reason F); accesses are data-driven,
+    so spatial reuse is poor — the paper's bfs row. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n_nodes = 85  (* 1 + 4 + 16 + 64: a complete 4-ary tree *)
+let degree = 4
+let n_edges = n_nodes * degree
+let max_levels = 4
+let scramble = 27  (* coprime with 85: (t * 27) mod 85 permutes node ids *)
+
+let kernel_body =
+  [ (* frontier sweep: levels x nodes x edges (3-D) *)
+    H.for_ ~loc:(Workload.loc "bfs.cpp" 137) "lvl" (i 0) (i max_levels)
+      [ H.for_ ~loc:(Workload.loc "bfs.cpp" 140) "tid" (i 0) (i n_nodes)
+          [ H.If
+              ( "mask".%[v "tid"] ==! i 1,
+                [ store "mask" (v "tid") (i 0);
+                  H.Let ("estart", "edge_start".%[v "tid"]);
+                  H.Let ("ecount", "edge_count".%[v "tid"]);
+                  H.for_ ~loc:(Workload.loc "bfs.cpp" 146) "k" (v "estart")
+                    (v "estart" +! v "ecount")
+                    [ H.Let ("id", "edges".%[v "k"]);
+                      H.If
+                        ( "visited".%[v "id"] ==! i 0,
+                          [ store "cost" (v "id") (v "lvl" +! i 1);
+                            store "visited" (v "id") (i 1);
+                            store "newmask" (v "id") (i 1) ],
+                          [] ) ] ],
+                [] ) ];
+        H.for_ ~loc:(Workload.loc "bfs.cpp" 160) "tid2" (i 0) (i n_nodes)
+          [ H.If
+              ( "newmask".%[v "tid2"] ==! i 1,
+                [ store "mask" (v "tid2") (i 1); store "newmask" (v "tid2") (i 0) ],
+                [] ) ] ] ]
+
+let main =
+  H.fundef "main" []
+    ([ (* a complete 4-ary tree whose node ids are scrambled by a
+          multiplicative permutation: every node has a unique parent (no
+          two frontier nodes fight over a child within one level) but the
+          id mapping is far from affine, like a real irregular graph *)
+       H.for_ "t" (i 0) (i n_nodes)
+         [ H.Let ("id", (v "t" *! i scramble) %! i n_nodes);
+           store "edge_start" (v "id") (v "id" *! i degree);
+           H.Let ("cnt", i 0);
+           H.for_ "j" (i 0) (i degree)
+             [ H.Let ("cp", ((v "t" *! i degree) +! v "j") +! i 1);
+               H.If
+                 ( v "cp" <! i n_nodes,
+                   [ store "edges"
+                       ((v "id" *! i degree) +! v "j")
+                       ((v "cp" *! i scramble) %! i n_nodes);
+                     H.Let ("cnt", v "cnt" +! i 1) ],
+                   [] ) ];
+           store "edge_count" (v "id") (v "cnt") ];
+       Workload.init_int_array "visited" n_nodes (fun _ -> i 0);
+       Workload.init_int_array "mask" n_nodes (fun _ -> i 0);
+       Workload.init_int_array "newmask" n_nodes (fun _ -> i 0);
+       Workload.init_int_array "cost" n_nodes (fun _ -> i 0);
+       store "mask" (i 0) (i 1);
+       store "visited" (i 0) (i 1) ]
+    @ kernel_body)
+
+let hir : H.program =
+  { H.funs = [ main ];
+    arrays =
+      [ ("edge_start", n_nodes); ("edge_count", n_nodes); ("edges", n_edges);
+        ("visited", n_nodes); ("mask", n_nodes); ("newmask", n_nodes);
+        ("cost", n_nodes) ];
+    main = "main" }
+
+(* The Polly baseline looks at an outlined copy of the kernel, like the
+   paper inlines kernels for Polly to see the same region. *)
+let kernel_fn = H.fundef "bfs_kernel" [] kernel_body
+
+let hir_with_kernel = { hir with H.funs = kernel_fn :: hir.H.funs }
+
+let workload =
+  Workload.make ~name:"bfs" ~kernel:"bfs_kernel" ~fusion:Sched.Fusion.Maxfuse
+    ~paper:
+      { Workload.p_aff = "21%";
+        p_region = "bfs.cpp:137";
+        p_interproc = false;
+        p_polly = "BF";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "100%";
+        p_reuse = "1%";
+        p_preuse = "1%";
+        p_ld_src = 3;
+        p_ld_bin = 3;
+        p_tiled = 2;
+        p_tilops = "100%";
+        p_c = "1";
+        p_comp = "1";
+        p_fusion = "M" }
+    hir_with_kernel

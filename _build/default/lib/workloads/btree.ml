@@ -1,0 +1,76 @@
+(** mini-b+tree: batched key lookups descending a B+ tree laid out in
+    flat arrays.  Node fanout and child pointers are loaded (Polly
+    reasons B and F); the workload is almost pure memory traffic with no
+    floating point, and its setup phase contains many small loops (the
+    paper reports 15 components fused to 4). *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let order = 8  (* keys per node *)
+let levels = 3
+let n_nodes = 1 + order + (order * order)  (* simplistic complete tree *)
+let n_queries = 48
+
+let kernel_body =
+  (* queries x levels x in-node scan (3-D) *)
+  [ H.for_ ~loc:(Workload.loc "main.c" 2345) "q" (i 0) (i n_queries)
+      [ H.Let ("key", "queries".%[v "q"]);
+        H.Let ("node", i 0);
+        H.for_ ~loc:(Workload.loc "main.c" 2350) "lvl" (i 0) (i levels)
+          [ H.Let ("nk", "n_keys".%[v "node"]);
+            H.Let ("child", i 0);
+            H.for_ ~loc:(Workload.loc "main.c" 2354) "s" (i 0) (v "nk")
+              [ H.If
+                  ( "keys".%[(v "node" *! i order) +! v "s"] <=! v "key",
+                    [ H.Let ("child", v "s" +! i 1) ],
+                    [] ) ];
+            H.Let ("node", "children".%[(v "node" *! i order) +! v "child"]) ];
+        store "answers" (v "q") (v "node") ] ]
+
+let setup =
+  (* many small initialisation loops: the paper's 15 components *)
+  [ Workload.init_int_array "n_keys" n_nodes (fun _ -> i order);
+    Workload.init_int_array "keys" (n_nodes * order) (fun t -> (t *! i 7) %! i 4096);
+    Workload.init_int_array "children" (n_nodes * order)
+      (fun t -> (t +! i 1) %! i n_nodes);
+    Workload.init_int_array "queries" n_queries (fun t -> (t *! i 131) %! i 4096);
+    Workload.init_int_array "answers" n_queries (fun _ -> i 0);
+    Workload.init_int_array "lock" n_nodes (fun _ -> i 0);
+    Workload.init_int_array "height" n_nodes (fun _ -> i levels);
+    Workload.init_int_array "parent" n_nodes (fun t -> t /! i order) ]
+
+let main = H.fundef "main" [] (setup @ kernel_body)
+
+let kernel_fn = H.fundef "btree_kernel" [] kernel_body
+
+let hir : H.program =
+  { H.funs = [ kernel_fn; main ];
+    arrays =
+      [ ("n_keys", n_nodes); ("keys", n_nodes * order);
+        ("children", n_nodes * order); ("queries", n_queries);
+        ("answers", n_queries); ("lock", n_nodes); ("height", n_nodes);
+        ("parent", n_nodes) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"b+tree" ~kernel:"btree_kernel"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "49%";
+        p_region = "main.c:2345";
+        p_interproc = false;
+        p_polly = "BF";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "100%";
+        p_reuse = "44%";
+        p_preuse = "44%";
+        p_ld_src = 3;
+        p_ld_bin = 3;
+        p_tiled = 3;
+        p_tilops = "100%";
+        p_c = "15";
+        p_comp = "4";
+        p_fusion = "S" }
+    hir

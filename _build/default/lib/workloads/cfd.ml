@@ -1,0 +1,91 @@
+(** mini-cfd: unstructured-grid Euler solver (compute_flux-like).  Each
+    cell accumulates fluxes from its 4 neighbours found through an
+    indirection table (Polly reason F).  The innermost neighbour loop has
+    a constant trip count and is fully unrolled at lowering, so the
+    source has a 5-deep nest while the binary only has 4 (ld-src 5D,
+    ld-bin 4D). *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n_cells = 96
+let nnb = 4
+let n_vars = 3
+let iterations = 2
+
+let flux_kernel =
+  H.fundef "compute_flux" []
+    [ H.for_ ~loc:(Workload.loc "euler3d_cpu.cpp" 480) "blk" (i 0) (i 2)
+        [ H.for_ ~loc:(Workload.loc "euler3d_cpu.cpp" 484) "cell" (v "blk" *! i (n_cells / 2))
+            ((v "blk" +! i 1) *! i (n_cells / 2))
+            [ (* unrolled at compile time: vanishes from the binary *)
+              H.for_ ~loc:(Workload.loc "euler3d_cpu.cpp" 492) ~unroll:true "j" (i 0) (i nnb)
+                [ H.Let ("nb", "neighbors".%[(v "cell" *! i nnb) +! v "j"]);
+                  H.for_ ~loc:(Workload.loc "euler3d_cpu.cpp" 497) "k" (i 0) (i n_vars)
+                    [ H.Let ("fl", "fluxes".%[(v "cell" *! i n_vars) +! v "k"]);
+                      H.Let ("nv", "variables".%[(v "nb" *! i n_vars) +! v "k"]);
+                      H.Let ("cv", "variables".%[(v "cell" *! i n_vars) +! v "k"]);
+                      store "fluxes"
+                        ((v "cell" *! i n_vars) +! v "k")
+                        (v "fl" +? (f 0.25 *? (v "nv" -? v "cv"))) ] ] ] ] ]
+
+let time_step =
+  H.fundef "time_step" []
+    [ H.for_ ~loc:(Workload.loc "euler3d_cpu.cpp" 510) "c" (i 0) (i n_cells)
+        [ H.for_ "k" (i 0) (i n_vars)
+            [ H.Let ("idx", (v "c" *! i n_vars) +! v "k");
+              store "variables" (v "idx")
+                ("variables".%[v "idx"] +? (f 0.1 *? "fluxes".%[v "idx"])) ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "variables" (n_cells * n_vars)
+    @ Workload.init_float_array "fluxes" (n_cells * n_vars)
+    @ [ (* a structured mesh: neighbours at +-1 and +-row, clamped.  The
+           table is an indirection for the compiler (reason F), but the
+           traced addresses are (piecewise) affine, so the dynamic
+           analysis still folds the region exactly (the paper reports 98%
+           affine for cfd despite Polly's F). *)
+        H.for_ "c" (i 0) (i n_cells)
+          [ store "neighbors" (v "c" *! i nnb) ((v "c" +! i 1) %! i n_cells);
+            store "neighbors"
+              ((v "c" *! i nnb) +! i 1)
+              ((v "c" +! i (n_cells - 1)) %! i n_cells);
+            store "neighbors"
+              ((v "c" *! i nnb) +! i 2)
+              ((v "c" +! i 8) %! i n_cells);
+            store "neighbors"
+              ((v "c" *! i nnb) +! i 3)
+              ((v "c" +! i (n_cells - 8)) %! i n_cells) ];
+        H.for_ ~loc:(Workload.loc "euler3d_cpu.cpp" 600) "iter" (i 0) (i iterations)
+          [ H.CallS (None, "compute_flux", []);
+            H.CallS (None, "time_step", []) ] ])
+
+let hir : H.program =
+  { H.funs = [ flux_kernel; time_step; main ];
+    arrays =
+      [ ("variables", n_cells * n_vars); ("fluxes", n_cells * n_vars);
+        ("neighbors", n_cells * nnb) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"cfd" ~kernel:"compute_flux"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "98%";
+        p_region = "*3d_cpu.cpp:480";
+        p_interproc = true;
+        p_polly = "F";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "61%";
+        p_reuse = "18%";
+        p_preuse = "42%";
+        p_ld_src = 5;
+        p_ld_bin = 4;
+        p_tiled = 3;
+        p_tilops = "100%";
+        p_c = "1";
+        p_comp = "3";
+        p_fusion = "S" }
+    hir

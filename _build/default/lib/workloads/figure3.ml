@@ -1,0 +1,50 @@
+(** The two pedagogical examples of paper Fig. 3.
+
+    Example 1: a 2-D interprocedural nest — [M] calls [A], [A] runs loop
+    [L1] whose body calls [B], and [B] runs loop [L2].  The dynamic IIV
+    of a statement in [L2] must be 2-dimensional.
+
+    Example 2: recursion — [M] calls [D] (which calls [C]) and then [B];
+    [B] calls [C] and recursively calls itself.  The recursive component
+    {B} becomes a 1-dimensional loop whose induction variable counts
+    header calls/returns, keeping the representation depth independent of
+    the recursion depth. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let trip = 3
+
+let ex1 : H.program =
+  { H.funs =
+      [ H.fundef "B" [ "base_off" ]
+          [ H.for_ "j" (i 0) (i trip)
+              [ store "data" (v "base_off" +! v "j")
+                  ("data".%[v "base_off" +! v "j"] +! i 1) ] ];
+        H.fundef "A" []
+          [ H.for_ "i" (i 0) (i trip)
+              [ H.CallS (None, "B", [ v "i" *! i trip ]) ] ];
+        H.fundef "main" [] [ H.CallS (None, "A", []) ] ];
+    arrays = [ ("data", trip * trip) ];
+    main = "main" }
+
+let rec_depth = 3
+
+let ex2 : H.program =
+  { H.funs =
+      [ H.fundef "C" [ "x" ]
+          [ store "cnt" (i 0) ("cnt".%[i 0] +! v "x") ];
+        H.fundef "B" [ "d" ]
+          [ H.CallS (None, "C", [ v "d" ]);
+            H.If
+              ( v "d" <! i rec_depth,
+                [ H.CallS (None, "B", [ v "d" +! i 1 ]) ],
+                [] );
+            (* executed as many times as there are recursive calls:
+               part of the recursive loop (paper's B5 block) *)
+            store "cnt" (i 1) ("cnt".%[i 1] +! i 1) ];
+        H.fundef "D" [] [ H.CallS (None, "C", [ i 7 ]) ];
+        H.fundef "main" []
+          [ H.CallS (None, "D", []); H.CallS (None, "B", [ i 0 ]) ] ];
+    arrays = [ ("cnt", 2) ];
+    main = "main" }

@@ -1,0 +1,65 @@
+(** mini-GemsFDTD (paper case study II, Table 4): a finite-difference
+    time-domain method with two 3-D stencil update kernels
+    ([updateH_homo] / [updateE_homo]-like), each fully parallel and 3-D
+    tilable; the suggested transformation is tiling all dimensions plus
+    parallelising the outermost loop. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n = 10  (* grid edge *)
+let steps = 2
+let sz = n * n * n
+
+let idx x y z = ((x *! i (n * n)) +! (y *! i n)) +! z
+
+let update_h =
+  H.fundef "updateH_homo" []
+    [ H.for_ ~loc:(Workload.loc "update.F90" 106) "x" (i 0) (i (n - 1))
+        [ H.for_ ~loc:(Workload.loc "update.F90" 107) "y" (i 0) (i (n - 1))
+            [ H.for_ ~loc:(Workload.loc "update.F90" 121) "z" (i 0) (i (n - 1))
+                [ H.Let ("e0", "e_field".%[idx (v "x") (v "y") (v "z")]);
+                  H.Let ("ez", "e_field".%[idx (v "x") (v "y") (v "z" +! i 1)]);
+                  H.Let ("ey", "e_field".%[idx (v "x") (v "y" +! i 1) (v "z")]);
+                  H.Let ("ex", "e_field".%[idx (v "x" +! i 1) (v "y") (v "z")]);
+                  H.Let ("h", "h_field".%[idx (v "x") (v "y") (v "z")]);
+                  store "h_field"
+                    (idx (v "x") (v "y") (v "z"))
+                    (v "h"
+                    +? (f 0.5
+                       *? ((v "ez" -? v "e0") +? ((v "ey" -? v "e0") +? (v "ex" -? v "e0"))))
+                    ) ] ] ] ]
+
+let update_e =
+  H.fundef "updateE_homo" []
+    [ H.for_ ~loc:(Workload.loc "update.F90" 240) "x" (i 1) (i n)
+        [ H.for_ ~loc:(Workload.loc "update.F90" 241) "y" (i 1) (i n)
+            [ H.for_ ~loc:(Workload.loc "update.F90" 244) "z" (i 1) (i n)
+                [ H.Let ("h0", "h_field".%[idx (v "x") (v "y") (v "z")]);
+                  H.Let ("hz", "h_field".%[idx (v "x") (v "y") (v "z" -! i 1)]);
+                  H.Let ("hy", "h_field".%[idx (v "x") (v "y" -! i 1) (v "z")]);
+                  H.Let ("hx", "h_field".%[idx (v "x" -! i 1) (v "y") (v "z")]);
+                  H.Let ("e", "e_field".%[idx (v "x") (v "y") (v "z")]);
+                  store "e_field"
+                    (idx (v "x") (v "y") (v "z"))
+                    (v "e"
+                    +? (f 0.5
+                       *? ((v "h0" -? v "hz") +? ((v "h0" -? v "hy") +? (v "h0" -? v "hx"))))
+                    ) ] ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "e_field" sz
+    @ Workload.init_float_array "h_field" sz
+    @ [ H.for_ ~loc:(Workload.loc "GemsFDTD.F90" 50) "t" (i 0) (i steps)
+          [ H.CallS (None, "updateH_homo", []);
+            H.CallS (None, "updateE_homo", []) ] ])
+
+let hir : H.program =
+  { H.funs = Workload.libm @ [ update_h; update_e; main ];
+    arrays = [ ("e_field", sz + (2 * n * n)); ("h_field", sz + (2 * n * n)) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"gems_fdtd" ~kernel:"updateH_homo"
+    ~fusion:Sched.Fusion.Smartfuse hir

@@ -1,0 +1,97 @@
+(** mini-heartwall: ultrasound-image tracking.  A very deep nest (frames
+    x points x templates x 2-D correlation x accumulation = 7-D source;
+    the accumulation loop is unrolled away, 6-D binary) whose image
+    indexing is hand-linearised with modulo expressions — the paper's
+    explanation for the ~1% affine coverage ("no lattice support at
+    folding time").  Polly reasons: R (AVI library call), C (break), B
+    (loaded template count), F (modulo access). *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let frames = 2
+let points = 4
+let templates = 2
+let tdim = 4  (* template edge *)
+let img = 8  (* image edge; img*img is the modulo period *)
+
+let corr_kernel =
+  H.fundef "corr_point" [ "frame"; "p" ]
+    [ H.Let ("limit", "n_templates".%[i 0]);
+      H.for_ ~loc:(Workload.loc "main.c" 540) "t" (i 0) (v "limit")
+        [ H.If ("abort_flag".%[i 0] ==! i 1, [ H.Break ], []);
+          H.for_ ~loc:(Workload.loc "main.c" 545) "dy" (i 0) (i tdim)
+            [ H.for_ ~loc:(Workload.loc "main.c" 546) "dx" (i 0) (i tdim)
+                [ (* hand-linearised modulo indexing: wraps, not affine *)
+                  H.Let
+                    ( "off",
+                      (((v "p" *! i 23) +! (v "dy" *! i img)) +! v "dx"
+                      +! (v "frame" *! i 31))
+                      %! i (img * img) );
+                  H.Let ("iv", "image".%[v "off"]);
+                  H.Let
+                    ( "tv",
+                      "tmpl".%[(((v "t" *! i tdim) +! v "dy") *! i tdim) +! v "dx"] );
+                  (* unrolled accumulation steps: vanish from the binary *)
+                  H.for_ ~unroll:true "u" (i 0) (i 2)
+                    [ H.Let
+                        ( "woff",
+                          ((v "off" *! i 3) +! v "u" +! (v "t" *! i 11))
+                          %! i (img * img) );
+                      store "conv" (v "woff") (v "iv" *? v "tv") ] ] ] ] ]
+
+(* stands in for the AVI-library frame fetch (libc-like: reason R) *)
+let avi_get_frame =
+  H.fundef ~blacklisted:true "avi_get_frame" [ "frame" ]
+    [ H.for_ "px" (i 0) (i 8)
+        [ store "image" (v "px") ("video".%[v "px" +! (v "frame" *! i 8)]) ] ]
+
+let region =
+  H.fundef "heartwall_region" []
+    [ H.for_ ~loc:(Workload.loc "main.c" 536) "frame" (i 0) (i frames)
+        [ H.CallS (None, "avi_get_frame", [ v "frame" ]);
+          H.for_ ~loc:(Workload.loc "main.c" 538) "py" (i 0) (i 2)
+            [ H.for_ ~loc:(Workload.loc "main.c" 539) "px" (i 0) (i 2)
+                [ H.CallS
+                    (None, "corr_point", [ v "frame"; (v "py" *! i 2) +! v "px" ])
+                ] ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "image" (img * img)
+    @ Workload.init_float_array "tmpl" (templates * tdim * tdim)
+    @ Workload.init_float_array "conv" (img * img)
+    @ Workload.init_float_array "video" (frames * 8)
+    @ [ Workload.init_int_array "n_templates" 1 (fun _ -> i templates);
+        Workload.init_int_array "abort_flag" 1 (fun _ -> i 0);
+        H.CallS (None, "heartwall_region", []) ])
+
+let hir : H.program =
+  { H.funs = [ corr_kernel; avi_get_frame; region; main ];
+    arrays =
+      [ ("image", img * img); ("tmpl", templates * tdim * tdim);
+        ("conv", img * img); ("scores", frames * points); ("n_templates", 1);
+        ("abort_flag", 1); ("video", frames * 8) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"heartwall" ~kernel:"heartwall_region"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "1%";
+        p_region = "main.c:536";
+        p_interproc = true;
+        p_polly = "RCBF";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "100%";
+        p_reuse = "0%";
+        p_preuse = "0%";
+        p_ld_src = 7;
+        p_ld_bin = 6;
+        p_tiled = 5;
+        p_tilops = "100%";
+        p_c = "1";
+        p_comp = "3";
+        p_fusion = "S" }
+    hir

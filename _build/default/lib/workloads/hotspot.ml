@@ -1,0 +1,76 @@
+(** mini-hotspot: 2-D thermal simulation.  An in-place Gauss–Seidel-style
+    sweep whose row/column update uses already-updated west/north
+    neighbours, creating (1,-1)-shaped dependences — the wavefront that
+    makes the paper mark hotspot as needing skewing (skew = Y).  Grid
+    dimensions are loaded from memory (Polly reason B), and the many time
+    steps make the per-step buffer parity non-affine to fold (the paper
+    reports 0% affine). *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let rows = 12
+let cols = 12
+let steps = 20
+
+let kernel =
+  H.fundef "compute_tran_temp" [ "src_off"; "dst_off" ]
+    [ H.Let ("nr", "grid_dims".%[i 0]);
+      H.Let ("nc", "grid_dims".%[i 1]);
+      H.for_ ~loc:(Workload.loc "hotspot_openmp.cpp" 318) "r" (i 1) (v "nr" -! i 1)
+        [ H.for_ ~loc:(Workload.loc "hotspot_openmp.cpp" 321) "c" (i 1) (v "nc" -! i 1)
+            [ H.Let ("idx", (v "r" *! i cols) +! v "c");
+              (* west and north read the destination buffer: updated this
+                 sweep (the wavefront) *)
+              H.Let ("west", "temp".%[(v "dst_off" +! v "idx") -! i 1]);
+              H.Let ("north", "temp".%[(v "dst_off" +! v "idx") -! i cols]);
+              H.Let ("east", "temp".%[(v "src_off" +! v "idx") +! i 1]);
+              H.Let ("south", "temp".%[(v "src_off" +! v "idx") +! i cols]);
+              H.Let ("center", "temp".%[v "src_off" +! v "idx"]);
+              H.Let ("pwr", "power".%[v "idx"]);
+              store "temp"
+                (v "dst_off" +! v "idx")
+                (v "center"
+                +? (f 0.2
+                   *? ((v "west" +? v "north") +? ((v "east" +? v "south") +? v "pwr")))
+                ) ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "temp" (2 * rows * cols)
+    @ Workload.init_float_array "power" (rows * cols)
+    @ [ Workload.init_int_array "grid_dims" 2 (fun _ -> i rows);
+        H.for_ ~loc:(Workload.loc "hotspot_openmp.cpp" 290) "t" (i 0) (i steps)
+          [ (* buffer parity: src/dst offsets swap every step *)
+            H.Let ("par", v "t" %! i 2);
+            H.Let ("src", v "par" *! i (rows * cols));
+            H.Let ("dst", (i 1 -! v "par") *! i (rows * cols));
+            H.CallS (None, "compute_tran_temp", [ v "src"; v "dst" ]) ] ])
+
+let hir : H.program =
+  { H.funs = [ kernel; main ];
+    arrays =
+      [ ("temp", 2 * rows * cols); ("power", rows * cols); ("grid_dims", 2) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"hotspot" ~kernel:"compute_tran_temp"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "0%";
+        p_region = "*_openmp.cpp:318";
+        p_interproc = true;
+        p_polly = "B";
+        p_skew = true;
+        p_par = "100%";
+        p_simd = "100%";
+        p_reuse = "3%";
+        p_preuse = "3%";
+        p_ld_src = 4;
+        p_ld_bin = 4;
+        p_tiled = 2;
+        p_tilops = "100%";
+        p_c = "1";
+        p_comp = "1";
+        p_fusion = "S" }
+    hir

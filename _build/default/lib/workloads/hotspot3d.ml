@@ -1,0 +1,87 @@
+(** mini-hotspot3D: 3-D thermal simulation, Jacobi style (separate input
+    and output grids, so every spatial dimension is parallel — no skewing
+    needed, unlike 2-D hotspot).  Grid extents are loaded (Polly reason
+    B) and the ambient-temperature contribution goes through a per-layer
+    indirection table (reason F). *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n = 8
+let layers = 4
+let steps = 2
+let sz = layers * n * n
+
+let idx z y x = ((z *! i (n * n)) +! (y *! i n)) +! x
+
+let kernel =
+  H.fundef "hotspot_opt1" []
+    [ H.Let ("nz", "dims3".%[i 0]);
+      H.Let ("ny", "dims3".%[i 1]);
+      H.Let ("nx", "dims3".%[i 2]);
+      H.for_ ~loc:(Workload.loc "3D.c" 261) "t" (i 0) (i steps)
+      [ H.for_ ~loc:(Workload.loc "3D.c" 262) "z" (i 1) (v "nz" -! i 1)
+        [ H.for_ ~loc:(Workload.loc "3D.c" 264) "y" (i 1) (v "ny" -! i 1)
+            [ H.for_ ~loc:(Workload.loc "3D.c" 267) "x" (i 1) (v "nx" -! i 1)
+                [ H.Let ("amb_idx", "layer_map".%[v "z"]);
+                  H.Let ("amb", "amb_temp".%[v "amb_idx"]);
+                  H.Let ("c0", "tin".%[idx (v "z") (v "y") (v "x")]);
+                  H.Let ("w", "tin".%[idx (v "z") (v "y") (v "x" -! i 1)]);
+                  H.Let ("e", "tin".%[idx (v "z") (v "y") (v "x" +! i 1)]);
+                  H.Let ("no", "tin".%[idx (v "z") (v "y" -! i 1) (v "x")]);
+                  H.Let ("so", "tin".%[idx (v "z") (v "y" +! i 1) (v "x")]);
+                  H.Let ("up", "tin".%[idx (v "z" -! i 1) (v "y") (v "x")]);
+                  H.Let ("dn", "tin".%[idx (v "z" +! i 1) (v "y") (v "x")]);
+                  store "tout"
+                    (idx (v "z") (v "y") (v "x"))
+                    (v "c0"
+                    +? (f 0.1
+                       *? ((v "w" +? v "e")
+                          +? ((v "no" +? v "so") +? ((v "up" +? v "dn") +? v "amb"))))
+                    ) ] ] ];
+        (* copy back *)
+        H.for_ "cz" (i 0) (v "nz")
+          [ H.for_ "cy" (i 0) (v "ny")
+              [ H.for_ "cx" (i 0) (v "nx")
+                  [ store "tin"
+                      (idx (v "cz") (v "cy") (v "cx"))
+                      ("tout".%[idx (v "cz") (v "cy") (v "cx")]) ] ] ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "tin" sz
+    @ Workload.init_float_array "tout" sz
+    @ Workload.init_float_array "amb_temp" layers
+    @ [ Workload.init_int_array "layer_map" layers (fun t -> t);
+        Workload.init_int_array "dims3" 3 (fun _ -> i n);
+        store "dims3" (i 0) (i layers);
+        H.CallS (None, "hotspot_opt1", []) ])
+
+let hir : H.program =
+  { H.funs = [ kernel; main ];
+    arrays =
+      [ ("tin", sz + (2 * n * n)); ("tout", sz + (2 * n * n));
+        ("amb_temp", layers); ("layer_map", layers); ("dims3", 3) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"hotspot3D" ~kernel:"hotspot_opt1"
+    ~fusion:Sched.Fusion.Maxfuse
+    ~paper:
+      { Workload.p_aff = "99%";
+        p_region = "3D.c:261";
+        p_interproc = false;
+        p_polly = "BF";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "99%";
+        p_reuse = "11%";
+        p_preuse = "11%";
+        p_ld_src = 4;
+        p_ld_bin = 4;
+        p_tiled = 3;
+        p_tilops = "100%";
+        p_c = "1";
+        p_comp = "1";
+        p_fusion = "M" }
+    hir

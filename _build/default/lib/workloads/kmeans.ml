@@ -1,0 +1,105 @@
+(** mini-kmeans: k-means clustering.  The 4-D hot nest (iterations x
+    points x clusters x features) computes distances through a call to
+    [euclid_dist_2] (Polly reason R), centroids are updated through the
+    membership indirection (reason F), and the feature matrices are
+    passed through may-alias pointers (reason A). *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n_points = 48
+let n_clusters = 3
+let n_features = 4
+let iterations = 2
+
+let euclid =
+  H.fundef ~attrs:[ H.May_alias ] "euclid_dist_2"
+    [ "feat"; "clus"; "pt"; "cl" ]
+    [ H.Let ("dist", f 0.0);
+      H.for_ ~loc:(Workload.loc "kmeans_clustering.c" 168) "ff" (i 0) (i n_features)
+        [ H.Let ("a", load (v "feat" +! ((v "pt" *! i n_features) +! v "ff")));
+          H.Let ("b", load (v "clus" +! ((v "cl" *! i n_features) +! v "ff")));
+          H.Let ("d", v "a" -? v "b");
+          H.Let ("dist", v "dist" +? (v "d" *? v "d")) ];
+      H.Return (Some (v "dist")) ]
+
+let clustering =
+  H.fundef ~attrs:[ H.May_alias ] "kmeans_clustering" []
+    [ (* initial centers picked with the C library RNG (Polly reason R) *)
+      H.for_ "ci0" (i 0) (i n_clusters)
+        [ H.CallS (Some "rp", "rand", [ v "ci0" ]);
+          H.for_ "cf0" (i 0) (i n_features)
+            [ store "clusters"
+                ((v "ci0" *! i n_features) +! v "cf0")
+                "features".%[((v "rp" %! i n_points) *! i n_features) +! v "cf0"]
+            ] ];
+      H.for_ ~loc:(Workload.loc "kmeans_clustering.c" 160) "it" (i 0) (i iterations)
+        [ (* assignment step *)
+          H.for_ ~loc:(Workload.loc "kmeans_clustering.c" 164) "p" (i 0) (i n_points)
+            [ H.Let ("best", f 1e30);
+              H.Let ("bidx", i 0);
+              H.for_ ~loc:(Workload.loc "kmeans_clustering.c" 166) "cl" (i 0) (i n_clusters)
+                [ H.CallS
+                    ( Some "dd", "euclid_dist_2",
+                      [ base "features"; base "clusters"; v "p"; v "cl" ] );
+                  H.If
+                    ( v "dd" <? v "best",
+                      [ H.Let ("best", v "dd"); H.Let ("bidx", v "cl") ],
+                      [] ) ];
+              store "membership" (v "p") (v "bidx") ];
+          (* update step: centroid accumulation via membership *)
+          H.for_ "z" (i 0) (i (n_clusters * n_features))
+            [ store "new_centers" (v "z") (f 0.0) ];
+          H.for_ "zc" (i 0) (i n_clusters) [ store "new_sizes" (v "zc") (i 0) ];
+          H.for_ ~loc:(Workload.loc "kmeans_clustering.c" 190) "p2" (i 0) (i n_points)
+            [ H.Let ("m", "membership".%[v "p2"]);
+              store "new_sizes" (v "m") ("new_sizes".%[v "m"] +! i 1);
+              H.for_ "f2" (i 0) (i n_features)
+                [ H.Let ("acc_i", (v "m" *! i n_features) +! v "f2");
+                  store "new_centers" (v "acc_i")
+                    ("new_centers".%[v "acc_i"]
+                    +? "features".%[(v "p2" *! i n_features) +! v "f2"]) ] ];
+          H.for_ "c3" (i 0) (i n_clusters)
+            [ H.for_ "f3" (i 0) (i n_features)
+                [ H.Let ("ci", (v "c3" *! i n_features) +! v "f3");
+                  store "clusters" (v "ci")
+                    ("new_centers".%[v "ci"]
+                    /? (Itof "new_sizes".%[v "c3"] +? f 0.0001)) ] ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "features" (n_points * n_features)
+    @ Workload.init_float_array "clusters" (n_clusters * n_features)
+    @ [ H.CallS (None, "kmeans_clustering", []) ])
+
+let hir : H.program =
+  { H.funs = Workload.libm @ [ euclid; clustering; main ];
+    arrays =
+      [ ("features", n_points * n_features);
+        ("clusters", n_clusters * n_features);
+        ("membership", n_points);
+        ("new_centers", n_clusters * n_features);
+        ("new_sizes", n_clusters) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"kmeans" ~kernel:"kmeans_clustering"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "97%";
+        p_region = "*_clustering.c:160";
+        p_interproc = true;
+        p_polly = "RFA";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "100%";
+        p_reuse = "46%";
+        p_preuse = "53%";
+        p_ld_src = 4;
+        p_ld_bin = 4;
+        p_tiled = 4;
+        p_tilops = "100%";
+        p_c = "1";
+        p_comp = "3";
+        p_fusion = "S" }
+    hir

@@ -1,0 +1,74 @@
+(** mini-lavaMD: particle interactions within a 3-D box grid.  Each box
+    visits its neighbour boxes through a loaded neighbour list (Polly
+    reasons B and F); particle positions are accessed through the loaded
+    box offsets, so almost nothing is affine (the paper reports 0%). *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n_boxes = 16
+let max_nei = 3
+let par_per_box = 6
+
+let kernel_body =
+  [ H.for_ ~loc:(Workload.loc "kernel_cpu.c" 123) "bx" (i 0) (i n_boxes)
+      [ H.Let ("nn", "nei_count".%[v "bx"]);
+        H.for_ ~loc:(Workload.loc "kernel_cpu.c" 131) "nb" (i 0) (v "nn")
+          [ H.Let ("other", "nei_list".%[(v "bx" *! i max_nei) +! v "nb"]);
+            H.Let ("ooff", "box_offset".%[v "other"]);
+            H.Let ("boff", "box_offset".%[v "bx"]);
+            H.for_ ~loc:(Workload.loc "kernel_cpu.c" 142) "pi" (i 0) (i par_per_box)
+              [ H.for_ ~loc:(Workload.loc "kernel_cpu.c" 147) "pj" (i 0) (i par_per_box)
+                  [ H.Let ("xi", "posx".%[v "boff" +! v "pi"]);
+                    H.Let ("xj", "posx".%[v "ooff" +! v "pj"]);
+                    H.Let ("d", v "xi" -? v "xj");
+                    H.Let ("r2", v "d" *? v "d");
+                    H.Let ("s", f 1.0 /? (v "r2" +? f 0.5));
+                    store "force" (v "boff" +! v "pi")
+                      ("force".%[v "boff" +! v "pi"] +? (v "s" *? v "d")) ] ] ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "posx" (n_boxes * par_per_box)
+    @ Workload.init_float_array "force" (n_boxes * par_per_box)
+    @ [ Workload.init_int_array "nei_count" n_boxes (fun _ -> i max_nei);
+        (* scrambled neighbour ids: non-affine indirection like a real
+           3-D box decomposition *)
+        Workload.init_int_array "nei_list" (n_boxes * max_nei)
+          (fun t -> ((t *! t) +! (t *! i 3)) %! i n_boxes);
+        (* boxes are laid out consecutively, as in the original code *)
+        Workload.init_int_array "box_offset" n_boxes
+          (fun t -> t *! i par_per_box) ]
+    @ kernel_body)
+
+let kernel_fn = H.fundef "lavamd_kernel" [] kernel_body
+
+let hir : H.program =
+  { H.funs = [ kernel_fn; main ];
+    arrays =
+      [ ("posx", n_boxes * par_per_box); ("force", n_boxes * par_per_box);
+        ("nei_count", n_boxes); ("nei_list", n_boxes * max_nei);
+        ("box_offset", n_boxes) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"lavaMD" ~kernel:"lavamd_kernel"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "0%";
+        p_region = "kernel_cpu.c:123";
+        p_interproc = false;
+        p_polly = "BF";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "100%";
+        p_reuse = "0%";
+        p_preuse = "0%";
+        p_ld_src = 4;
+        p_ld_bin = 4;
+        p_tiled = 3;
+        p_tilops = "100%";
+        p_c = "1";
+        p_comp = "2";
+        p_fusion = "S" }
+    hir

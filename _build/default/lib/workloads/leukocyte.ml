@@ -1,0 +1,105 @@
+(** mini-leukocyte: cell detection and tracking in video frames.  The
+    busiest benchmark structurally: many distinct processing loops (the
+    paper counts 11 components), a GICOV computation with library calls
+    (R), an early-exit scan (C), sample counts loaded from memory (B),
+    ellipse-point indirections (F), may-alias frame pointers (A) and a
+    row pointer fetched inside the loop (P) — the full reason string
+    RCBFAP. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n_cells = 6
+let n_angles = 8
+let n_samples = 5
+let img_w = 16
+let img_h = 12
+
+let gicov =
+  H.fundef ~attrs:[ H.May_alias ] "compute_gicov" [ "frame"; "cell" ]
+    [ H.Let ("ns", "sample_count".%[i 0]);
+      H.Let ("score", f 0.0);
+      H.for_ ~loc:(Workload.loc "detect_main.c" 60) "ang" (i 0) (i n_angles)
+        [ (* row pointer fetched per angle: reason P *)
+          H.Let ("rowp", "row_ptrs".%[v "ang"]);
+          H.Let ("acc", f 0.0);
+          H.for_ ~loc:(Workload.loc "detect_main.c" 66) "sm" (i 0) (v "ns")
+            [ H.Let ("off", "ellipse_x".%[(v "ang" *! i n_samples) +! v "sm"]);
+              H.Let ("pix", load (v "rowp" +! v "off"));
+              H.Let ("acc", v "acc" +? (v "pix" *? v "pix")) ];
+          H.If (v "acc" >? f 1e6, [ H.Break ], []);
+          H.CallS (Some "e", "exp", [ f 0.0 -? v "acc" ]);
+          H.Let ("score", v "score" +? v "e") ];
+      H.Store (base "gicov_scores" +! v "cell", v "score") ]
+
+let dilate =
+  H.fundef "dilate_matrix" []
+    [ H.for_ ~loc:(Workload.loc "track_ellipse.c" 35) "dy" (i 0) (i img_h)
+        [ H.for_ "dx" (i 0) (i img_w)
+            [ H.Let ("di", (v "dy" *! i img_w) +! v "dx");
+              store "dil" (v "di")
+                ("img".%[v "di"] +? "img".%[(v "di" +! i 1) %! i (img_w * img_h)]) ] ] ]
+
+let region =
+  H.fundef "leukocyte_region" []
+    [ H.for_ ~loc:(Workload.loc "detect_main.c" 51) "frame" (i 0) (i 2)
+        [ H.CallS (None, "avi_frame", [ v "frame" ]);
+          H.for_ ~loc:(Workload.loc "detect_main.c" 54) "cell" (i 0) (i n_cells)
+            [ H.CallS (None, "compute_gicov", [ v "frame"; v "cell" ]) ];
+          H.CallS (None, "dilate_matrix", []) ] ]
+
+let avi_frame =
+  H.fundef ~blacklisted:true "avi_frame" [ "frame" ]
+    [ H.for_ "px" (i 0) (i 16)
+        [ store "img" (v "px") ("stream".%[(v "frame" *! i 16) +! v "px"]) ] ]
+
+(* the paper counts 11 components: several small pre/post-processing
+   loops around the hot ones *)
+let preprocess =
+  Workload.init_float_array "img" (img_w * img_h)
+  @ Workload.init_float_array "dil" (img_w * img_h)
+  @ Workload.init_float_array "stream" 64
+  @ [ Workload.init_int_array "ellipse_x" (n_angles * n_samples)
+        (fun t -> ((t *! i 7) +! i 3) %! i img_w);
+      Workload.init_int_array "row_ptrs" img_h
+        (fun t -> base "img" +! (t *! i img_w));
+      Workload.init_int_array "sample_count" 1 (fun _ -> i n_samples) ]
+  @ Workload.init_float_array "gicov_scores" n_cells
+  @ Workload.init_float_array "grad_x" (img_w * img_h)
+  @ Workload.init_float_array "grad_y" (img_w * img_h)
+  @ Workload.init_float_array "strel" 25
+
+let main =
+  H.fundef "main" []
+    (preprocess @ [ H.CallS (None, "leukocyte_region", []) ])
+
+let hir : H.program =
+  { H.funs = Workload.libm @ [ gicov; dilate; avi_frame; region; main ];
+    arrays =
+      [ ("img", img_w * img_h); ("dil", img_w * img_h); ("stream", 64);
+        ("ellipse_x", n_angles * n_samples); ("row_ptrs", img_h);
+        ("sample_count", 1); ("gicov_scores", n_cells);
+        ("grad_x", img_w * img_h); ("grad_y", img_w * img_h); ("strel", 25) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"leukocyte" ~kernel:"leukocyte_region"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "39%";
+        p_region = "detect_main.c:51";
+        p_interproc = true;
+        p_polly = "RCBFAP";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "100%";
+        p_reuse = "63%";
+        p_preuse = "63%";
+        p_ld_src = 4;
+        p_ld_bin = 4;
+        p_tiled = 3;
+        p_tilops = "100%";
+        p_c = "11";
+        p_comp = "5";
+        p_fusion = "S" }
+    hir

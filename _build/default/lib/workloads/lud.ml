@@ -1,0 +1,106 @@
+(** mini-lud: blocked LU decomposition.  Three kernels per block step —
+    diagonal factorisation, perimeter update, internal update (the
+    paper's 3 components) — over a matrix whose dimension is loaded at
+    run time, so every linearised access [a[i*n+j]] multiplies two
+    non-constants (Polly reasons B and F).  The hand-linearised offsets
+    use modulo wrap-arounds that defeat exact folding (the paper reports
+    4% affine). *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let dim = 16
+let bs = 4  (* block size *)
+let blocks = dim / bs
+
+(* the modulus is smaller than the matrix, so the hand-linearised reads
+   genuinely wrap around (the paper: "hand linearized nested loops whose
+   bounds use modulo expressions ... not recognized as fully affine") *)
+let idx_wrapped r c = ((r *! i dim) +! c) %! i 199
+
+let diag =
+  H.fundef "lud_diagonal" [ "off" ]
+    [ H.Let ("n", "mat_dim".%[i 0]);
+      H.for_ ~loc:(Workload.loc "lud.c" 121) "k" (i 0) (i bs)
+        [ H.for_ ~loc:(Workload.loc "lud.c" 124) "r" (v "k" +! i 1) (i bs)
+            [ H.Let ("piv", "a".%[idx_wrapped (v "off" +! v "k") ((v "off" +! v "k") *! i 0 +! v "off" +! v "k")]);
+              H.Let ("cur", "a".%[idx_wrapped (v "off" +! v "r") (v "off" +! v "k")]);
+              H.Let ("fac", v "cur" /? (v "piv" +? f 0.001));
+              store "a" (((v "off" +! v "r") *! v "n") +! (v "off" +! v "k")) (v "fac");
+              H.for_ ~loc:(Workload.loc "lud.c" 126) "c" (v "k" +! i 1) (i bs)
+                [ H.Let ("up", "a".%[idx_wrapped (v "off" +! v "k") (v "off" +! v "c")]);
+                  H.Let ("lo2", "a".%[idx_wrapped (v "off" +! v "r") (v "off" +! v "c")]);
+                  store "a"
+                    (((v "off" +! v "r") *! v "n") +! (v "off" +! v "c"))
+                    (v "lo2" -? (v "fac" *? v "up")) ] ] ] ]
+
+let perimeter =
+  H.fundef "lud_perimeter" [ "off" ]
+    [ H.Let ("n", "mat_dim".%[i 0]);
+      H.for_ ~loc:(Workload.loc "lud.c" 150) "b" (v "off" /! i bs +! i 1) (i blocks)
+        [ H.for_ "k2" (i 0) (i bs)
+            [ H.for_ "c2" (i 0) (i bs)
+                [ H.Let ("v1", "a".%[idx_wrapped (v "off" +! v "k2") ((v "b" *! i bs) +! v "c2")]);
+                  store "a"
+                    (((v "off" +! v "k2") *! v "n") +! ((v "b" *! i bs) +! v "c2"))
+                    (v "v1" *? f 0.99) ] ] ] ]
+
+let internal =
+  H.fundef "lud_internal" [ "off" ]
+    [ H.Let ("n", "mat_dim".%[i 0]);
+      H.for_ ~loc:(Workload.loc "lud.c" 180) "bi" (v "off" /! i bs +! i 1) (i blocks)
+        [ H.for_ "bj" (v "off" /! i bs +! i 1) (i blocks)
+            [ H.for_ "r3" (i 0) (i bs)
+                [ H.for_ "c3" (i 0) (i bs)
+                    [ H.Let ("sum", f 0.0);
+                      H.for_ "k3" (i 0) (i bs)
+                        [ H.Let ("l", "a".%[idx_wrapped ((v "bi" *! i bs) +! v "r3") (v "off" +! v "k3")]);
+                          H.Let ("u", "a".%[idx_wrapped (v "off" +! v "k3") ((v "bj" *! i bs) +! v "c3")]);
+                          H.Let ("sum", v "sum" +? (v "l" *? v "u")) ];
+                      H.Let
+                        ( "self",
+                          "a".%[idx_wrapped ((v "bi" *! i bs) +! v "r3") ((v "bj" *! i bs) +! v "c3")] );
+                      store "a"
+                        ((((v "bi" *! i bs) +! v "r3") *! v "n")
+                        +! ((v "bj" *! i bs) +! v "c3"))
+                        (v "self" -? v "sum") ] ] ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "a" (dim * dim)
+    @ [ Workload.init_int_array "mat_dim" 1 (fun _ -> i dim);
+        H.for_ ~loc:(Workload.loc "lud.c" 110) "blk" (i 0) (i blocks)
+          [ H.Let ("off", v "blk" *! i bs);
+            H.CallS (None, "lud_diagonal", [ v "off" ]);
+            H.If
+              ( v "blk" <! i (blocks - 1),
+                [ H.CallS (None, "lud_perimeter", [ v "off" ]);
+                  H.CallS (None, "lud_internal", [ v "off" ]) ],
+                [] ) ] ])
+
+let hir : H.program =
+  { H.funs = [ diag; perimeter; internal; main ];
+    arrays = [ ("a", dim * dim); ("mat_dim", 1) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"lud" ~kernel:"lud_internal"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "4%";
+        p_region = "lud.c:121";
+        p_interproc = true;
+        p_polly = "BF";
+        p_skew = false;
+        p_par = "99%";
+        p_simd = "98%";
+        p_reuse = "0%";
+        p_preuse = "1%";
+        p_ld_src = 5;
+        p_ld_bin = 5;
+        p_tiled = 3;
+        p_tilops = "99%";
+        p_c = "3";
+        p_comp = "3";
+        p_fusion = "S" }
+    hir

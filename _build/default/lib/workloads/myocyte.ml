@@ -1,0 +1,73 @@
+(** mini-myocyte: cardiac myocyte ODE simulation.  A sequential time
+    loop drives an embedded Runge–Kutta-style solver whose inner stage
+    evaluates the equation system; a data-dependent error check exits
+    the stage loop early (Polly reason C), the solver workspace is
+    passed through may-alias pointers (A) and the adaptive attempt loop
+    is a while (B).  The stage-combination loop is unrolled away, so
+    the 4-D source shows up as 3-D in the binary. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n_eq = 10
+let time_steps = 12
+let max_attempts = 3
+
+let solver =
+  H.fundef ~attrs:[ H.May_alias ] "solver_step" [ "y"; "ynext"; "t" ]
+    [ H.Let ("attempt", i 0);
+      H.while_ ~loc:(Workload.loc "main.c" 290) (v "attempt" <! i max_attempts)
+        [ H.Let ("err", f 0.0);
+          H.for_ ~loc:(Workload.loc "main.c" 283) "eq" (i 0) (i (n_eq - 1))
+            [ H.Let ("yv", load (v "y" +! v "eq"));
+              H.Let ("nb", load (v "y" +! (v "eq" +! i 1)));
+              (* two unrolled RK stage accumulations *)
+              H.Let ("acc", f 0.0);
+              H.for_ ~unroll:true "st" (i 0) (i 2)
+                [ H.Let ("acc", v "acc" +? (f 0.5 *? (v "nb" -? v "yv"))) ];
+              store "scratch" (v "eq") (v "yv" +? (f 0.01 *? v "acc"));
+              H.Let ("err", v "err" +? (v "acc" *? v "acc")) ];
+          H.If (v "err" <? f 0.4, [ H.Break ], []);
+          H.Let ("attempt", v "attempt" +! i 1) ];
+      H.for_ "cp" (i 0) (i n_eq)
+        [ H.Store (v "ynext" +! v "cp", "scratch".%[v "cp"]) ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "y0" n_eq
+    @ Workload.init_float_array "y1" n_eq
+    @ Workload.init_float_array "scratch" n_eq
+    @ [ H.for_ ~loc:(Workload.loc "main.c" 270) "t" (i 0) (i time_steps)
+          [ H.Let ("par", v "t" %! i 2);
+            H.If
+              ( v "par" ==! i 0,
+                [ H.CallS (None, "solver_step", [ base "y0"; base "y1"; v "t" ]) ],
+                [ H.CallS (None, "solver_step", [ base "y1"; base "y0"; v "t" ]) ]
+              ) ] ])
+
+let hir : H.program =
+  { H.funs = [ solver; main ];
+    arrays = [ ("y0", n_eq); ("y1", n_eq); ("scratch", n_eq) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"myocyte" ~kernel:"solver_step"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "89%";
+        p_region = "main.c:283";
+        p_interproc = true;
+        p_polly = "CBA";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "99%";
+        p_reuse = "47%";
+        p_preuse = "47%";
+        p_ld_src = 4;
+        p_ld_bin = 3;
+        p_tiled = 1;
+        p_tilops = "99%";
+        p_c = "1";
+        p_comp = "3";
+        p_fusion = "S" }
+    hir

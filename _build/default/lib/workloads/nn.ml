@@ -1,0 +1,75 @@
+(** mini-nn: nearest-neighbour search over geographic records.  A single
+    1-D loop over records whose coordinates are reached through a loaded
+    record-pointer table (Polly reason F) and whose distance is computed
+    by a library call (reason R); almost no affine structure or reuse —
+    the paper's nn row. *)
+
+open Vm.Hir.Dsl
+module H =Vm.Hir
+
+let n_records = 256
+let rec_size = 3
+
+(* stands in for the C library's strtof/atof-style record parsing *)
+let parse_dist =
+  H.fundef ~blacklisted:true "parse_distance" [ "ptr"; "lat"; "lng" ]
+    [ H.Let ("a", load (v "ptr") -? v "lat");
+      H.Let ("b", load (v "ptr" +! i 1) -? v "lng");
+      H.Return (Some ((v "a" *? v "a") +? (v "b" *? v "b"))) ]
+
+let kernel_body =
+  [ H.Let ("best", f 1e30);
+    H.Let ("besti", i 0);
+    H.for_ ~loc:(Workload.loc "nn_openmp.c" 119) "r" (i 0) (i n_records)
+      [ (* record order comes from the hurricane database index: an
+           indirection (Polly reason F) *)
+        H.Let ("off", "rec_idx".%[v "r"] *! i rec_size);
+        H.Let ("lat0", "records".%[v "off"]);
+        H.Let ("lng0", "records".%[v "off" +! i 1]);
+        H.Let ("bias", v "lat0" *? v "lng0");
+        H.CallS
+          ( Some "d", "parse_distance",
+            [ base "records" +! v "off"; f 30.0; f 50.0 ] );
+        H.Let ("d", v "d" +? (f 0.0001 *? v "bias"));
+        H.If (v "d" <? v "best", [ H.Let ("best", v "d"); H.Let ("besti", v "r") ], []) ];
+    store "result" (i 0) (v "besti") ]
+
+let main =
+  H.fundef "main" []
+    ([ (* cheap record fill: the analysed region must dominate *)
+       H.for_ "t" (i 0) (i (n_records * rec_size))
+         [ store "records" (v "t") (Itof (v "t" %! i 91) /? f 7.0) ];
+       Workload.init_int_array "rec_idx" n_records
+         (fun t -> ((t *! t) +! (t *! i 7)) %! i n_records)
+     ]
+    @ kernel_body)
+
+let kernel_fn = H.fundef "nn_kernel" [] kernel_body
+
+let hir : H.program =
+  { H.funs = [ parse_dist; kernel_fn; main ];
+    arrays =
+      [ ("records", n_records * rec_size); ("rec_idx", n_records);
+        ("result", 1) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"nn" ~kernel:"nn_kernel" ~fusion:Sched.Fusion.Maxfuse
+    ~paper:
+      { Workload.p_aff = "1%";
+        p_region = "nn_openmp.c:119";
+        p_interproc = true;
+        p_polly = "RF";
+        p_skew = false;
+        p_par = "100%";
+        p_simd = "0%";
+        p_reuse = "0%";
+        p_preuse = "0%";
+        p_ld_src = 1;
+        p_ld_bin = 1;
+        p_tiled = 1;
+        p_tilops = "100%";
+        p_c = "1";
+        p_comp = "1";
+        p_fusion = "M" }
+    hir

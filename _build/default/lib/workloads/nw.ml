@@ -1,0 +1,80 @@
+(** mini-nw: Needleman–Wunsch sequence alignment.  A 2-D dynamic program
+    reading west, north and north-west neighbours: no dimension is
+    parallel, but the (i,j) band is fully permutable, so the suggested
+    transformation skews to expose wavefront parallelism and tiles (the
+    paper's skew = Y row).  The similarity matrix is reached through a
+    loaded reference pointer (Polly reason F) and [maximum] is a library
+    call (reason R).  Two triangular phases give 2 components. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n = 24
+
+let maximum =
+  H.fundef ~blacklisted:true "maximum" [ "a"; "b"; "c" ]
+    [ H.Let ("m", v "a");
+      H.If (v "b" >? v "m", [ H.Let ("m", v "b") ], []);
+      H.If (v "c" >? v "m", [ H.Let ("m", v "c") ], []);
+      H.Return (Some (v "m")) ]
+
+let kernel =
+  H.fundef "nw_dp" []
+    [ (* the row stride comes from memory, so the linearised accesses
+         multiply two values a static tool cannot bound (Polly reason F);
+         at run time the stride is a constant and everything folds *)
+      H.Let ("nc", "dims_nw".%[i 0]);
+      (* phase 1: full upper square *)
+      H.for_ ~loc:(Workload.loc "needle.cpp" 308) "ii" (i 1) (i n)
+        [ H.for_ ~loc:(Workload.loc "needle.cpp" 310) "jj" (i 1) (i n)
+            [ H.Let ("nw1", "score".%[((v "ii" -! i 1) *! v "nc") +! (v "jj" -! i 1)]);
+              H.Let ("w1", "score".%[(v "ii" *! v "nc") +! (v "jj" -! i 1)]);
+              H.Let ("n1", "score".%[((v "ii" -! i 1) *! v "nc") +! v "jj"]);
+              H.Let ("rv", "reference".%[(v "ii" *! v "nc") +! v "jj"]);
+              H.CallS
+                ( Some "m", "maximum",
+                  [ v "nw1" +? v "rv"; v "w1" -? f 1.0; v "n1" -? f 1.0 ] );
+              store "score" ((v "ii" *! v "nc") +! v "jj") (v "m") ] ];
+      (* phase 2: traceback preparation sweep (second component) *)
+      H.for_ ~loc:(Workload.loc "needle.cpp" 345) "i2" (i 1) (i n)
+        [ H.for_ "j2" (i 1) (i n)
+            [ store "trace"
+                ((v "i2" *! v "nc") +! v "j2")
+                ("score".%[(v "i2" *! v "nc") +! v "j2"]
+                -? "score".%[((v "i2" -! i 1) *! v "nc") +! (v "j2" -! i 1)]) ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "score" (n * n)
+    @ Workload.init_float_array "reference" (n * n)
+    @ Workload.init_float_array "trace" (n * n)
+    @ [ Workload.init_int_array "dims_nw" 1 (fun _ -> i n);
+        H.CallS (None, "nw_dp", []) ])
+
+let hir : H.program =
+  { H.funs = [ maximum; kernel; main ];
+    arrays =
+      [ ("score", n * n); ("reference", n * n); ("trace", n * n);
+        ("dims_nw", 1) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"nw" ~kernel:"nw_dp" ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "99%";
+        p_region = "needle.cpp:308";
+        p_interproc = true;
+        p_polly = "RF";
+        p_skew = true;
+        p_par = "100%";
+        p_simd = "100%";
+        p_reuse = "77%";
+        p_preuse = "77%";
+        p_ld_src = 4;
+        p_ld_bin = 4;
+        p_tiled = 2;
+        p_tilops = "100%";
+        p_c = "2";
+        p_comp = "2";
+        p_fusion = "S" }
+    hir

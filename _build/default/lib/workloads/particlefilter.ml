@@ -1,0 +1,91 @@
+(** mini-particlefilter: a sequential Monte-Carlo tracker.  Each frame
+    runs a chain of small per-particle loops — likelihood, weight
+    update, normalisation, a sequential cumulative sum, and a resampling
+    scan with an inner early-exit search (Polly reason C) through index
+    arrays (reason F).  The paper counts 22 components collapsing to 2;
+    the mini has a smaller but similarly-shaped phase chain. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n_particles = 32
+let n_frames = 3
+
+let kernel_body =
+  [ H.for_ ~loc:(Workload.loc "ex_particle_seq.c" 593) "fr" (i 0) (i n_frames)
+      [ (* phase 1: motion + likelihood *)
+        H.for_ ~loc:(Workload.loc "ex_particle_seq.c" 600) "p" (i 0) (i n_particles)
+          [ H.Let ("x", "arrayX".%[v "p"]);
+            store "arrayX" (v "p") (v "x" +? f 1.0);
+            H.Let ("lh", (v "x" *? v "x") /? f 50.0);
+            store "likelihood" (v "p") (v "lh") ];
+        (* phase 2: weights *)
+        H.for_ "p2" (i 0) (i n_particles)
+          [ store "weights" (v "p2")
+              ("weights".%[v "p2"] *? "likelihood".%[v "p2"]) ];
+        (* phase 3: sum of weights (sequential reduction) *)
+        H.Let ("sumw", f 0.0);
+        H.for_ "p3" (i 0) (i n_particles)
+          [ H.Let ("sumw", v "sumw" +? "weights".%[v "p3"]) ];
+        (* phase 4: normalise *)
+        H.for_ "p4" (i 0) (i n_particles)
+          [ store "weights" (v "p4") ("weights".%[v "p4"] /? (v "sumw" +? f 0.001)) ];
+        (* phase 5: cumulative distribution (loop-carried scan) *)
+        store "cdf" (i 0) ("weights".%[i 0]);
+        H.for_ "p5" (i 1) (i n_particles)
+          [ store "cdf" (v "p5") ("cdf".%[v "p5" -! i 1] +? "weights".%[v "p5"]) ];
+        (* phase 6: resampling with early-exit search *)
+        H.for_ "p6" (i 0) (i n_particles)
+          [ H.Let ("u", Itof (v "p6") /? f 32.0);
+            H.Let ("picked", i 0);
+            H.for_ "s" (i 0) (i n_particles)
+              [ H.If
+                  ( "cdf".%[v "s"] >? v "u",
+                    [ H.Let ("picked", v "s"); H.Break ],
+                    [] ) ];
+            store "indices" (v "p6") (v "picked") ];
+        (* phase 7: gather through the index array *)
+        H.for_ "p7" (i 0) (i n_particles)
+          [ store "arrayX" (v "p7") ("arrayX".%["indices".%[v "p7"]]);
+            store "weights" (v "p7") (f 1.0 /? f 32.0) ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "arrayX" n_particles
+    @ Workload.init_float_array "weights" n_particles
+    @ Workload.init_float_array "likelihood" n_particles
+    @ Workload.init_float_array "cdf" n_particles
+    @ [ Workload.init_int_array "indices" n_particles (fun _ -> i 0) ]
+    @ kernel_body)
+
+let kernel_fn = H.fundef "particlefilter_kernel" [] kernel_body
+
+let hir : H.program =
+  { H.funs = [ kernel_fn; main ];
+    arrays =
+      [ ("arrayX", n_particles); ("weights", n_particles);
+        ("likelihood", n_particles); ("cdf", n_particles);
+        ("indices", n_particles) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"particlefilter" ~kernel:"particlefilter_kernel"
+    ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "27%";
+        p_region = "*_seq.c:593";
+        p_interproc = false;
+        p_polly = "CF";
+        p_skew = false;
+        p_par = "99%";
+        p_simd = "100%";
+        p_reuse = "55%";
+        p_preuse = "55%";
+        p_ld_src = 3;
+        p_ld_bin = 3;
+        p_tiled = 2;
+        p_tilops = "100%";
+        p_c = "22";
+        p_comp = "2";
+        p_fusion = "S" }
+    hir

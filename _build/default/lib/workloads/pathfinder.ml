@@ -1,0 +1,74 @@
+(** mini-pathfinder: grid dynamic programming.  Each row's result reads
+    the previous row at columns j-1, j, j+1 — the (1,-1) dependence that
+    requires skewing before the (t,j) band can be tiled (the paper's
+    skew = Y).  The source and destination row pointers are loaded and
+    swapped every step (Polly reason P) and the column count is loaded
+    (reason B). *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let cols = 24
+let steps = 12
+
+let kernel_body =
+  [ H.Let ("srcp", "rowptr".%[i 0]);
+    H.Let ("dstp", "rowptr".%[i 1]);
+    H.for_ ~loc:(Workload.loc "pathfinder.cpp" 99) "t" (i 0) (i steps)
+      [ (* classic double-buffer pointer swap: the base pointers are not
+           loop invariant (Polly reason P) *)
+        H.Let ("tmpp", v "srcp");
+        H.Let ("srcp", v "dstp");
+        H.Let ("dstp", v "tmpp");
+        H.Let ("nc", "ncols".%[i 0]);
+        H.for_ ~loc:(Workload.loc "pathfinder.cpp" 105) "j" (i 1) (v "nc" -! i 1)
+          [ H.Let ("left", load (v "srcp" +! (v "j" -! i 1)));
+            H.Let ("mid", load (v "srcp" +! v "j"));
+            H.Let ("right", load (v "srcp" +! (v "j" +! i 1)));
+            H.Let ("m", v "mid");
+            H.If (v "left" <? v "m", [ H.Let ("m", v "left") ], []);
+            H.If (v "right" <? v "m", [ H.Let ("m", v "right") ], []);
+            H.Store
+              ( v "dstp" +! v "j",
+                v "m" +? "wall".%[(v "t" *! i cols) +! v "j"] ) ] ] ]
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "row0" cols
+    @ Workload.init_float_array "row1" cols
+    @ Workload.init_float_array "wall" (cols * steps)
+    @ [ Workload.init_int_array "ncols" 1 (fun _ -> i cols);
+        store "rowptr" (i 0) (base "row0");
+        store "rowptr" (i 1) (base "row1") ]
+    @ kernel_body)
+
+let kernel_fn = H.fundef "pathfinder_kernel" [] kernel_body
+
+let hir : H.program =
+  { H.funs = [ kernel_fn; main ];
+    arrays =
+      [ ("row0", cols); ("row1", cols); ("wall", cols * steps); ("ncols", 1);
+        ("rowptr", 2) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"pathfinder" ~kernel:"pathfinder_kernel"
+    ~fusion:Sched.Fusion.Maxfuse
+    ~paper:
+      { Workload.p_aff = "67%";
+        p_region = "pathfinder.cpp:99";
+        p_interproc = false;
+        p_polly = "BP";
+        p_skew = true;
+        p_par = "100%";
+        p_simd = "0%";
+        p_reuse = "0%";
+        p_preuse = "40%";
+        p_ld_src = 2;
+        p_ld_bin = 2;
+        p_tiled = 2;
+        p_tilops = "100%";
+        p_c = "1";
+        p_comp = "1";
+        p_fusion = "M" }
+    hir

@@ -1,0 +1,30 @@
+(** The mini-Rodinia 3.1 registry: all 19 CPU benchmarks of the paper's
+    Table 5, in the paper's row order. *)
+
+let all : Workload.t list =
+  [ Backprop.workload;
+    Bfs.workload;
+    Btree.workload;
+    Cfd.workload;
+    Heartwall.workload;
+    Hotspot.workload;
+    Hotspot3d.workload;
+    Kmeans.workload;
+    Lavamd.workload;
+    Leukocyte.workload;
+    Lud.workload;
+    Myocyte.workload;
+    Nn.workload;
+    Nw.workload;
+    Particlefilter.workload;
+    Pathfinder.workload;
+    Srad.v1;
+    Srad.v2;
+    Streamcluster.workload ]
+
+let find name =
+  match List.find_opt (fun (w : Workload.t) -> w.w_name = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("Rodinia.find: unknown benchmark " ^ name)
+
+let names = List.map (fun (w : Workload.t) -> w.w_name) all

@@ -1,0 +1,101 @@
+type outcome = {
+  row : Sched.Metrics.row;
+  polly : Staticbase.Polly_lite.verdict;
+  pipeline : Polyprof.t option;
+  dep_keys : int;
+  sched_bailed : bool;
+}
+
+let sched_budget = 1200
+
+let run ?(budget = sched_budget) (w : Workload.t) =
+  let prog = Vm.Hir.lower w.Workload.hir in
+  let structure = Cfg.Cfg_builder.run prog in
+  let profile = Ddg.Depprof.profile prog ~structure in
+  let dep_keys = List.length profile.Ddg.Depprof.deps in
+  let polly =
+    Staticbase.Polly_lite.analyse_function w.Workload.hir w.Workload.kernel_func
+  in
+  let ld_src = Workload.src_loop_depth w.Workload.hir in
+  if w.Workload.expect_sched_failure || dep_keys > budget then begin
+    (* the scheduling stage declares a blow-up; keep the columns the
+       profiling stages can still provide, like the paper does for
+       streamcluster *)
+    let base =
+      (* a restricted analysis (statements only, no dependence-driven
+         scheduling) yields the profiling columns *)
+      let analysis =
+        Sched.Depanalysis.analyse prog
+          { profile with Ddg.Depprof.deps = [] }
+      in
+      Sched.Metrics.compute ~name:w.Workload.w_name ~ld_src prog profile
+        analysis
+    in
+    { row =
+        Sched.Metrics.failed_row ~base_row:base ~name:w.Workload.w_name
+          ~ops:profile.Ddg.Depprof.run_stats.Vm.Interp.dyn_instrs
+          ~mem:profile.Ddg.Depprof.run_stats.Vm.Interp.dyn_mem_ops ();
+      polly;
+      pipeline = None;
+      dep_keys;
+      sched_bailed = true }
+  end
+  else begin
+    let analysis = Sched.Depanalysis.analyse prog profile in
+    let feedback = Sched.Feedback.make prog profile analysis in
+    let row =
+      Sched.Metrics.compute ~name:w.Workload.w_name ~ld_src
+        ~fusion_strategy:w.Workload.fusion prog profile analysis
+    in
+    { row;
+      polly;
+      pipeline =
+        Some
+          { Polyprof.prog;
+            hir = Some w.Workload.hir;
+            structure;
+            profile;
+            analysis;
+            feedback };
+      dep_keys;
+      sched_bailed = false }
+  end
+
+let run_all ?budget () = List.map (fun w -> (w, run ?budget w)) Rodinia.all
+
+let full_header = Sched.Metrics.header @ [ "Polly" ]
+
+let table5 results =
+  let rows =
+    List.map
+      (fun ((_ : Workload.t), o) ->
+        Sched.Metrics.to_strings o.row
+        @ [ Staticbase.Polly_lite.reasons_string o.polly ])
+      results
+  in
+  Report.Texttable.render ~header:full_header rows
+
+let table5_with_paper results =
+  let rows =
+    List.concat_map
+      (fun ((w : Workload.t), o) ->
+        let measured =
+          Sched.Metrics.to_strings o.row
+          @ [ Staticbase.Polly_lite.reasons_string o.polly ]
+        in
+        match w.Workload.paper with
+        | None -> [ measured ]
+        | Some p ->
+            [ measured;
+              [ "  (paper)"; "-"; "-"; p.Workload.p_aff; p.p_region; "-"; "-";
+                "-";
+                (if p.p_interproc then "Y" else "N");
+                (if p.p_skew then "Y" else "N");
+                p.p_par; p.p_simd; p.p_reuse; p.p_preuse;
+                Printf.sprintf "%dD" p.p_ld_src;
+                Printf.sprintf "%dD" p.p_ld_bin;
+                (if p.p_tiled = 0 then "-" else Printf.sprintf "%dD" p.p_tiled);
+                p.p_tilops; p.p_c; p.p_comp; p.p_fusion; p.p_polly ] ])
+      results
+  in
+  Report.Texttable.render ~header:full_header rows

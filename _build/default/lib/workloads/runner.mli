@@ -1,0 +1,29 @@
+(** Shared driver for the benchmark harness, CLI, tests and examples:
+    run a workload through the full POLY-PROF pipeline, produce its
+    Table 5 row (with the streamcluster-style scheduler bail-out) and
+    the Polly baseline verdict. *)
+
+type outcome = {
+  row : Sched.Metrics.row;
+  polly : Staticbase.Polly_lite.verdict;
+  pipeline : Polyprof.t option;
+      (** [None] when the scheduling stage bailed out *)
+  dep_keys : int;  (** folded dependence relations in the DDG *)
+  sched_bailed : bool;
+}
+
+val sched_budget : int
+(** Maximum number of folded dependence relations the scheduling stage
+    accepts before declaring a blow-up (streamcluster reproduces the
+    paper's scheduler memory exhaustion by exceeding it). *)
+
+val run : ?budget:int -> Workload.t -> outcome
+
+val run_all : ?budget:int -> unit -> (Workload.t * outcome) list
+(** All 19 mini-Rodinia benchmarks, in Table 5 order. *)
+
+val table5 : (Workload.t * outcome) list -> string
+(** Render the Table 5 reproduction (measured values). *)
+
+val table5_with_paper : (Workload.t * outcome) list -> string
+(** Measured rows interleaved with the paper's reference rows. *)

@@ -1,0 +1,122 @@
+(** mini-srad (v1 and v2): speckle-reducing anisotropic diffusion on an
+    image.  Iterations over a 2-D grid, neighbours found through
+    precomputed index arrays iN/iS/jE/jW (Polly reason F) and the
+    diffusion coefficient computed by a library routine (reason R).  v1
+    splits the work across more helper functions than v2; both share the
+    structure. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let rows = 12
+let cols = 12
+let iters = 3
+
+(* stands in for the libm expf the coefficient uses *)
+let expf =
+  H.fundef ~blacklisted:true "expf" [ "x" ]
+    [ H.Return (Some (f 1.0 +? (v "x" *? (f 1.0 +? (v "x" *? f 0.5))))) ]
+
+let diffusion variant main_line =
+  H.fundef
+    (Printf.sprintf "srad_%s_kernel" variant)
+    []
+    [ H.for_ ~loc:main_line "it" (i 0) (i iters)
+        [ (* derivative + coefficient pass *)
+          H.for_ "r" (i 0) (i rows)
+            [ H.for_ "c" (i 0) (i cols)
+                [ H.Let ("k", (v "r" *! i cols) +! v "c");
+                  H.Let ("jc", "img".%[v "k"]);
+                  H.Let ("dn", "img".%[("iN".%[v "r"] *! i cols) +! v "c"] -? v "jc");
+                  H.Let ("ds", "img".%[("iS".%[v "r"] *! i cols) +! v "c"] -? v "jc");
+                  H.Let ("dw", "img".%[(v "r" *! i cols) +! "jW".%[v "c"]] -? v "jc");
+                  H.Let ("de", "img".%[(v "r" *! i cols) +! "jE".%[v "c"]] -? v "jc");
+                  H.Let
+                    ( "g2",
+                      ((v "dn" *? v "dn") +? (v "ds" *? v "ds"))
+                      +? ((v "dw" *? v "dw") +? (v "de" *? v "de")) );
+                  H.CallS (Some "cf", "expf", [ f 0.0 -? v "g2" ]);
+                  store "coef" (v "k") (v "cf");
+                  store "dN" (v "k") (v "dn");
+                  store "dS" (v "k") (v "ds");
+                  store "dW" (v "k") (v "dw");
+                  store "dE" (v "k") (v "de") ] ];
+          (* update pass *)
+          H.for_ "r2" (i 0) (i rows)
+            [ H.for_ "c2" (i 0) (i cols)
+                [ H.Let ("k2", (v "r2" *! i cols) +! v "c2");
+                  H.Let ("cN", "coef".%[v "k2"]);
+                  H.Let ("cS", "coef".%[("iS".%[v "r2"] *! i cols) +! v "c2"]);
+                  H.Let ("cE", "coef".%[(v "r2" *! i cols) +! "jE".%[v "c2"]]);
+                  H.Let
+                    ( "d",
+                      ((v "cN" *? "dN".%[v "k2"]) +? (v "cS" *? "dS".%[v "k2"]))
+                      +? ((v "cE" *? "dE".%[v "k2"]) +? (v "cN" *? "dW".%[v "k2"])) );
+                  store "img" (v "k2") ("img".%[v "k2"] +? (f 0.05 *? v "d")) ] ] ] ]
+
+let mk variant main_file main_ln fusion paper =
+  let kern = diffusion variant (Workload.loc main_file main_ln) in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "img" (rows * cols)
+      @ [ Workload.init_int_array "iN" rows (fun t -> t -! i 1);
+          Workload.init_int_array "iS" rows (fun t -> t +! i 1);
+          Workload.init_int_array "jW" cols (fun t -> t -! i 1);
+          Workload.init_int_array "jE" cols (fun t -> t +! i 1);
+          (* clamp boundaries *)
+          store "iN" (i 0) (i 0);
+          store "iS" (i (rows - 1)) (i (rows - 1));
+          store "jW" (i 0) (i 0);
+          store "jE" (i (cols - 1)) (i (cols - 1));
+          H.CallS (None, Printf.sprintf "srad_%s_kernel" variant, []) ])
+  in
+  let hir : H.program =
+    { H.funs = [ expf; kern; main ];
+      arrays =
+        [ ("img", rows * cols); ("coef", rows * cols); ("dN", rows * cols);
+          ("dS", rows * cols); ("dW", rows * cols); ("dE", rows * cols);
+          ("iN", rows); ("iS", rows); ("jW", cols); ("jE", cols) ];
+      main = "main" }
+  in
+  Workload.make
+    ~name:(Printf.sprintf "srad_%s" variant)
+    ~kernel:(Printf.sprintf "srad_%s_kernel" variant)
+    ~fusion ~paper hir
+
+let v1 =
+  mk "v1" "main.c" 241 Sched.Fusion.Smartfuse
+    { Workload.p_aff = "99%";
+      p_region = "main.c:241";
+      p_interproc = true;
+      p_polly = "RF";
+      p_skew = false;
+      p_par = "99%";
+      p_simd = "100%";
+      p_reuse = "18%";
+      p_preuse = "18%";
+      p_ld_src = 3;
+      p_ld_bin = 3;
+      p_tiled = 2;
+      p_tilops = "100%";
+      p_c = "1";
+      p_comp = "1";
+      p_fusion = "S" }
+
+let v2 =
+  mk "v2" "srad.cpp" 114 Sched.Fusion.Smartfuse
+    { Workload.p_aff = "98%";
+      p_region = "srad.cpp:114";
+      p_interproc = true;
+      p_polly = "RF";
+      p_skew = false;
+      p_par = "100%";
+      p_simd = "100%";
+      p_reuse = "14%";
+      p_preuse = "14%";
+      p_ld_src = 3;
+      p_ld_bin = 3;
+      p_tiled = 2;
+      p_tilops = "100%";
+      p_c = "1";
+      p_comp = "1";
+      p_fusion = "S" }

@@ -1,0 +1,102 @@
+(** mini-streamcluster: online clustering of a point stream.  The most
+    hostile benchmark: a long chain of phase loops over shuffled point
+    subsets (the paper counts 52 components), gain evaluation with
+    library calls (R), early exits (C), stream-chunk sizes read at run
+    time (B), point tables reached through loaded center pointers (F and
+    P) and may-alias buffers (A).  In the paper the polyhedral scheduler
+    exhausted memory on it and no Table 5 row is shown; the harness
+    reproduces the bail-out by budgeting the scheduling stage. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let n_points = 24
+let n_dims = 3
+let n_phases = 26  (* each phase contributes two component loops *)
+
+let dist_fn =
+  H.fundef ~blacklisted:true "dist" [ "p1"; "p2" ]
+    [ H.Let ("acc", f 0.0);
+      H.for_ "dd" (i 0) (i n_dims)
+        [ H.Let ("d1", load (v "p1" +! v "dd"));
+          H.Let ("d2", load (v "p2" +! v "dd"));
+          H.Let ("df", v "d1" -? v "d2");
+          H.Let ("acc", v "acc" +? (v "df" *? v "df")) ];
+      H.Return (Some (v "acc")) ]
+
+(* one "pgain" phase: evaluate a candidate center, then reassign *)
+let phase k =
+  let sfx = string_of_int k in
+  [ H.for_
+      ~loc:(Workload.loc "streamcluster_omp.cpp" (1269 + k))
+      ("p" ^ sfx) (i 0) (i n_points)
+      [ H.Let ("chunk", "chunk_size".%[i 0]);
+        H.Let ("pp", "point_ptrs".%[v ("p" ^ sfx) %! v "chunk"]);
+        H.Let ("w0", load (v "pp"));
+        H.CallS (Some "gd", "dist", [ v "pp"; base "center" ]);
+        H.Let ("gd", v "gd" *? v "w0");
+        H.If
+          ( v "gd" <? "cost".%[v ("p" ^ sfx)],
+            [ store "cost" (v ("p" ^ sfx)) (v "gd");
+              store "assign" (v ("p" ^ sfx)) (i (k mod 7)) ],
+            [] ) ];
+    H.for_ ("q" ^ sfx) (i 0) (i n_points)
+      [ H.If
+          ( "assign".%[v ("q" ^ sfx)] ==! i (k mod 7),
+            [ store "totals" (i (k mod 7))
+                ("totals".%[i (k mod 7)] +? "cost".%[v ("q" ^ sfx)]);
+              H.If ("totals".%[i (k mod 7)] >? f 1e8, [ H.Break ], []) ],
+            [] ) ] ]
+
+let kernel_body = List.concat_map phase (List.init n_phases (fun k -> k))
+
+let region =
+  H.fundef ~attrs:[ H.May_alias ] "pgain_region" []
+    (H.while_ ~loc:(Workload.loc "streamcluster_omp.cpp" 1260)
+       ("more_work".%[i 0] >! i 0)
+       (kernel_body @ [ store "more_work" (i 0) ("more_work".%[i 0] -! i 1) ])
+    :: [])
+
+let main =
+  H.fundef "main" []
+    (Workload.init_float_array "points" (n_points * n_dims)
+    @ Workload.init_float_array "center" n_dims
+    @ Workload.init_float_array "cost" n_points
+    @ [ Workload.init_int_array "assign" n_points (fun _ -> i 0);
+        Workload.init_int_array "point_ptrs" n_points
+          (fun t -> base "points" +! (((t *! t) +! t) %! i n_points *! i n_dims));
+        Workload.init_int_array "chunk_size" 1 (fun _ -> i n_points);
+        Workload.init_int_array "more_work" 1 (fun _ -> i 2) ]
+    @ Workload.init_float_array "totals" 8
+    @ [ H.CallS (None, "pgain_region", []) ])
+
+let hir : H.program =
+  { H.funs = [ dist_fn; region; main ];
+    arrays =
+      [ ("points", n_points * n_dims); ("center", n_dims); ("cost", n_points);
+        ("assign", n_points); ("point_ptrs", n_points); ("chunk_size", 1);
+        ("more_work", 1); ("totals", 8) ];
+    main = "main" }
+
+let workload =
+  Workload.make ~name:"streamcluster" ~kernel:"pgain_region"
+    ~expect_sched_failure:true ~fusion:Sched.Fusion.Smartfuse
+    ~paper:
+      { Workload.p_aff = "97%";
+        p_region = "*_omp.cpp:1269";
+        p_interproc = true;
+        p_polly = "RCBFAP";
+        p_skew = false;
+        p_par = "-";
+        p_simd = "-";
+        p_reuse = "-";
+        p_preuse = "-";
+        p_ld_src = 6;
+        p_ld_bin = 6;
+        p_tiled = 0;
+        p_tilops = "-";
+        p_c = "52";
+        p_comp =
+"-";
+        p_fusion = "-" }
+    hir

@@ -1,0 +1,121 @@
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+type paper_row = {
+  p_aff : string;
+  p_region : string;
+  p_interproc : bool;
+  p_polly : string;
+  p_skew : bool;
+  p_par : string;
+  p_simd : string;
+  p_reuse : string;
+  p_preuse : string;
+  p_ld_src : int;
+  p_ld_bin : int;
+  p_tiled : int;
+  p_tilops : string;
+  p_c : string;
+  p_comp : string;
+  p_fusion : string;
+}
+
+type t = {
+  w_name : string;
+  hir : H.program;
+  kernel_func : string;
+  fusion : Sched.Fusion.strategy;
+  expect_sched_failure : bool;
+  paper : paper_row option;
+}
+
+let make ?(fusion = Sched.Fusion.Smartfuse) ?(expect_sched_failure = false)
+    ?paper ~name ~kernel hir =
+  { w_name = name;
+    hir;
+    kernel_func = kernel;
+    fusion;
+    expect_sched_failure;
+    paper }
+
+let loc file line = { Vm.Prog.file; line }
+
+(* Deterministic "random-ish" float data: values derived from a small
+   linear-congruential walk so loaded values never look affine in the
+   loop counter. *)
+let init_float_array name n =
+  let t = name ^ "_t" in
+  [ H.For
+      { v = t;
+        lo = i 0;
+        hi = i n;
+        step = 1;
+        body =
+          [ (* a quadratic residue walk: deterministic, non-affine values,
+               but no loop-carried seed (the loop stays parallel) *)
+            H.Let ("h", ((v t *! v t) +! (v t *! i 13)) %! i 211);
+            H.Store (base name +! v t, Itof (v "h") /? f 53.0) ];
+        floc = None;
+        unroll = false } ]
+
+let init_int_array name n f =
+  H.For
+    { v = name ^ "_t";
+      lo = i 0;
+      hi = i n;
+      step = 1;
+      body = [ H.Store (base name +! v (name ^ "_t"), f (v (name ^ "_t"))) ];
+      floc = None;
+      unroll = false }
+
+(* Math helpers standing in for libm; blacklisted like libc in Fig. 7. *)
+let libm =
+  [ H.fundef ~blacklisted:true "squash" [ "x" ]
+      [ H.Return (Some (v "x" /? (f 1.0 +? (v "x" *? v "x")))) ];
+    H.fundef ~blacklisted:true "exp" [ "x" ]
+      [ H.Return
+          (Some
+             (f 1.0 +? (v "x" *? (f 1.0 +? (v "x" *? (f 0.5 +? (v "x" *? f 0.1666))))))) ];
+    H.fundef ~blacklisted:true "sqrt" [ "x" ]
+      [ (* two Newton steps from a crude seed *)
+        H.Let ("g", f 0.5 *? (v "x" +? f 1.0));
+        H.Let ("g", f 0.5 *? (v "g" +? (v "x" /? v "g")));
+        H.Let ("g", f 0.5 *? (v "g" +? (v "x" /? v "g")));
+        H.Return (Some (v "g")) ];
+    H.fundef ~blacklisted:true "rand" [ "s" ]
+      [ H.Return (Some (((v "s" *! i 1103515245) +! i 12345) %! i 1048576)) ] ]
+
+(* Interprocedural source loop depth, starting from [main]: a call site
+   at nesting depth d contributes d + depth(callee).  Recursive cycles
+   are cut (their depth is reported by the dynamic side instead). *)
+let src_loop_depth (p : H.program) =
+  let find name = List.find_opt (fun (f : H.fundef) -> f.H.name = name) p.H.funs in
+  let rec fdepth stack (f : H.fundef) =
+    if List.mem f.H.name stack then 0
+    else sdepth (f.H.name :: stack) f.H.body
+
+  and sdepth stack stmts =
+    List.fold_left (fun acc s -> max acc (one stack s)) 0 stmts
+
+  and one stack = function
+    | H.For { body; _ } -> 1 + sdepth stack body
+    | H.While { wbody; _ } -> 1 + sdepth stack wbody
+    | H.If (_, a, b) -> max (sdepth stack a) (sdepth stack b)
+    | H.CallS (_, callee, _) -> (
+        match find callee with Some g -> fdepth stack g | None -> 0)
+    | H.Let (_, e) | H.Return (Some e) -> edepth stack e
+    | H.Store (a, b) -> max (edepth stack a) (edepth stack b)
+    | H.Return None | H.Break -> 0
+
+  and edepth stack = function
+    | H.Callf (callee, args) ->
+        let inner =
+          match find callee with Some g -> fdepth stack g | None -> 0
+        in
+        List.fold_left (fun acc a -> max acc (edepth stack a)) inner args
+    | H.Bin (_, a, b) | H.Fbin (_, a, b) | H.Cmp (_, a, b) | H.Fcmp (_, a, b) ->
+        max (edepth stack a) (edepth stack b)
+    | H.Load a | H.Itof a | H.Ftoi a -> edepth stack a
+    | H.Int _ | H.Flt _ | H.Var _ | H.Base _ -> 0
+  in
+  match find p.H.main with Some f -> fdepth [] f | None -> 0

@@ -1,0 +1,61 @@
+(** Workload descriptor: a benchmark program written in HIR together with
+    the metadata the benchmark harness needs to reproduce the paper's
+    tables (selected region, fusion heuristic, the kernel function the
+    static Polly baseline analyses, and the paper's reference values for
+    shape comparison). *)
+
+type paper_row = {
+  p_aff : string;  (** %Aff as printed in the paper's Table 5 *)
+  p_region : string;
+  p_interproc : bool;
+  p_polly : string;  (** failure-reason codes, e.g. "RCBF" *)
+  p_skew : bool;
+  p_par : string;
+  p_simd : string;
+  p_reuse : string;
+  p_preuse : string;
+  p_ld_src : int;
+  p_ld_bin : int;
+  p_tiled : int;
+  p_tilops : string;
+  p_c : string;
+  p_comp : string;
+  p_fusion : string;
+}
+
+type t = {
+  w_name : string;
+  hir : Vm.Hir.program;
+  kernel_func : string;  (** function the Polly baseline analyses *)
+  fusion : Sched.Fusion.strategy;
+  expect_sched_failure : bool;  (** streamcluster: scheduler bail-out *)
+  paper : paper_row option;  (** Table 5 reference, when applicable *)
+}
+
+val make :
+  ?fusion:Sched.Fusion.strategy ->
+  ?expect_sched_failure:bool ->
+  ?paper:paper_row ->
+  name:string ->
+  kernel:string ->
+  Vm.Hir.program ->
+  t
+
+val loc : string -> int -> Vm.Prog.loc
+
+val src_loop_depth : Vm.Hir.program -> int
+(** Interprocedural source loop depth reachable from [main] (a call at
+    nesting depth d contributes d + depth of the callee); recursive
+    cycles are cut.  This is the "ld-src" column of Table 5. *)
+
+(** Common HIR fragments. *)
+
+val init_float_array : string -> int -> Vm.Hir.stmt list
+(** A loop storing deterministic pseudo-random floats into an array. *)
+
+val init_int_array : string -> int -> (Vm.Hir.expr -> Vm.Hir.expr) -> Vm.Hir.stmt
+(** [init_int_array a n f]: [for t in 0..n: a[t] = f t]. *)
+
+val libm : Vm.Hir.fundef list
+(** Tiny blacklisted math helpers ([exp], [sqrt], [squash], [rand]) that
+    stand in for libc/libm calls. *)

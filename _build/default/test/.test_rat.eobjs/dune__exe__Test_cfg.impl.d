@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Cfg List QCheck QCheck_alcotest Vm

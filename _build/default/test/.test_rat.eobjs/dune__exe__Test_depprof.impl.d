@@ -1,0 +1,1 @@
+test/test_depprof.ml: Alcotest Array Cfg Ddg Fold List Minisl Pp_util Vm Workloads

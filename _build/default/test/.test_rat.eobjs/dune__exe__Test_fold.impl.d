@@ -1,0 +1,1 @@
+test/test_fold.ml: Alcotest Array Fold Hashtbl List Minisl Option Pp_util Printf QCheck QCheck_alcotest

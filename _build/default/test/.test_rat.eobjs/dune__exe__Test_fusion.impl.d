@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Cfg Ddg List Sched Vm

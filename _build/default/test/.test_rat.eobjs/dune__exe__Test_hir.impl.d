@@ -1,0 +1,1 @@
+test/test_hir.ml: Alcotest Array Format String Vm Workloads

@@ -1,0 +1,1 @@
+test/test_iiv.ml: Alcotest Array Cfg Ddg Hashtbl List Pp_util Printf Vm Workloads

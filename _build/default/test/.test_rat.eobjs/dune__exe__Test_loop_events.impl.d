@@ -1,0 +1,1 @@
+test/test_loop_events.ml: Alcotest Cfg Ddg List Vm Workloads

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Pp_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Cfg Ddg Format Lazy List Sched String Vm Workloads

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Kernels Lazy List Polyprof Sched String Workloads

@@ -1,0 +1,1 @@
+test/test_polly.ml: Alcotest List Printf Staticbase Vm Workloads

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array List Minisl Pp_util QCheck QCheck_alcotest

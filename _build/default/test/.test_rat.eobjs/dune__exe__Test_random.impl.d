@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Cfg Ddg Fold List Minisl Printf QCheck QCheck_alcotest Random Sched Vm

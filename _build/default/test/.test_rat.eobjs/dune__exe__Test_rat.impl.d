@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest List Pp_util QCheck QCheck_alcotest

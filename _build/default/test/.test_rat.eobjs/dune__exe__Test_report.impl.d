@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ddg Filename Lazy List Polyprof Report String Sys Workloads

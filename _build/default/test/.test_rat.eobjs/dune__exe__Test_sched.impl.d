@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Cfg Ddg Format Fun List Sched String Vm Workloads

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Cfg Ddg Filename List Sys Vm

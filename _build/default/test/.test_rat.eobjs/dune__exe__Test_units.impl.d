@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Ddg Format List Minisl Pp_util Sched String Vm

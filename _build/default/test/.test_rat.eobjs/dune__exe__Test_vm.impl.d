@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Cfg List Printf Vm

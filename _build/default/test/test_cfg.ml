@@ -1,0 +1,221 @@
+(* Tests for control-structure recovery: digraph, SCC, the Fig. 2
+   loop-nesting-tree and recursive-component-set, and dynamic CFG
+   construction from the event stream. *)
+
+module G = Cfg.Digraph
+module L = Cfg.Loopnest
+module R = Cfg.Recset
+
+(* Fig. 2a: A -> B; B -> C; B -> D(?); C <-> D (loop L2); D -> B
+   (back-edge of L1); B -> E.
+   Nodes: A=0 B=1 C=2 D=3 E=4.
+   Edges per figure: A->B, B->C, C->D, D->C, D->B, B->E. *)
+let fig2_cfg () =
+  let g = G.create () in
+  List.iter
+    (fun (a, b) -> G.add_edge g a b)
+    [ (0, 1); (1, 2); (2, 3); (3, 2); (3, 1); (1, 4) ];
+  g
+
+let test_digraph_basics () =
+  let g = fig2_cfg () in
+  Alcotest.(check int) "5 nodes" 5 (G.n_nodes g);
+  Alcotest.(check int) "6 edges" 6 (G.n_edges g);
+  Alcotest.(check (list int)) "succs of B" [ 2; 4 ] (G.succs g 1);
+  Alcotest.(check (list int)) "preds of C" [ 1; 3 ] (G.preds g 2);
+  Alcotest.(check bool) "edge dedup" true
+    (G.add_edge g 0 1;
+     G.n_edges g = 6)
+
+let test_rpo () =
+  let g = fig2_cfg () in
+  let rpo = G.reverse_postorder g ~root:0 in
+  Alcotest.(check int) "all reachable" 5 (List.length rpo);
+  Alcotest.(check int) "root first" 0 (List.hd rpo)
+
+let test_scc () =
+  let g = fig2_cfg () in
+  let sccs = Cfg.Scc.compute g in
+  let cyclic = List.filter (Cfg.Scc.has_cycle g) sccs in
+  (* one big SCC {B, C, D} *)
+  Alcotest.(check int) "one cyclic SCC" 1 (List.length cyclic);
+  Alcotest.(check (list int)) "members" [ 1; 2; 3 ]
+    (List.sort compare (List.hd cyclic))
+
+let test_self_loop_scc () =
+  let g = G.create () in
+  G.add_edge g 0 0;
+  G.add_node g 1;
+  let cyclic = List.filter (Cfg.Scc.has_cycle g) (Cfg.Scc.compute g) in
+  Alcotest.(check int) "self loop is cyclic" 1 (List.length cyclic)
+
+(* Fig. 2b: the loop-nesting-tree has L1 (header B) containing L2
+   (header C), with A and E outside. *)
+let test_fig2_loop_forest () =
+  let forest = L.compute (fig2_cfg ()) ~entry:0 in
+  Alcotest.(check int) "two loops" 2 (L.n_loops forest);
+  (match L.toplevel forest with
+  | [ l1 ] ->
+      Alcotest.(check int) "L1 header is B" 1 l1.L.header;
+      Alcotest.(check (list int)) "L1 region" [ 1; 2; 3 ] l1.L.members;
+      Alcotest.(check int) "L1 depth" 1 l1.L.depth;
+      (match l1.L.children with
+      | [ l2 ] ->
+          Alcotest.(check int) "L2 header is C" 2 l2.L.header;
+          Alcotest.(check (list int)) "L2 region" [ 2; 3 ] l2.L.members;
+          Alcotest.(check int) "L2 depth" 2 l2.L.depth
+      | _ -> Alcotest.fail "L1 should have exactly one sub-loop")
+  | _ -> Alcotest.fail "expected a single top-level loop");
+  Alcotest.(check bool) "B is header" true (L.is_header forest 1);
+  Alcotest.(check bool) "D is not" false (L.is_header forest 3);
+  (* innermost containing *)
+  (match L.innermost_containing forest 3 with
+  | Some l -> Alcotest.(check int) "D innermost is L2" 2 l.L.header
+  | None -> Alcotest.fail "D is in a loop");
+  Alcotest.(check int) "max depth" 2 (L.max_depth forest);
+  Alcotest.(check int) "loops containing D" 2
+    (List.length (L.loops_containing forest 3))
+
+let test_back_edges () =
+  let forest = L.compute (fig2_cfg ()) ~entry:0 in
+  match L.toplevel forest with
+  | [ l1 ] ->
+      Alcotest.(check (list (pair int int))) "back edge D->B" [ (3, 1) ]
+        l1.L.back_edges
+  | _ -> Alcotest.fail "one top loop"
+
+(* Fig. 2c/d: call graph M -> {A, B}; A -> B; B -> {B (self), C};
+   nodes M=0 A=1 B=2 C=3.  The figure's recursive-component has
+   components {L1} with entries {B} and headers {B, C}?  (the paper's
+   example d has L1.entries = {B}, L1.headers = {B, C} for a CG where
+   B and C call each other).  We model that CG: M->B, B->C, C->B. *)
+let test_recset_mutual () =
+  let g = G.create () in
+  List.iter (fun (a, b) -> G.add_edge g a b) [ (0, 2); (2, 3); (3, 2) ];
+  let rs = R.compute g ~main:0 in
+  match R.components rs with
+  | [ c ] ->
+      Alcotest.(check (list int)) "members" [ 2; 3 ] c.R.members;
+      Alcotest.(check (list int)) "entries = {B}" [ 2 ] c.R.entries;
+      (* peeling B leaves the C->B edge ... removing edges to B kills the
+         cycle in one step, so headers = {B} here; add a second cycle
+         through C to require two headers *)
+      Alcotest.(check bool) "B is a header" true (List.mem 2 c.R.headers)
+  | _ -> Alcotest.fail "expected one component"
+
+let test_recset_self_recursion () =
+  let g = G.create () in
+  G.add_edge g 0 1;
+  G.add_edge g 1 1;
+  let rs = R.compute g ~main:0 in
+  (match R.components rs with
+  | [ c ] ->
+      Alcotest.(check (list int)) "members = {B}" [ 1 ] c.R.members;
+      Alcotest.(check (list int)) "headers = {B}" [ 1 ] c.R.headers
+  | _ -> Alcotest.fail "one component");
+  Alcotest.(check bool) "B is entry" true (R.is_entry rs 1);
+  Alcotest.(check bool) "B is header" true (R.is_header rs 1);
+  Alcotest.(check bool) "M in no component" true (R.component_of rs 0 = None)
+
+let test_recset_two_headers () =
+  (* two intertwined cycles: B <-> C and B <-> D: peeling one node is not
+     enough *)
+  let g = G.create () in
+  List.iter
+    (fun (a, b) -> G.add_edge g a b)
+    [ (0, 1); (1, 2); (2, 1); (1, 3); (3, 1); (2, 3); (3, 2) ];
+  let rs = R.compute g ~main:0 in
+  match R.components rs with
+  | [ c ] ->
+      Alcotest.(check bool) "at least 2 headers" true
+        (List.length c.R.headers >= 2)
+  | _ -> Alcotest.fail "one component"
+
+let test_acyclic_cg_has_no_components () =
+  let g = G.create () in
+  List.iter (fun (a, b) -> G.add_edge g a b) [ (0, 1); (0, 2); (1, 2) ];
+  let rs = R.compute g ~main:0 in
+  Alcotest.(check int) "no recursive components" 0
+    (List.length (R.components rs))
+
+(* dynamic CFG reconstruction from an actual run *)
+let test_dynamic_cfg () =
+  let open Vm.Hir.Dsl in
+  let module H = Vm.Hir in
+  let hir : H.program =
+    { H.funs =
+        [ H.fundef "g" []
+            [ H.for_ "j" (i 0) (i 3) [ H.Let ("x", v "j") ] ];
+          H.fundef "main" []
+            [ H.for_ "k" (i 0) (i 2) [ H.CallS (None, "g", []) ] ] ];
+      arrays = [];
+      main = "main" }
+  in
+  let prog = H.lower hir in
+  let s = Cfg.Cfg_builder.run prog in
+  (* both functions executed: 2 CFGs *)
+  Alcotest.(check int) "two functions profiled" 2 (List.length s.Cfg.Cfg_builder.cfgs);
+  let main_fid = prog.Vm.Prog.main in
+  (match Cfg.Cfg_builder.forest_of s main_fid with
+  | Some forest -> Alcotest.(check int) "main has one loop" 1 (L.n_loops forest)
+  | None -> Alcotest.fail "main CFG missing");
+  (* the call edge is in the CG *)
+  let gf = (Vm.Prog.func_by_name prog "g").Vm.Prog.fid in
+  Alcotest.(check bool) "CG edge main->g" true
+    (G.mem_edge s.Cfg.Cfg_builder.cg main_fid gf);
+  Alcotest.(check int) "one call site" 1 (List.length s.Cfg.Cfg_builder.call_sites)
+
+(* property: loop forest partitions — every node is in at most max_depth
+   loops and members of children are subsets of parents *)
+let prop_forest_nesting =
+  QCheck.Test.make ~name:"children regions nest inside parents" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 4 20)
+       (QCheck.pair (QCheck.int_bound 9) (QCheck.int_bound 9)))
+    (fun edges ->
+      let g = G.create () in
+      G.add_node g 0;
+      List.iter (fun (a, b) -> G.add_edge g a b) edges;
+      let forest = L.compute g ~entry:0 in
+      let rec check (l : L.loop) =
+        List.for_all
+          (fun (c : L.loop) ->
+            List.for_all (fun m -> List.mem m l.L.members) c.L.members
+            && c.L.depth = l.L.depth + 1
+            && check c)
+          l.L.children
+      in
+      List.for_all check (L.toplevel forest))
+
+let prop_scc_partition =
+  QCheck.Test.make ~name:"SCCs partition the nodes" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 25)
+       (QCheck.pair (QCheck.int_bound 11) (QCheck.int_bound 11)))
+    (fun edges ->
+      let g = G.create () in
+      List.iter (fun (a, b) -> G.add_edge g a b) edges;
+      let sccs = Cfg.Scc.compute g in
+      let all = List.concat sccs in
+      List.sort compare all = G.nodes g)
+
+let () =
+  Alcotest.run "cfg"
+    [ ( "digraph",
+        [ Alcotest.test_case "basics" `Quick test_digraph_basics;
+          Alcotest.test_case "reverse postorder" `Quick test_rpo ] );
+      ( "scc",
+        [ Alcotest.test_case "fig2 SCC" `Quick test_scc;
+          Alcotest.test_case "self loop" `Quick test_self_loop_scc ] );
+      ( "loop forest (Fig. 2a/b)",
+        [ Alcotest.test_case "structure" `Quick test_fig2_loop_forest;
+          Alcotest.test_case "back edges" `Quick test_back_edges ] );
+      ( "recursive components (Fig. 2c/d)",
+        [ Alcotest.test_case "mutual recursion" `Quick test_recset_mutual;
+          Alcotest.test_case "self recursion" `Quick test_recset_self_recursion;
+          Alcotest.test_case "two headers" `Quick test_recset_two_headers;
+          Alcotest.test_case "acyclic CG" `Quick test_acyclic_cg_has_no_components
+        ] );
+      ( "dynamic CFG",
+        [ Alcotest.test_case "reconstruction from a run" `Quick test_dynamic_cfg ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_forest_nesting; prop_scc_partition ] ) ]

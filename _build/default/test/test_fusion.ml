@@ -1,0 +1,94 @@
+(* Tests for fusion / distribution component counting. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+module F = Sched.Fusion
+
+let analyse hir =
+  let prog = H.lower hir in
+  let structure = Cfg.Cfg_builder.run prog in
+  let res = Ddg.Depprof.profile prog ~structure in
+  Sched.Depanalysis.analyse prog res
+
+let float_init name n =
+  H.for_ (name ^ "i") (i 0) (i n)
+    [ H.Store
+        ( Base name +! v (name ^ "i"),
+          Itof ((v (name ^ "i") *! v (name ^ "i")) %! i 37) /? f 3.0 ) ]
+
+(* producer loop then pointwise consumer loop: fusable, with a dep *)
+let fusable : H.program =
+  { H.funs =
+      [ H.fundef "main" []
+          [ float_init "src" 64;
+            H.for_ "p" (i 0) (i 64) [ store "a" (v "p") ("src".%[v "p"] *? f 2.0) ];
+            H.for_ "c" (i 0) (i 64) [ store "b" (v "c") ("a".%[v "c"] +? f 1.0) ] ] ];
+    arrays = [ ("src", 64); ("a", 64); ("b", 64) ];
+    main = "main" }
+
+(* consumer reads a reversed index: fusion illegal *)
+let reversed : H.program =
+  { H.funs =
+      [ H.fundef "main" []
+          [ float_init "src" 64;
+            H.for_ "p" (i 0) (i 64) [ store "a" (v "p") ("src".%[v "p"] *? f 2.0) ];
+            H.for_ "c" (i 0) (i 64)
+              [ store "b" (v "c") ("a".%[i 63 -! v "c"] +? f 1.0) ] ] ];
+    arrays = [ ("src", 64); ("a", 64); ("b", 64) ];
+    main = "main" }
+
+let test_components () =
+  let a = analyse fusable in
+  let comps = F.components a ~prefix:[] ~threshold:0.05 in
+  Alcotest.(check int) "three top components" 3 (List.length comps);
+  List.iter
+    (fun c -> Alcotest.(check bool) "weights positive" true (c.F.c_weight > 0))
+    comps
+
+let test_threshold_filters () =
+  let a = analyse fusable in
+  let all = F.components a ~prefix:[] ~threshold:0.0 in
+  let big = F.components a ~prefix:[] ~threshold:0.9 in
+  Alcotest.(check bool) "threshold filters" true
+    (List.length big < List.length all)
+
+let test_smartfuse_merges_dependent () =
+  let a = analyse fusable in
+  let r = F.fuse a F.Smartfuse ~prefix:[] () in
+  Alcotest.(check int) "before" 3 r.F.components_before;
+  (* the pointwise chains can all fuse *)
+  Alcotest.(check bool) "after < before" true
+    (r.F.components_after < r.F.components_before)
+
+let test_reversed_does_not_fuse () =
+  let a = analyse reversed in
+  let r = F.fuse a F.Maxfuse ~prefix:[] () in
+  (* the reversal gives a negative fused distance for half the points:
+     the last pair must stay separate *)
+  Alcotest.(check bool) "reversal blocks fusion somewhere" true
+    (r.F.components_after >= 2)
+
+let test_maxfuse_geq_smartfuse () =
+  let a = analyse fusable in
+  let s = F.fuse a F.Smartfuse ~prefix:[] () in
+  let m = F.fuse a F.Maxfuse ~prefix:[] () in
+  Alcotest.(check bool) "maxfuse merges at least as much" true
+    (m.F.components_after <= s.F.components_after)
+
+let test_strategy_codes () =
+  Alcotest.(check string) "S" "S" (F.strategy_code F.Smartfuse);
+  Alcotest.(check string) "M" "M" (F.strategy_code F.Maxfuse)
+
+let () =
+  Alcotest.run "fusion"
+    [ ( "components",
+        [ Alcotest.test_case "counting" `Quick test_components;
+          Alcotest.test_case "threshold" `Quick test_threshold_filters ] );
+      ( "legality & heuristics",
+        [ Alcotest.test_case "smartfuse merges dependent chain" `Quick
+            test_smartfuse_merges_dependent;
+          Alcotest.test_case "reversed dep blocks fusion" `Quick
+            test_reversed_does_not_fuse;
+          Alcotest.test_case "maxfuse >= smartfuse" `Quick
+            test_maxfuse_geq_smartfuse;
+          Alcotest.test_case "strategy codes" `Quick test_strategy_codes ] ) ]

@@ -1,0 +1,153 @@
+(* Tests for HIR lowering: block structure, unrolling, source depth. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let test_unroll_disappears () =
+  let body unroll =
+    [ H.for_ "k" (i 0) (i 4) ~unroll [ store "a" (v "k") (v "k" *! i 2) ] ]
+  in
+  let p1 = H.lower { H.funs = [ H.fundef "main" [] (body false) ]; arrays = [ ("a", 4) ]; main = "main" } in
+  let p2 = H.lower { H.funs = [ H.fundef "main" [] (body true) ]; arrays = [ ("a", 4) ]; main = "main" } in
+  let blocks p = Array.length p.Vm.Prog.funcs.(0).Vm.Prog.blocks in
+  Alcotest.(check bool) "loop has blocks" true (blocks p1 > 2);
+  Alcotest.(check int) "unrolled is a single block" 1 (blocks p2);
+  (* both compute the same memory *)
+  let _, m1 = Vm.Interp.run_with_memory p1 in
+  let _, m2 = Vm.Interp.run_with_memory p2 in
+  for k = 16 to 19 do
+    Alcotest.(check bool) "same result" true (m1 k = m2 k)
+  done
+
+let test_unroll_needs_constants () =
+  let hir =
+    { H.funs =
+        [ H.fundef "main" []
+            [ H.Let ("n", i 4);
+              H.for_ ~unroll:true "k" (i 0) (v "n") [ H.Let ("x", v "k") ] ] ];
+      arrays = [];
+      main = "main" }
+  in
+  Alcotest.(check bool) "unroll of dynamic bound fails" true
+    (try
+       ignore (H.lower hir);
+       false
+     with H.Lower_error _ -> true)
+
+let test_break_outside_loop () =
+  let hir = { H.funs = [ H.fundef "main" [] [ H.Break ] ]; arrays = []; main = "main" } in
+  Alcotest.(check bool) "break outside loop rejected" true
+    (try
+       ignore (H.lower hir);
+       false
+     with H.Lower_error _ -> true)
+
+let test_unknown_function () =
+  let hir =
+    { H.funs = [ H.fundef "main" [] [ H.CallS (None, "nope", []) ] ];
+      arrays = [];
+      main = "main" }
+  in
+  Alcotest.(check bool) "unknown callee rejected" true
+    (try
+       ignore (H.lower hir);
+       false
+     with H.Lower_error _ -> true)
+
+let test_loop_depth () =
+  let f =
+    H.fundef "f" []
+      [ H.for_ "a" (i 0) (i 2)
+          [ H.If (i 1, [ H.for_ "b" (i 0) (i 2) [ H.while_ (i 0) [] ] ], []) ] ]
+  in
+  Alcotest.(check int) "intraprocedural depth" 3 (H.loop_depth f)
+
+let test_src_loop_depth_interprocedural () =
+  let hir : H.program =
+    { H.funs =
+        [ H.fundef "leaf" [] [ H.for_ "c" (i 0) (i 2) [ H.Let ("x", v "c") ] ];
+          H.fundef "mid" []
+            [ H.for_ "b" (i 0) (i 2) [ H.CallS (None, "leaf", []) ] ];
+          H.fundef "main" []
+            [ H.for_ "a" (i 0) (i 2) [ H.CallS (None, "mid", []) ] ] ];
+      arrays = [];
+      main = "main" }
+  in
+  Alcotest.(check int) "a + b + c" 3 (Workloads.Workload.src_loop_depth hir)
+
+let test_src_loop_depth_recursion_cut () =
+  let hir : H.program =
+    { H.funs =
+        [ H.fundef "r" [ "d" ]
+            [ H.for_ "k" (i 0) (i 2)
+                [ H.If (v "d" <! i 2, [ H.CallS (None, "r", [ v "d" +! i 1 ]) ], []) ] ];
+          H.fundef "main" [] [ H.CallS (None, "r", [ i 0 ]) ] ];
+      arrays = [];
+      main = "main" }
+  in
+  (* the recursive cycle is cut: depth 1, not infinite *)
+  Alcotest.(check int) "recursion cut" 1 (Workloads.Workload.src_loop_depth hir)
+
+let test_if_branches () =
+  let hir =
+    { H.funs =
+        [ H.fundef "main" []
+            [ H.for_ "k" (i 0) (i 6)
+                [ H.If
+                    ( v "k" %! i 2 ==! i 0,
+                      [ store "a" (v "k") (i 100) ],
+                      [ store "a" (v "k") (i 200) ] ) ] ] ];
+      arrays = [ ("a", 6) ];
+      main = "main" }
+  in
+  let _, mem = Vm.Interp.run_with_memory (H.lower hir) in
+  let get k = match mem (16 + k) with Some (Vm.Event.I v) -> v | _ -> -1 in
+  Alcotest.(check int) "even" 100 (get 0);
+  Alcotest.(check int) "odd" 200 (get 1);
+  Alcotest.(check int) "even" 100 (get 4)
+
+let test_step_loop () =
+  let hir =
+    { H.funs =
+        [ H.fundef "main" []
+            [ H.Let ("n", i 0);
+              H.for_ ~step:3 "k" (i 0) (i 10) [ H.Let ("n", v "n" +! i 1) ];
+              store "cnt" (i 0) (v "n") ] ];
+      arrays = [ ("cnt", 1) ];
+      main = "main" }
+  in
+  let _, mem = Vm.Interp.run_with_memory (H.lower hir) in
+  Alcotest.(check bool) "k = 0,3,6,9" true (mem 16 = Some (Vm.Event.I 4))
+
+let test_pp_program () =
+  let out =
+    Format.asprintf "%a" Vm.Hir.pp_program Workloads.Pathfinder.workload.hir
+  in
+  let contains needle =
+    let nl = String.length needle and hl = String.length out in
+    let rec go i = i + nl <= hl && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "array decls" true (contains "float wall[288];");
+  Alcotest.(check bool) "loop header with loc" true
+    (contains "/* pathfinder.cpp:99 */");
+  Alcotest.(check bool) "indexed store" true (contains "rowptr[0]");
+  Alcotest.(check bool) "function header" true (contains "pathfinder_kernel()")
+
+let () =
+  Alcotest.run "hir"
+    [ ( "lowering",
+        [ Alcotest.test_case "full unroll" `Quick test_unroll_disappears;
+          Alcotest.test_case "unroll needs constants" `Quick
+            test_unroll_needs_constants;
+          Alcotest.test_case "break outside loop" `Quick test_break_outside_loop;
+          Alcotest.test_case "unknown callee" `Quick test_unknown_function;
+          Alcotest.test_case "if/else" `Quick test_if_branches;
+          Alcotest.test_case "step loop" `Quick test_step_loop;
+          Alcotest.test_case "source pretty-printer" `Quick test_pp_program ] );
+      ( "depth",
+        [ Alcotest.test_case "intraprocedural loop depth" `Quick test_loop_depth;
+          Alcotest.test_case "interprocedural source depth" `Quick
+            test_src_loop_depth_interprocedural;
+          Alcotest.test_case "recursion cut" `Quick
+            test_src_loop_depth_recursion_cut ] ) ]

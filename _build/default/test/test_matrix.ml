@@ -1,0 +1,119 @@
+(* Tests for the exact linear-algebra kernels. *)
+
+module Rat = Pp_util.Rat
+module M = Pp_util.Matrix
+
+let r = Rat.of_int
+
+let test_identity_mul () =
+  let a = M.of_int_arrays [| [| 1; 2 |]; [| 3; 4 |] |] in
+  Alcotest.(check bool) "I * a = a" true (M.equal (M.mul (M.identity 2) a) a);
+  Alcotest.(check bool) "a * I = a" true (M.equal (M.mul a (M.identity 2)) a)
+
+let test_transpose () =
+  let a = M.of_int_arrays [| [| 1; 2; 3 |]; [| 4; 5; 6 |] |] in
+  let t = M.transpose a in
+  Alcotest.(check int) "rows" 3 (M.rows t);
+  Alcotest.(check int) "cols" 2 (M.cols t);
+  Alcotest.(check bool) "a(0,2) = t(2,0)" true
+    (Rat.equal (M.get a 0 2) (M.get t 2 0))
+
+let test_rank () =
+  Alcotest.(check int) "full rank" 2
+    (M.rank (M.of_int_arrays [| [| 1; 0 |]; [| 0; 1 |] |]));
+  Alcotest.(check int) "rank deficient" 1
+    (M.rank (M.of_int_arrays [| [| 1; 2 |]; [| 2; 4 |] |]));
+  Alcotest.(check int) "zero matrix" 0 (M.rank (M.create ~rows:3 ~cols:3))
+
+let test_solve_unique () =
+  (* x + y = 3; x - y = 1  =>  x = 2, y = 1 *)
+  let a = M.of_int_arrays [| [| 1; 1 |]; [| 1; -1 |] |] in
+  match M.solve a [| r 3; r 1 |] with
+  | None -> Alcotest.fail "expected a solution"
+  | Some x ->
+      Alcotest.(check bool) "x = 2" true (Rat.equal x.(0) (r 2));
+      Alcotest.(check bool) "y = 1" true (Rat.equal x.(1) (r 1))
+
+let test_solve_inconsistent () =
+  let a = M.of_int_arrays [| [| 1; 1 |]; [| 1; 1 |] |] in
+  Alcotest.(check bool) "inconsistent system" true
+    (M.solve a [| r 1; r 2 |] = None)
+
+let test_solve_underdetermined () =
+  let a = M.of_int_arrays [| [| 1; 1 |] |] in
+  match M.solve a [| r 5 |] with
+  | None -> Alcotest.fail "underdetermined but consistent"
+  | Some x ->
+      Alcotest.(check bool) "solution satisfies" true
+        (Rat.equal (Rat.add x.(0) x.(1)) (r 5))
+
+let test_affine_fit_exact () =
+  (* f(x, y) = 2x - 3y + 7 *)
+  let pts = [| [| 0; 0 |]; [| 1; 0 |]; [| 0; 1 |]; [| 5; 3 |] |] in
+  let vals = Array.map (fun p -> r ((2 * p.(0)) - (3 * p.(1)) + 7)) pts in
+  match M.affine_fit pts vals with
+  | None -> Alcotest.fail "fit failed"
+  | Some (coeffs, const) ->
+      Alcotest.(check bool) "coeff x" true (Rat.equal coeffs.(0) (r 2));
+      Alcotest.(check bool) "coeff y" true (Rat.equal coeffs.(1) (r (-3)));
+      Alcotest.(check bool) "const" true (Rat.equal const (r 7))
+
+let test_affine_fit_rejects_nonaffine () =
+  let pts = [| [| 0 |]; [| 1 |]; [| 2 |]; [| 3 |] |] in
+  let vals = Array.map (fun p -> r (p.(0) * p.(0))) pts in
+  Alcotest.(check bool) "x^2 is not affine" true (M.affine_fit pts vals = None)
+
+let test_affine_fit_rational () =
+  (* f(x) = x/2 *)
+  let pts = [| [| 0 |]; [| 2 |]; [| 4 |] |] in
+  let vals = [| r 0; r 1; r 2 |] in
+  match M.affine_fit pts vals with
+  | None -> Alcotest.fail "fit failed"
+  | Some (coeffs, const) ->
+      Alcotest.(check bool) "coeff 1/2" true (Rat.equal coeffs.(0) (Rat.make 1 2));
+      Alcotest.(check bool) "const 0" true (Rat.is_zero const)
+
+(* property: solve really solves *)
+let prop_solve_correct =
+  let gen =
+    QCheck.make
+      (QCheck.Gen.map
+         (fun (rows, seed) ->
+           let n = 2 + (rows mod 3) in
+           Array.init n (fun i ->
+               Array.init n (fun j -> ((seed * (i + 1) * (j + 2)) mod 7) - 3)))
+         QCheck.Gen.(pair (int_bound 4) (int_bound 1000)))
+  in
+  QCheck.Test.make ~name:"solve satisfies the system" ~count:200 gen (fun m ->
+      let a = M.of_int_arrays m in
+      let n = Array.length m in
+      let b = Array.init n (fun i -> r ((i * 3) - 1)) in
+      match M.solve a b with
+      | None -> true (* inconsistent is a legal answer *)
+      | Some x ->
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            let acc = ref Rat.zero in
+            for j = 0 to n - 1 do
+              acc := Rat.add !acc (Rat.mul (M.get a i j) x.(j))
+            done;
+            if not (Rat.equal !acc b.(i)) then ok := false
+          done;
+          !ok)
+
+let () =
+  Alcotest.run "matrix"
+    [ ( "unit",
+        [ Alcotest.test_case "identity" `Quick test_identity_mul;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "solve unique" `Quick test_solve_unique;
+          Alcotest.test_case "solve inconsistent" `Quick test_solve_inconsistent;
+          Alcotest.test_case "solve underdetermined" `Quick
+            test_solve_underdetermined;
+          Alcotest.test_case "affine fit exact" `Quick test_affine_fit_exact;
+          Alcotest.test_case "affine fit rejects x^2" `Quick
+            test_affine_fit_rejects_nonaffine;
+          Alcotest.test_case "affine fit rational" `Quick test_affine_fit_rational
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_solve_correct ]) ]

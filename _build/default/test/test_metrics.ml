@@ -1,0 +1,100 @@
+(* Tests for the PolyFeat-equivalent metrics (Table 5 columns). *)
+
+module M = Sched.Metrics
+
+let run_workload (w : Workloads.Workload.t) =
+  let prog = Vm.Hir.lower w.hir in
+  let structure = Cfg.Cfg_builder.run prog in
+  let res = Ddg.Depprof.profile prog ~structure in
+  let a = Sched.Depanalysis.analyse prog res in
+  M.compute ~name:w.w_name
+    ~ld_src:(Workloads.Workload.src_loop_depth w.hir)
+    ~fusion_strategy:w.fusion prog res a
+
+let backprop_row = lazy (run_workload Workloads.Backprop.workload)
+
+let test_backprop_region () =
+  let r = Lazy.force backprop_row in
+  Alcotest.(check string) "region is the training loop" "facetrain.c:25" r.M.region;
+  Alcotest.(check bool) "interprocedural" true r.M.interproc;
+  Alcotest.(check bool) "region is most of the program" true
+    (r.M.region_ops_pct > 50.0)
+
+let test_backprop_parallel_simd () =
+  let r = Lazy.force backprop_row in
+  Alcotest.(check bool) "everything parallelisable" true (r.M.par_ops_pct > 90.0);
+  Alcotest.(check bool) "simd after interchange" true (r.M.simd_ops_pct > 80.0);
+  Alcotest.(check bool) "no skew" false r.M.skew
+
+let test_backprop_reuse () =
+  let r = Lazy.force backprop_row in
+  (* the paper's signature: permutation can raise stride-0/1 coverage *)
+  Alcotest.(check bool) "Preuse > reuse" true (r.M.preuse_pct > r.M.reuse_pct);
+  Alcotest.(check bool) "Preuse ~ 100%" true (r.M.preuse_pct > 95.0)
+
+let test_backprop_depths () =
+  let r = Lazy.force backprop_row in
+  Alcotest.(check int) "ld-src (epoch+j+k)" 3 r.M.ld_src;
+  Alcotest.(check int) "ld-bin matches" 3 r.M.ld_bin;
+  Alcotest.(check bool) "tilable" true (r.M.tile_depth >= 2);
+  Alcotest.(check bool) "tiled ops high" true (r.M.tile_ops_pct > 90.0)
+
+let test_percentages_bounded () =
+  List.iter
+    (fun w ->
+      let r = run_workload w in
+      List.iter
+        (fun (lbl, v) ->
+          Alcotest.(check bool) (r.M.name ^ " " ^ lbl) true (v >= 0.0 && v <= 100.0))
+        [ ("aff", r.M.aff_pct); ("region_ops", r.M.region_ops_pct);
+          ("par", r.M.par_ops_pct); ("simd", r.M.simd_ops_pct);
+          ("reuse", r.M.reuse_pct); ("preuse", r.M.preuse_pct);
+          ("tilops", r.M.tile_ops_pct) ])
+    [ Workloads.Bfs.workload; Workloads.Nw.workload; Workloads.Lud.workload ]
+
+let test_failed_row_rendering () =
+  let r = M.failed_row ~name:"x" ~ops:1000 ~mem:100 () in
+  let cells = M.to_strings r in
+  Alcotest.(check int) "right number of columns" (List.length M.header)
+    (List.length cells);
+  Alcotest.(check string) "name" "x" (List.nth cells 0);
+  Alcotest.(check string) "ops" "1K" (List.nth cells 1);
+  Alcotest.(check string) "transformation columns dashed" "-"
+    (List.nth cells (List.length cells - 1))
+
+let test_count_formatting () =
+  let r = M.failed_row ~name:"y" ~ops:2_500_000 ~mem:3_000_000_000 () in
+  let cells = M.to_strings r in
+  Alcotest.(check string) "millions" "2M" (List.nth cells 1);
+  Alcotest.(check string) "billions" "3G" (List.nth cells 2)
+
+let test_skew_rows () =
+  (* the three wavefront benchmarks report skew = Y, stencils do not *)
+  let skew w = (run_workload w).M.skew in
+  Alcotest.(check bool) "hotspot skews" true (skew Workloads.Hotspot.workload);
+  Alcotest.(check bool) "pathfinder skews" true (skew Workloads.Pathfinder.workload);
+  Alcotest.(check bool) "nw skews" true (skew Workloads.Nw.workload);
+  Alcotest.(check bool) "hotspot3D does not" false (skew Workloads.Hotspot3d.workload);
+  Alcotest.(check bool) "srad_v2 does not" false (skew Workloads.Srad.v2)
+
+let test_table_rendering () =
+  let r = Lazy.force backprop_row in
+  let out = Format.asprintf "%a" M.pp_table [ r ] in
+  Alcotest.(check bool) "header present" true
+    (String.length out > 0
+    && String.sub out 0 9 = "benchmark")
+
+let () =
+  Alcotest.run "metrics"
+    [ ( "backprop (Table 3/5 shape)",
+        [ Alcotest.test_case "region selection" `Quick test_backprop_region;
+          Alcotest.test_case "parallel + simd" `Quick test_backprop_parallel_simd;
+          Alcotest.test_case "reuse vs Preuse" `Quick test_backprop_reuse;
+          Alcotest.test_case "loop depths + tiling" `Quick test_backprop_depths ] );
+      ( "suite",
+        [ Alcotest.test_case "percentages bounded" `Slow test_percentages_bounded;
+          Alcotest.test_case "skew flags" `Slow test_skew_rows ] );
+      ( "rendering",
+        [ Alcotest.test_case "failed row" `Quick test_failed_row_rendering;
+          Alcotest.test_case "count units" `Quick test_count_formatting;
+          Alcotest.test_case "table" `Quick test_table_rendering ] ) ]

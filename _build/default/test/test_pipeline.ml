@@ -1,0 +1,192 @@
+(* Integration tests: the full pipeline over every mini-Rodinia
+   benchmark, plus targeted Table-5-shape regressions per benchmark. *)
+
+module R = Workloads.Runner
+module M = Sched.Metrics
+
+let outcomes =
+  lazy (List.map (fun w -> (w, R.run w)) Workloads.Rodinia.all)
+
+let outcome name =
+  let w = Workloads.Rodinia.find name in
+  let _, o = List.find (fun ((x : Workloads.Workload.t), _) -> x.w_name = name)
+      (Lazy.force outcomes)
+  in
+  (w, o)
+
+let test_all_run () =
+  List.iter
+    (fun ((w : Workloads.Workload.t), (o : R.outcome)) ->
+      Alcotest.(check bool) (w.w_name ^ " produced ops") true (o.row.M.ops > 1000);
+      Alcotest.(check bool) (w.w_name ^ " folded deps") true (o.dep_keys > 0))
+    (Lazy.force outcomes)
+
+let test_only_streamcluster_bails () =
+  List.iter
+    (fun ((w : Workloads.Workload.t), (o : R.outcome)) ->
+      Alcotest.(check bool)
+        (w.w_name ^ " bail-out expectation")
+        w.expect_sched_failure o.sched_bailed)
+    (Lazy.force outcomes)
+
+let test_interproc_flags () =
+  List.iter
+    (fun ((w : Workloads.Workload.t), (o : R.outcome)) ->
+      match w.paper with
+      | Some p when not o.sched_bailed ->
+          Alcotest.(check bool)
+            (w.w_name ^ " interprocedural flag")
+            p.Workloads.Workload.p_interproc o.row.M.interproc
+      | _ -> ())
+    (Lazy.force outcomes)
+
+let test_skew_flags_match_paper () =
+  List.iter
+    (fun ((w : Workloads.Workload.t), (o : R.outcome)) ->
+      match w.paper with
+      | Some p when (not o.sched_bailed) && w.w_name <> "lud" ->
+          (* lud is a documented deviation: our exact folding captures the
+             inter-block (1,-1) dependence that the paper's
+             over-approximated lud profile hides, so we legitimately
+             propose a skew there (see EXPERIMENTS.md) *)
+          Alcotest.(check bool) (w.w_name ^ " skew") p.Workloads.Workload.p_skew
+            o.row.M.skew
+      | _ -> ())
+    (Lazy.force outcomes)
+
+let test_ld_src_matches_paper_shape () =
+  (* the binary loop depth never exceeds the source depth (unrolling can
+     only remove levels) *)
+  List.iter
+    (fun ((w : Workloads.Workload.t), (o : R.outcome)) ->
+      if not o.sched_bailed then
+        Alcotest.(check bool)
+          (w.w_name ^ " ld-bin <= ld-src")
+          true
+          (o.row.M.ld_bin <= o.row.M.ld_src))
+    (Lazy.force outcomes)
+
+let test_unrolling_depth_delta () =
+  (* cfd and heartwall lose exactly one level to full unrolling *)
+  let _, cfd = outcome "cfd" in
+  Alcotest.(check int) "cfd ld-src" 5 cfd.row.M.ld_src;
+  Alcotest.(check int) "cfd ld-bin" 4 cfd.row.M.ld_bin;
+  let _, hw = outcome "heartwall" in
+  Alcotest.(check int) "heartwall ld-src" 7 hw.row.M.ld_src;
+  Alcotest.(check int) "heartwall ld-bin" 6 hw.row.M.ld_bin
+
+let test_low_affine_benchmarks () =
+  (* the paper's "no lattice support" trio has low affine coverage here
+     too (hotspot is the exception: our folding handles its buffer
+     parity, documented in EXPERIMENTS.md) *)
+  List.iter
+    (fun name ->
+      let _, o = outcome name in
+      Alcotest.(check bool) (name ^ " mostly non-affine") true
+        (o.row.M.aff_pct < 40.0))
+    [ "heartwall"; "lavaMD"; "bfs"; "nn" ]
+
+let test_high_affine_benchmarks () =
+  List.iter
+    (fun name ->
+      let _, o = outcome name in
+      Alcotest.(check bool) (name ^ " mostly affine") true
+        (o.row.M.aff_pct > 60.0))
+    [ "cfd"; "backprop" ]
+
+let test_parallelism_dominates () =
+  (* the headline of Table 5: nearly everything is parallelisable *)
+  let n_high =
+    List.length
+      (List.filter
+         (fun ((_ : Workloads.Workload.t), (o : R.outcome)) ->
+           (not o.sched_bailed) && o.row.M.par_ops_pct > 90.0)
+         (Lazy.force outcomes))
+  in
+  Alcotest.(check bool) "most benchmarks > 90% parallel ops" true (n_high >= 14)
+
+let test_tiling_found () =
+  let _, lavamd = outcome "lavaMD" in
+  Alcotest.(check int) "lavaMD 3-D tiles" 3 lavamd.row.M.tile_depth;
+  let _, nw = outcome "nw" in
+  Alcotest.(check int) "nw 2-D tiles" 2 nw.row.M.tile_depth
+
+let test_gems_fdtd () =
+  let o = R.run Workloads.Gems_fdtd.workload in
+  Alcotest.(check bool) "no bail" false o.sched_bailed;
+  Alcotest.(check bool) "3-D tiling found" true (o.row.M.tile_depth >= 3);
+  Alcotest.(check bool) "massively parallel" true (o.row.M.par_ops_pct > 90.0)
+
+let test_backprop_interchange_feedback () =
+  let _, o = outcome "backprop" in
+  match o.pipeline with
+  | None -> Alcotest.fail "pipeline missing"
+  | Some t ->
+      let has_interchange =
+        List.exists
+          (fun (n : Sched.Depanalysis.nest_info) ->
+            n.ndepth = 3
+            &&
+            let sg = Sched.Transform.suggest t.Polyprof.analysis n in
+            match sg.Sched.Transform.interchange with
+            | Some (2, 3) -> true
+            | _ -> false)
+          t.Polyprof.analysis.Sched.Depanalysis.nests
+      in
+      Alcotest.(check bool) "interchange d2 <-> d3 suggested" true has_interchange
+
+let test_table5_rendering () =
+  let txt = R.table5 (Lazy.force outcomes) in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      Alcotest.(check bool) (w.w_name ^ " in table") true
+        (let needle = w.w_name in
+         let nl = String.length needle and hl = String.length txt in
+         let rec go i = i + nl <= hl && (String.sub txt i nl = needle || go (i + 1)) in
+         go 0))
+    Workloads.Rodinia.all
+
+let test_kernels_agree () =
+  (* the native case-study kernels: transformed variants compute the
+     same results as the originals *)
+  let a = Kernels.Backprop_kernels.create ~n1:64 ~n2:8 in
+  let b = Kernels.Backprop_kernels.create ~n1:64 ~n2:8 in
+  Kernels.Backprop_kernels.layerforward_original a;
+  Kernels.Backprop_kernels.layerforward_interchanged b;
+  Kernels.Backprop_kernels.adjust_original a;
+  Kernels.Backprop_kernels.adjust_interchanged b;
+  Alcotest.(check (float 1e-6)) "backprop checksums agree"
+    (Kernels.Backprop_kernels.checksum a)
+    (Kernels.Backprop_kernels.checksum b);
+  let g1 = Kernels.Gems_kernels.create ~n:24 in
+  let g2 = Kernels.Gems_kernels.create ~n:24 in
+  Kernels.Gems_kernels.update_original g1;
+  Kernels.Gems_kernels.update_tiled ~tile:7 g2;
+  Alcotest.(check (float 1e-6)) "gems checksums agree"
+    (Kernels.Gems_kernels.checksum g1)
+    (Kernels.Gems_kernels.checksum g2)
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "suite",
+        [ Alcotest.test_case "all 19 run" `Slow test_all_run;
+          Alcotest.test_case "only streamcluster bails" `Slow
+            test_only_streamcluster_bails;
+          Alcotest.test_case "interproc flags" `Slow test_interproc_flags;
+          Alcotest.test_case "skew flags" `Slow test_skew_flags_match_paper;
+          Alcotest.test_case "ld-bin <= ld-src" `Slow
+            test_ld_src_matches_paper_shape;
+          Alcotest.test_case "unrolling depth delta" `Slow
+            test_unrolling_depth_delta;
+          Alcotest.test_case "low-affine trio" `Slow test_low_affine_benchmarks;
+          Alcotest.test_case "high-affine pair" `Slow test_high_affine_benchmarks;
+          Alcotest.test_case "parallelism dominates" `Slow
+            test_parallelism_dominates;
+          Alcotest.test_case "tiling depths" `Slow test_tiling_found;
+          Alcotest.test_case "Table 5 rendering" `Slow test_table5_rendering ] );
+      ( "case studies",
+        [ Alcotest.test_case "GemsFDTD" `Slow test_gems_fdtd;
+          Alcotest.test_case "backprop interchange" `Slow
+            test_backprop_interchange_feedback;
+          Alcotest.test_case "native kernels agree" `Quick test_kernels_agree ] )
+    ]

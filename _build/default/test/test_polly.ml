@@ -1,0 +1,203 @@
+(* Tests for the static Polly baseline (Experiment II): every failure
+   reason code in isolation, inlining behaviour, and the full
+   19-benchmark reason-string comparison against the paper's Table 5. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+module PL = Staticbase.Polly_lite
+
+let verdict_of ?attrs body =
+  let f = H.fundef ?attrs "kernel" [ "ptr"; "n" ] body in
+  PL.analyse_fundef
+    { H.funs = [ f ]; arrays = [ ("arr", 64); ("idx", 64) ]; main = "kernel" }
+    f
+
+let codes v = PL.reasons_string v
+
+let test_clean_affine () =
+  let v =
+    verdict_of
+      [ H.for_ "x" (i 0) (v "n")
+          [ H.for_ "y" (i 0) (v "n")
+              [ store "arr" ((v "x" *! v "n") +! v "y") (v "x" +! v "y") ] ] ]
+  in
+  Alcotest.(check bool) "modeled" true v.PL.modeled;
+  Alcotest.(check string) "no reasons" "-" (codes v);
+  Alcotest.(check int) "full depth" 2 v.PL.modeled_depth
+
+let test_reason_R () =
+  (* an unknown callee *)
+  let v =
+    verdict_of [ H.for_ "x" (i 0) (v "n") [ H.CallS (None, "mystery", []) ] ]
+  in
+  Alcotest.(check string) "R" "R" (codes v)
+
+let test_intrinsics_ok () =
+  let f = H.fundef "kernel" [ "n" ]
+      [ H.for_ "x" (i 0) (v "n") [ H.CallS (Some "e", "exp", [ f 1.0 ]) ] ]
+  in
+  let v = PL.analyse_fundef { H.funs = [ f ]; arrays = []; main = "kernel" } f in
+  Alcotest.(check bool) "exp is handled" true v.PL.modeled
+
+let test_reason_C () =
+  let v =
+    verdict_of
+      [ H.for_ "x" (i 0) (v "n") [ H.If (v "x" >! i 3, [ H.Break ], []) ] ]
+  in
+  Alcotest.(check string) "C" "C" (codes v)
+
+let test_reason_B_loaded_bound () =
+  let v =
+    verdict_of
+      [ H.Let ("m", "arr".%[i 0]);
+        H.for_ "x" (i 0) (v "m") [ store "arr" (v "x") (v "x") ] ]
+  in
+  Alcotest.(check string) "B" "B" (codes v)
+
+let test_reason_B_while () =
+  let v = verdict_of [ H.while_ (v "n" >! i 0) [ H.Let ("n", v "n" -! i 1) ] ] in
+  Alcotest.(check string) "B" "B" (codes v)
+
+let test_reason_F_indirect () =
+  let v =
+    verdict_of
+      [ H.for_ "x" (i 0) (v "n")
+          [ store "arr" "idx".%[v "x"] (v "x") ] ]
+  in
+  Alcotest.(check string) "F" "F" (codes v)
+
+let test_reason_A_attr () =
+  let v =
+    verdict_of ~attrs:[ H.May_alias ]
+      [ H.for_ "x" (i 0) (v "n") [ store "arr" (v "x") (v "x") ] ]
+  in
+  Alcotest.(check string) "A" "A" (codes v)
+
+let test_reason_P_loaded_base () =
+  let v =
+    verdict_of
+      [ H.for_ "x" (i 0) (v "n")
+          [ H.Let ("rowp", "idx".%[v "x" *! i 0]);
+            H.Let ("val", load (v "rowp" +! v "x"));
+            store "arr" (v "x") (v "val") ] ]
+  in
+  Alcotest.(check string) "P" "P" (codes v)
+
+let test_select_not_complex () =
+  (* data-dependent scalar select: if-converted, no B *)
+  let v =
+    verdict_of
+      [ H.for_ "x" (i 0) (v "n")
+          [ H.Let ("a", "arr".%[v "x"]);
+            H.Let ("best", i 0);
+            H.If (v "a" >! i 5, [ H.Let ("best", v "x") ], []);
+            store "idx" (v "x") (v "best") ] ]
+  in
+  Alcotest.(check bool) "no B for a select" true
+    (not (List.mem PL.B_nonaffine_bound v.PL.reasons))
+
+let test_guarded_store_is_B () =
+  let v =
+    verdict_of
+      [ H.for_ "x" (i 0) (v "n")
+          [ H.Let ("a", "arr".%[v "x"]);
+            H.If (v "a" >! i 5, [ store "idx" (v "x") (i 1) ], []) ] ]
+  in
+  Alcotest.(check bool) "guarded store is B" true
+    (List.mem PL.B_nonaffine_bound v.PL.reasons)
+
+let test_param_times_iterator_affine () =
+  (* k * n + j with parametric n: handled by polyhedral tools *)
+  let v =
+    verdict_of
+      [ H.for_ "k" (i 0) (v "n")
+          [ H.for_ "j" (i 0) (v "n")
+              [ store "arr" ((v "k" *! v "n") +! v "j") (v "j") ] ] ]
+  in
+  Alcotest.(check bool) "parametric stride modeled" true v.PL.modeled
+
+let test_inlining_merges_reasons () =
+  let callee =
+    H.fundef "helper" [ "p" ]
+      [ H.for_ "y" (i 0) (i 4) [ store "arr" "idx".%[v "y"] (v "y") ] ]
+  in
+  let caller =
+    H.fundef "kernel" [ "n" ]
+      [ H.for_ "x" (i 0) (v "n") [ H.CallS (None, "helper", [ v "x" ]) ] ]
+  in
+  let p = { H.funs = [ callee; caller ]; arrays = [ ("arr", 8); ("idx", 8) ]; main = "kernel" } in
+  let v = PL.analyse_fundef p caller in
+  (* the callee is inlined: F shows through, no R *)
+  Alcotest.(check string) "F from the inlined body" "F" (codes v)
+
+let test_blacklisted_callee_is_R () =
+  let callee = H.fundef ~blacklisted:true "libfun" [] [ H.Return None ] in
+  let caller =
+    H.fundef "kernel" [ "n" ]
+      [ H.for_ "x" (i 0) (v "n") [ H.CallS (None, "libfun", []) ] ]
+  in
+  let p = { H.funs = [ callee; caller ]; arrays = []; main = "kernel" } in
+  Alcotest.(check string) "R" "R" (codes (PL.analyse_fundef p caller))
+
+let test_recursive_inline_guard () =
+  let rec_fn =
+    H.fundef "kernel" [ "n" ]
+      [ H.for_ "x" (i 0) (v "n") [ H.CallS (None, "kernel", [ v "n" ]) ] ]
+  in
+  let p = { H.funs = [ rec_fn ]; arrays = []; main = "kernel" } in
+  (* recursion cannot be inlined away: reported as R *)
+  Alcotest.(check string) "R" "R" (codes (PL.analyse_fundef p rec_fn))
+
+let test_modeled_depth () =
+  (* an affine sibling nest remains a modelable subregion even when the
+     hot nest fails ("Polly was able to model some smaller subregions") *)
+  let v =
+    verdict_of
+      [ H.for_ "x" (i 0) (v "n")
+          [ H.for_ "x2" (i 0) (v "n") [ store "arr" (v "x2") (v "x") ] ];
+        H.for_ "w" (i 0) (v "n") [ store "arr" "idx".%[v "w"] (v "w") ] ]
+  in
+  Alcotest.(check bool) "not fully modeled" false v.PL.modeled;
+  Alcotest.(check int) "clean 2-D subregion found" 2 v.PL.modeled_depth;
+  Alcotest.(check int) "total depth" 2 v.PL.total_depth
+
+(* the headline check: all 19 mini-Rodinia reason strings match Table 5 *)
+let test_table5_reasons () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      match w.paper with
+      | Some paper ->
+          let v = PL.analyse_function w.hir w.kernel_func in
+          Alcotest.(check string)
+            (Printf.sprintf "%s reasons" w.w_name)
+            paper.Workloads.Workload.p_polly (codes v)
+      | None -> ())
+    Workloads.Rodinia.all
+
+let () =
+  Alcotest.run "polly_lite"
+    [ ( "reason codes",
+        [ Alcotest.test_case "clean affine region" `Quick test_clean_affine;
+          Alcotest.test_case "R: unknown call" `Quick test_reason_R;
+          Alcotest.test_case "intrinsics handled" `Quick test_intrinsics_ok;
+          Alcotest.test_case "C: break" `Quick test_reason_C;
+          Alcotest.test_case "B: loaded bound" `Quick test_reason_B_loaded_bound;
+          Alcotest.test_case "B: while" `Quick test_reason_B_while;
+          Alcotest.test_case "F: indirection" `Quick test_reason_F_indirect;
+          Alcotest.test_case "A: aliasing" `Quick test_reason_A_attr;
+          Alcotest.test_case "P: loaded base" `Quick test_reason_P_loaded_base;
+          Alcotest.test_case "select is not B" `Quick test_select_not_complex;
+          Alcotest.test_case "guarded store is B" `Quick test_guarded_store_is_B;
+          Alcotest.test_case "parametric stride" `Quick
+            test_param_times_iterator_affine;
+          Alcotest.test_case "modeled depth" `Quick test_modeled_depth ] );
+      ( "inlining",
+        [ Alcotest.test_case "reasons merge through calls" `Quick
+            test_inlining_merges_reasons;
+          Alcotest.test_case "library calls stay R" `Quick
+            test_blacklisted_callee_is_R;
+          Alcotest.test_case "recursion guard" `Quick test_recursive_inline_guard
+        ] );
+      ( "experiment II",
+        [ Alcotest.test_case "all 19 Table-5 reason strings" `Slow
+            test_table5_reasons ] ) ]

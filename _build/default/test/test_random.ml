@@ -1,0 +1,166 @@
+(* End-to-end fuzzing: generate random structured programs (nested
+   loops, conditionals, calls, loads/stores with mixed affine and
+   irregular indexing), run the full pipeline, and check the global
+   invariants that must hold for ANY program:
+
+   - the interpreter, loop-event generation, IIV maintenance, folding and
+     feedback never raise;
+   - loop events balance (no loop is left live at the end);
+   - per-statement folded point counts equal the interpreter's dynamic
+     instruction count;
+   - every executed statement instance is covered by its folded domain
+     (checked on a sample);
+   - metrics percentages are within [0, 100]. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let arr_size = 32
+
+(* --- generator ----------------------------------------------------- *)
+
+type genctx = { mutable fresh : int; mutable depth : int }
+
+let rec gen_expr ctx vars rand =
+  (* an integer expression usable as an array index (kept in range with
+     a final modulo when irregular) *)
+  match rand 6 with
+  | 0 | 1 -> i (rand arr_size)
+  | 2 | 3 -> (
+      match vars with
+      | [] -> i (rand arr_size)
+      | _ -> v (List.nth vars (rand (List.length vars))))
+  | 4 ->
+      let a = gen_expr ctx vars rand and b = gen_expr ctx vars rand in
+      (a +! b) %! i arr_size
+  | _ ->
+      let a = gen_expr ctx vars rand in
+      (a *! i (1 + rand 3)) %! i arr_size
+
+let rec gen_stmts ctx vars rand budget =
+  if budget <= 0 then []
+  else
+    let s, cost = gen_stmt ctx vars rand budget in
+    s :: gen_stmts ctx vars rand (budget - cost)
+
+and gen_stmt ctx vars rand budget =
+  let idx () = gen_expr ctx vars rand in
+  match rand (if ctx.depth >= 3 then 4 else 6) with
+  | 0 ->
+      (* store *)
+      (store "data" (idx ()) ("data".%[idx ()] +! i (rand 5)), 1)
+  | 1 ->
+      let name = Printf.sprintf "v%d" ctx.fresh in
+      ctx.fresh <- ctx.fresh + 1;
+      (H.Let (name, idx ()), 1)
+  | 2 ->
+      (* guarded store *)
+      ( H.If
+          ( idx () <! i (rand arr_size + 1),
+            [ store "data" (idx ()) (i (rand 9)) ],
+            [ store "aux" (idx ()) (i (rand 9)) ] ),
+        2 )
+  | 3 -> (H.CallS (Some "c", "leaf", [ idx () ]), 2)
+  | _ ->
+      (* a loop *)
+      let name = Printf.sprintf "k%d" ctx.fresh in
+      ctx.fresh <- ctx.fresh + 1;
+      ctx.depth <- ctx.depth + 1;
+      let body = gen_stmts ctx (name :: vars) rand (budget / 2) in
+      ctx.depth <- ctx.depth - 1;
+      let body = if body = [] then [ H.Let ("t", v name) ] else body in
+      (H.for_ name (i 0) (i (2 + rand 5)) body, 2 + (budget / 2))
+
+let gen_program seed : H.program =
+  let st = Random.State.make [| seed |] in
+  let rand n = Random.State.int st (max 1 n) in
+  let ctx = { fresh = 0; depth = 0 } in
+  let body = gen_stmts ctx [] rand 12 in
+  let body = if body = [] then [ store "data" (i 0) (i 1) ] else body in
+  { H.funs =
+      [ H.fundef "leaf" [ "x" ]
+          [ store "aux" (v "x" %! i arr_size) (v "x" +! i 1);
+            H.Return (Some (v "x" *! i 2)) ];
+        H.fundef "main" [] body ];
+    arrays = [ ("data", arr_size); ("aux", arr_size) ];
+    main = "main" }
+
+(* --- invariants ---------------------------------------------------- *)
+
+let check_program seed =
+  let hir = gen_program seed in
+  let prog = H.lower hir in
+  (* 1. loop events balance *)
+  let structure = Cfg.Cfg_builder.run prog in
+  let st = Ddg.Loop_events.create structure ~main:prog.Vm.Prog.main in
+  List.iter (fun _ -> ()) (Ddg.Loop_events.start st);
+  let callbacks =
+    { Vm.Interp.on_control = (fun ev -> ignore (Ddg.Loop_events.feed st ev));
+      on_exec = ignore }
+  in
+  let (_ : Vm.Interp.stats) = Vm.Interp.run ~callbacks prog in
+  ignore (Ddg.Loop_events.finish st);
+  if Ddg.Loop_events.live_depth st <> 0 then false
+  else begin
+    (* 2. full pipeline runs and counts agree *)
+    let res = Ddg.Depprof.profile prog ~structure in
+    let total =
+      List.fold_left
+        (fun acc (s : Ddg.Depprof.stmt_info) -> acc + s.s_count)
+        0 res.stmts
+    in
+    if total <> res.run_stats.Vm.Interp.dyn_instrs then false
+    else begin
+      (* 3. folded domains cover their own sampled points *)
+      let covered =
+        List.for_all
+          (fun (s : Ddg.Depprof.stmt_info) ->
+            s.s_pieces = []
+            || List.exists
+                 (fun (p : Fold.piece) ->
+                   if Minisl.Polyhedron.dim p.Fold.dom > 4 then true
+                   else
+                     match Minisl.Polyhedron.sample p.Fold.dom with
+                     | Some pt -> Minisl.Polyhedron.mem p.Fold.dom pt
+                     | None -> p.Fold.points = 0)
+                 s.s_pieces)
+          res.stmts
+      in
+      if not covered then false
+      else begin
+        (* 4. feedback + metrics never raise, percentages bounded *)
+        let analysis = Sched.Depanalysis.analyse prog res in
+        let (_ : Sched.Feedback.t) = Sched.Feedback.make prog res analysis in
+        let row =
+          Sched.Metrics.compute ~name:"fuzz" prog res analysis
+        in
+        let ok_pct v = v >= 0.0 && v <= 100.0 in
+        ok_pct row.Sched.Metrics.aff_pct
+        && ok_pct row.Sched.Metrics.par_ops_pct
+        && ok_pct row.Sched.Metrics.simd_ops_pct
+        && ok_pct row.Sched.Metrics.reuse_pct
+        && ok_pct row.Sched.Metrics.preuse_pct
+        && ok_pct row.Sched.Metrics.tile_ops_pct
+      end
+    end
+  end
+
+let prop_pipeline_invariants =
+  QCheck.Test.make ~name:"pipeline invariants on random programs" ~count:60
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    (fun seed -> check_program seed)
+
+(* a couple of fixed seeds as fast regression anchors *)
+let test_fixed_seeds () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d" seed)
+        true (check_program seed))
+    [ 1; 7; 42; 1234; 99991 ]
+
+let () =
+  Alcotest.run "random_programs"
+    [ ( "fuzz",
+        [ Alcotest.test_case "fixed seeds" `Quick test_fixed_seeds;
+          QCheck_alcotest.to_alcotest prop_pipeline_invariants ] ) ]

@@ -1,0 +1,85 @@
+(* Tests for the reporting layer: flame graphs, text tables. *)
+
+let pipeline = lazy (Polyprof.run_hir Workloads.Backprop.workload.Workloads.Workload.hir)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_svg_wellformed () =
+  let t = Lazy.force pipeline in
+  let svg = Polyprof.flamegraph_svg t in
+  Alcotest.(check bool) "starts with <svg" true
+    (String.sub svg 0 4 = "<svg");
+  Alcotest.(check bool) "ends with </svg>" true (contains ~needle:"</svg>" svg);
+  Alcotest.(check bool) "has rects" true (contains ~needle:"<rect" svg);
+  Alcotest.(check bool) "labels use function names" true
+    (contains ~needle:"bpnn_layerforward" svg)
+
+let test_svg_colors () =
+  let t = Lazy.force pipeline in
+  let svg = Polyprof.flamegraph_svg t in
+  (* parallel loops are green, blacklisted (squash) regions gray *)
+  Alcotest.(check bool) "parallel color present" true
+    (contains ~needle:"#7bc96f" svg);
+  Alcotest.(check bool) "gray (blacklisted/non-affine) present" true
+    (contains ~needle:"#bbbbbb" svg)
+
+let test_svg_escaping () =
+  let tree = Ddg.Sched_tree.create () in
+  let svg =
+    Report.Flamegraph.to_svg ~name:(fun _ -> "a<b>&\"c\"") tree
+  in
+  Alcotest.(check bool) "no raw < in labels" true
+    (not (contains ~needle:"a<b>" svg))
+
+let test_ascii_flamegraph () =
+  let t = Lazy.force pipeline in
+  let txt = Polyprof.flamegraph_ascii ~width:20 t in
+  Alcotest.(check bool) "root line shows 100%" true
+    (contains ~needle:"100.0%" txt);
+  Alcotest.(check bool) "kernels appear" true
+    (contains ~needle:"bpnn_adjust_weights" txt)
+
+let test_write_svg_file () =
+  let t = Lazy.force pipeline in
+  let path = Filename.temp_file "polyprof" ".svg" in
+  let annot = Report.Flamegraph.annot_of_analysis t.Polyprof.prog t.Polyprof.analysis in
+  Report.Flamegraph.write_svg ~path ~annot ~name:(Polyprof.ctx_name t)
+    t.Polyprof.profile.Ddg.Depprof.stree;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "non-trivial file" true (len > 1000)
+
+let test_texttable_alignment () =
+  let out =
+    Report.Texttable.render ~header:[ "a"; "bb" ]
+      [ [ "xxx"; "y" ]; [ "1"; "22222" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (* header + separator + two rows (+ trailing empty) *)
+  Alcotest.(check int) "line count" 5 (List.length lines);
+  (* all non-empty lines have the same column positions: every row is at
+     least as wide as its content and columns align on the widest cell *)
+  Alcotest.(check bool) "separator present" true
+    (contains ~needle:"---" (List.nth lines 1))
+
+let test_texttable_ragged_rows () =
+  let out = Report.Texttable.render ~header:[ "h1"; "h2"; "h3" ] [ [ "only-one" ] ] in
+  Alcotest.(check bool) "ragged rows tolerated" true (String.length out > 0)
+
+let () =
+  Alcotest.run "report"
+    [ ( "flamegraph",
+        [ Alcotest.test_case "SVG well-formed" `Quick test_svg_wellformed;
+          Alcotest.test_case "annotation colors" `Quick test_svg_colors;
+          Alcotest.test_case "XML escaping" `Quick test_svg_escaping;
+          Alcotest.test_case "ASCII rendering" `Quick test_ascii_flamegraph;
+          Alcotest.test_case "file output" `Quick test_write_svg_file ] );
+      ( "tables",
+        [ Alcotest.test_case "alignment" `Quick test_texttable_alignment;
+          Alcotest.test_case "ragged rows" `Quick test_texttable_ragged_rows ] )
+    ]

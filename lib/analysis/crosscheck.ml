@@ -1,0 +1,103 @@
+type report = {
+  n_accesses : int;
+  n_ranged : int;
+  facts : int;
+  checked_edges : int;
+  skipped_edges : int;
+  violations : Diag.t list;
+}
+
+let disjoint (lo1, hi1) (lo2, hi2) = hi1 < lo2 || hi2 < lo1
+
+let check (prog : Vm.Prog.t) (res : Ddg.Depprof.result) =
+  let frs = Affine_class.analyse_prog prog in
+  (* sid -> ranged access (memory accesses only, by construction) *)
+  let ranged : (Vm.Isa.Sid.t, Affine_class.access) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let n_accesses = ref 0 in
+  Array.iter
+    (fun fr ->
+      List.iter
+        (fun (a : Affine_class.access) ->
+          incr n_accesses;
+          match a.acc_range with
+          | Some _ -> Hashtbl.replace ranged a.acc_sid a
+          | None -> ())
+        fr.Affine_class.fr_accesses)
+    frs;
+  (* independence facts: disjoint pairs within a function, at least one
+     of which writes (read/read pairs carry no dependence anyway) *)
+  let facts = ref 0 in
+  Array.iter
+    (fun fr ->
+      let accs =
+        List.filter
+          (fun (a : Affine_class.access) -> a.acc_range <> None)
+          fr.Affine_class.fr_accesses
+      in
+      let rec pairs = function
+        | [] -> ()
+        | (a : Affine_class.access) :: rest ->
+            List.iter
+              (fun (b : Affine_class.access) ->
+                if
+                  (a.acc_store || b.acc_store)
+                  && disjoint (Option.get a.acc_range) (Option.get b.acc_range)
+                then incr facts)
+              rest;
+            pairs rest
+      in
+      pairs accs)
+    frs;
+  let checked = ref 0 and skipped = ref 0 and violations = ref [] in
+  List.iter
+    (fun (d : Ddg.Depprof.dep_info) ->
+      match d.dk.kind with
+      | Ddg.Depprof.Reg_dep -> ()
+      | Ddg.Depprof.Mem_dep | Ddg.Depprof.Out_dep -> (
+          match
+            (Hashtbl.find_opt ranged d.dk.src_sid,
+             Hashtbl.find_opt ranged d.dk.dst_sid)
+          with
+          | Some a, Some b ->
+              incr checked;
+              let ra = Option.get a.acc_range
+              and rb = Option.get b.acc_range in
+              if disjoint ra rb then
+                violations :=
+                  Diag.error ~sid:d.dk.dst_sid ~code:"E-crosscheck"
+                    ~fid:(Vm.Isa.Sid.fid d.dk.dst_sid)
+                    (Format.asprintf
+                       "dynamic %s edge %a -> %a contradicts static \
+                        independence: address ranges [%d, %d] and [%d, %d] \
+                        are disjoint"
+                       (match d.dk.kind with
+                       | Ddg.Depprof.Out_dep -> "output-dep"
+                       | _ -> "mem-dep")
+                       Vm.Isa.Sid.pp d.dk.src_sid Vm.Isa.Sid.pp d.dk.dst_sid
+                       (fst ra) (snd ra) (fst rb) (snd rb))
+                  :: !violations
+          | _ -> incr skipped))
+    res.Ddg.Depprof.deps;
+  {
+    n_accesses = !n_accesses;
+    n_ranged = Hashtbl.length ranged;
+    facts = !facts;
+    checked_edges = !checked;
+    skipped_edges = !skipped;
+    violations = List.sort Diag.compare !violations;
+  }
+
+let ok r = r.violations = []
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "accesses %d (ranged %d), independence facts %d, edges checked \
+     %d/%d, violations %d"
+    r.n_accesses r.n_ranged r.facts r.checked_edges
+    (r.checked_edges + r.skipped_edges)
+    (List.length r.violations);
+  List.iter
+    (fun d -> Format.fprintf fmt "@\n  %a" (Diag.pp ()) d)
+    r.violations

@@ -1,0 +1,32 @@
+(** Static-vs-dynamic dependence cross-checker.
+
+    From the {!Affine_class} results, any two memory accesses in the
+    same function whose over-approximate address intervals are disjoint
+    are *provably independent*: no execution can make them touch the
+    same location, so no [Mem_dep]/[Out_dep] edge may connect them.  The
+    dynamic profiler of {!Ddg.Depprof} must agree — a dependence edge
+    between a provably-disjoint pair means either the static ranges or
+    the shadow-memory bookkeeping is wrong.  This makes the checker a
+    sanitizer for the profiler itself, in the spirit of the paper's
+    validation experiments.
+
+    Only edges whose two endpoints both carry a static range are
+    checked; everything else is out of the static analysis' reach and is
+    counted in [skipped_edges]. *)
+
+type report = {
+  n_accesses : int;  (** accesses seen by the static classifier *)
+  n_ranged : int;  (** of which carry a provable address interval *)
+  facts : int;
+      (** provably-independent (disjoint-interval) pairs involving at
+          least one store, i.e. pairs a dependence could connect *)
+  checked_edges : int;
+      (** dynamic [Mem_dep]/[Out_dep] edges with both endpoints ranged *)
+  skipped_edges : int;  (** memory edges out of static reach *)
+  violations : Diag.t list;
+      (** one [Error] ([E-crosscheck]) per edge contradicting a fact *)
+}
+
+val check : Vm.Prog.t -> Ddg.Depprof.result -> report
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit

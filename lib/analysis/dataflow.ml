@@ -1,0 +1,79 @@
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type result = { block_in : L.t array; block_out : L.t array }
+
+  let run ~dir ~graph ~n_blocks ~entry ~boundary ~init ~transfer =
+    let block_in = Array.make n_blocks init in
+    let block_out = Array.make n_blocks init in
+    let is_entry = Array.make n_blocks false in
+    List.iter
+      (fun b -> if b >= 0 && b < n_blocks then is_entry.(b) <- true)
+      entry;
+    (* dependence neighbours in the chosen direction *)
+    let sources b =
+      match dir with
+      | Forward -> Cfg.Digraph.preds graph b
+      | Backward -> Cfg.Digraph.succs graph b
+    in
+    let dependents b =
+      match dir with
+      | Forward -> Cfg.Digraph.succs graph b
+      | Backward -> Cfg.Digraph.preds graph b
+    in
+    (* seed the worklist in an order that converges quickly: reverse
+       postorder from the entry for forward problems, its reverse for
+       backward ones; unreachable blocks are appended so they are still
+       processed *)
+    let rpo =
+      if n_blocks = 0 then []
+      else if Cfg.Digraph.mem_node graph 0 then
+        Cfg.Digraph.reverse_postorder graph ~root:0
+      else []
+    in
+    let base_order =
+      let from_rpo = List.filter (fun b -> b >= 0 && b < n_blocks) rpo in
+      let mem = Array.make n_blocks false in
+      List.iter (fun b -> mem.(b) <- true) from_rpo;
+      from_rpo
+      @ List.filter (fun b -> not mem.(b)) (List.init n_blocks Fun.id)
+    in
+    let seed =
+      match dir with Forward -> base_order | Backward -> List.rev base_order
+    in
+    let queue = Queue.create () in
+    let queued = Array.make n_blocks false in
+    let push b =
+      if b >= 0 && b < n_blocks && not queued.(b) then begin
+        queued.(b) <- true;
+        Queue.add b queue
+      end
+    in
+    List.iter push seed;
+    let budget = ref (64 * max 1 n_blocks) in
+    while (not (Queue.is_empty queue)) && !budget > 0 do
+      decr budget;
+      let b = Queue.take queue in
+      queued.(b) <- false;
+      let incoming =
+        List.fold_left
+          (fun acc s -> L.join acc block_out.(s))
+          (if is_entry.(b) then boundary else init)
+          (sources b)
+      in
+      block_in.(b) <- incoming;
+      let out = transfer b incoming in
+      if not (L.equal out block_out.(b)) then begin
+        block_out.(b) <- out;
+        List.iter push (dependents b)
+      end
+    done;
+    { block_in; block_out }
+end

@@ -1,0 +1,54 @@
+(** A generic iterative (worklist) dataflow engine over MiniVM basic
+    blocks, in the style of the classic static analyses of
+    DeepDataFlow (liveness, reachability, dominance): instantiate the
+    functor with a join-semilattice of abstract states and run it
+    forward or backward over a function's static CFG.
+
+    The engine is deliberately small: block-level fixpoint with a
+    FIFO worklist seeded in reverse postorder (forward) or its reverse
+    (backward), which makes reducible MiniVM CFGs converge in a handful
+    of sweeps.  Per-instruction precision is the client's business —
+    re-walk the block from [block_in] once the fixpoint is reached. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Least upper bound; must be monotone w.r.t. the implicit order. *)
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = {
+    block_in : L.t array;  (** fixpoint at block entry, indexed by bid *)
+    block_out : L.t array;  (** fixpoint at block exit *)
+  }
+
+  val run :
+    dir:direction ->
+    graph:Cfg.Digraph.t ->
+    n_blocks:int ->
+    entry:int list ->
+    boundary:L.t ->
+    init:L.t ->
+    transfer:(int -> L.t -> L.t) ->
+    result
+  (** [run ~dir ~graph ~n_blocks ~entry ~boundary ~init ~transfer].
+
+      For [Forward], [entry] lists the blocks whose in-state starts at
+      [boundary] (normally [[0]]); every other block starts optimistic at
+      [init], and [block_in b] is the join of its predecessors'
+      out-states (joined with [boundary] for entry blocks).  [Backward]
+      is the mirror image: [entry] lists the exit blocks, [block_in] is
+      the state *after* the block, [block_out] the state before it (the
+      fixpoint of [transfer] applied against successor states).
+
+      [transfer bid s] maps the state across block [bid] in the chosen
+      direction.  Iteration stops when all states are [L.equal]-stable;
+      a safety cap of [64 * n_blocks] relaxations guards against a
+      non-converging lattice (the engine then returns the current,
+      over-approximate states). *)
+end

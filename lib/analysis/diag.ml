@@ -1,0 +1,50 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  fid : int;
+  sid : Vm.Isa.Sid.t option;
+  message : string;
+}
+
+let make severity ?sid ~code ~fid message = { severity; code; fid; sid; message }
+let error ?sid ~code ~fid msg = make Error ?sid ~code ~fid msg
+let warning ?sid ~code ~fid msg = make Warning ?sid ~code ~fid msg
+let info ?sid ~code ~fid msg = make Info ?sid ~code ~fid msg
+let is_error d = d.severity = Error
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let sev_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Stdlib.compare (sev_rank a.severity) (sev_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.fid b.fid in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.sid b.sid in
+      if c <> 0 then c else Stdlib.compare a.code b.code
+
+let sev_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp ?prog () fmt d =
+  let fname =
+    match prog with
+    | Some p when d.fid >= 0 && d.fid < Array.length p.Vm.Prog.funcs ->
+        Vm.Prog.func_name p d.fid
+    | _ -> Printf.sprintf "f%d" d.fid
+  in
+  match d.sid with
+  | Some sid ->
+      Format.fprintf fmt "%s: [%s] %s at %a: %s" (sev_string d.severity)
+        d.code fname Vm.Isa.Sid.pp sid d.message
+  | None ->
+      Format.fprintf fmt "%s: [%s] %s: %s" (sev_string d.severity) d.code
+        fname d.message
+
+let to_string ?prog d = Format.asprintf "%a" (pp ?prog ()) d

@@ -1,0 +1,13 @@
+(** Definite initialization: a forward must-analysis over the set of
+    definitely-assigned registers (join = intersection, i.e. assigned on
+    *every* path).  Parameters arrive assigned; a [Call] assigns its
+    destination on the edge to the continuation block.
+
+    A register read before any definition on some path is reported as
+    [W-uninit] — a warning, not an error, because MiniVM frames zero-fill
+    on demand, so the read is well-defined but almost certainly a
+    front-end bug (the HIR lowerer rejects syntactic use-before-def, but
+    a conditionally-assigned variable can still slip through). *)
+
+val check_func : Vm.Prog.t -> int -> Diag.t list
+val check : Vm.Prog.t -> Diag.t list

@@ -1,0 +1,92 @@
+type entry = {
+  e_name : string;
+  e_diags : Diag.t list;
+  e_accesses : int;
+  e_affine : int;
+  e_ranged : int;
+  e_xcheck : Crosscheck.report option;
+}
+
+let static_entry name (prog : Vm.Prog.t) =
+  let diags =
+    List.sort Diag.compare
+      (Verify.verify prog @ Initdef.check prog @ Liveness.check prog)
+  in
+  let frs = Affine_class.analyse_prog prog in
+  let accesses = ref 0 and affine = ref 0 and ranged = ref 0 in
+  Array.iter
+    (fun fr ->
+      List.iter
+        (fun (a : Affine_class.access) ->
+          incr accesses;
+          (match Affine_class.classify a with
+          | `Affine _ -> incr affine
+          | `Nonaffine _ -> ());
+          if a.Affine_class.acc_range <> None then incr ranged)
+        fr.Affine_class.fr_accesses)
+    frs;
+  { e_name = name;
+    e_diags = diags;
+    e_accesses = !accesses;
+    e_affine = !affine;
+    e_ranged = !ranged;
+    e_xcheck = None }
+
+let analyse ?(name = "<prog>") prog = static_entry name prog
+
+let crosschecked e prog profile =
+  { e with e_xcheck = Some (Crosscheck.check prog profile) }
+
+let analyse_profiled ?(name = "<prog>") ?max_steps ?args prog =
+  let e = static_entry name prog in
+  (* only execute programs the verifier accepts *)
+  if List.exists Diag.is_error e.e_diags then e
+  else
+    let structure = Cfg.Cfg_builder.run ?max_steps ?args prog in
+    let profile = Ddg.Depprof.profile ?max_steps ?args prog ~structure in
+    crosschecked e prog profile
+
+let of_hir ?name ?(profile = true) ?max_steps ?args hir =
+  let prog = Vm.Hir.lower hir in
+  if profile then analyse_profiled ?name ?max_steps ?args prog
+  else analyse ?name prog
+
+let errors e =
+  List.filter Diag.is_error e.e_diags
+  @ (match e.e_xcheck with Some r -> r.Crosscheck.violations | None -> [])
+
+let passed e = errors e = []
+
+let header =
+  [ "Workload"; "E"; "W"; "I"; "Acc"; "Aff"; "Rng"; "Facts"; "Chk"; "Viol";
+    "Lint" ]
+
+let to_row e =
+  let c sev = string_of_int (Diag.count sev e.e_diags) in
+  [ e.e_name;
+    c Diag.Error;
+    c Diag.Warning;
+    c Diag.Info;
+    string_of_int e.e_accesses;
+    string_of_int e.e_affine;
+    string_of_int e.e_ranged ]
+  @ (match e.e_xcheck with
+    | Some r ->
+        [ string_of_int r.Crosscheck.facts;
+          string_of_int r.Crosscheck.checked_edges;
+          string_of_int (List.length r.Crosscheck.violations) ]
+    | None -> [ "-"; "-"; "-" ])
+  @ [ (if passed e then "ok" else "FAIL") ]
+
+let table entries = Report.Texttable.render ~header (List.map to_row entries)
+
+let pp_entry ?prog () fmt e =
+  Format.fprintf fmt "%s: %d accesses (%d affine, %d ranged), lint %s"
+    e.e_name e.e_accesses e.e_affine e.e_ranged
+    (if passed e then "ok" else "FAILED");
+  (match e.e_xcheck with
+  | Some r -> Format.fprintf fmt "@\n  cross-check: %a" Crosscheck.pp_report r
+  | None -> ());
+  List.iter
+    (fun d -> Format.fprintf fmt "@\n  %a" (Diag.pp ?prog ()) d)
+    e.e_diags

@@ -1,0 +1,56 @@
+(** Front door of the static-analysis layer: run every pass over one
+    program and aggregate the results, for the [polyprof_cli lint]
+    subcommand, the runner integration and the test sweep.
+
+    The gate ({!passed}) is: no [Error]-severity diagnostic from the
+    verifier and no cross-check violation.  Warnings (dead stores,
+    may-uninitialized reads, unreachable blocks) and infos are reported
+    but do not fail the lint — lowered programs legitimately contain a
+    few (e.g. the bounds register recomputed by every loop header). *)
+
+type entry = {
+  e_name : string;
+  e_diags : Diag.t list;
+      (** verifier + definite-init + liveness, {!Diag.compare}-sorted *)
+  e_accesses : int;  (** static memory accesses (reachable code) *)
+  e_affine : int;  (** of which classified affine *)
+  e_ranged : int;  (** of which carrying a provable address interval *)
+  e_xcheck : Crosscheck.report option;
+      (** [None] when the program was not executed *)
+}
+
+val analyse : ?name:string -> Vm.Prog.t -> entry
+(** Static passes only (no execution, no cross-check). *)
+
+val crosschecked : entry -> Vm.Prog.t -> Ddg.Depprof.result -> entry
+(** Attach the cross-check of an already-computed profile (for callers
+    that have one, like the workload runner). *)
+
+val analyse_profiled :
+  ?name:string -> ?max_steps:int -> ?args:int list -> Vm.Prog.t -> entry
+(** Static passes plus the dynamic cross-check: runs the program under
+    Instrumentation I ({!Cfg.Cfg_builder.run}) then II
+    ({!Ddg.Depprof.profile}) and checks the DDG against the static
+    independence facts. *)
+
+val of_hir :
+  ?name:string ->
+  ?profile:bool ->
+  ?max_steps:int ->
+  ?args:int list ->
+  Vm.Hir.program ->
+  entry
+(** Lower and analyse; [profile] (default [true]) adds the cross-check. *)
+
+val errors : entry -> Diag.t list
+(** Verifier errors plus cross-check violations. *)
+
+val passed : entry -> bool
+
+val header : string list
+val to_row : entry -> string list
+val table : entry list -> string
+(** {!Report.Texttable} over {!header}/{!to_row}. *)
+
+val pp_entry : ?prog:Vm.Prog.t -> unit -> Format.formatter -> entry -> unit
+(** The table row's data in long form, followed by every diagnostic. *)

@@ -1,0 +1,22 @@
+(** Liveness: a backward may-analysis over the set of live registers
+    (join = union).  Used as a lint: an instruction that only writes a
+    register nobody reads afterwards is dead.
+
+    Two codes, reported per function on reachable code only:
+
+    - [W-dead-store]: the instruction's only effect is a register write
+      that is never read ([Const]/[Mov]/[Bin]/... with a dead
+      destination).  [Store] (memory) is never dead — the pass does not
+      track memory — and a [Call] destination that is dead is *not*
+      flagged (the call itself has effects); neither is a dead [Load]
+      destination flagged as an error, it is still [W-dead-store]
+      because MiniVM loads cannot fault and have no other effect.
+    - [I-dead-param]: a declared parameter that is never read anywhere
+      in the function (informational). *)
+
+val check_func : Vm.Prog.t -> int -> Diag.t list
+val check : Vm.Prog.t -> Diag.t list
+
+val live_in : Vm.Prog.func -> int -> int list
+(** Registers live at the entry of the given block (sorted); exposed for
+    tests of the underlying backward engine. *)

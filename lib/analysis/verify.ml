@@ -1,0 +1,72 @@
+let reachable_blocks (f : Vm.Prog.func) =
+  let g = Insn.static_cfg f in
+  let n = Array.length f.blocks in
+  let reach = Array.make n false in
+  if n > 0 then
+    List.iter
+      (fun b -> if b >= 0 && b < n then reach.(b) <- true)
+      (Cfg.Digraph.reverse_postorder g ~root:0);
+  reach
+
+let verify (prog : Vm.Prog.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* structural layer *)
+  List.iter
+    (fun (e : Vm.Prog.wf_error) ->
+      add
+        (Diag.error ~code:"E-struct" ~fid:e.wf_fid
+           (if e.wf_bid >= 0 then Printf.sprintf "b%d: %s" e.wf_bid e.wf_msg
+            else e.wf_msg)))
+    (Vm.Prog.wf_errors prog);
+  (* pass 1: reachability per function, and which functions reachable
+     code calls *)
+  let reach = Array.map reachable_blocks prog.funcs in
+  let called = Hashtbl.create 16 in
+  Array.iteri
+    (fun fid (f : Vm.Prog.func) ->
+      Array.iteri
+        (fun bid (b : Vm.Prog.block) ->
+          match b.term with
+          | Vm.Isa.Call { callee; _ }
+            when reach.(fid).(bid)
+                 && callee >= 0
+                 && callee < Array.length prog.funcs ->
+              Hashtbl.replace called callee ()
+          | _ -> ())
+        f.blocks)
+    prog.funcs;
+  (* pass 2: CFG-level diagnostics *)
+  Array.iteri
+    (fun fid (f : Vm.Prog.func) ->
+      Array.iteri
+        (fun bid (b : Vm.Prog.block) ->
+          if not reach.(fid).(bid) then
+            add
+              (Diag.warning
+                 ~sid:(Vm.Isa.Sid.make ~fid ~bid ~idx:0)
+                 ~code:"W-unreachable" ~fid
+                 (Printf.sprintf
+                    "block b%d is unreachable from the function entry" bid))
+          else
+            match b.term with
+            | Vm.Isa.Ret _
+              when fid = prog.main && not (Hashtbl.mem called prog.main) ->
+                (* in a frame that can only ever be the bottom of the
+                   stack, ret is a guaranteed interpreter trap *)
+                add
+                  (Diag.error ~sid:(Insn.term_sid ~fid b)
+                     ~code:"E-ret-in-main" ~fid
+                     "ret reachable in main (the interpreter traps; use halt)")
+            | _ -> ())
+        f.blocks;
+      if fid <> prog.main && not (Hashtbl.mem called fid) then
+        add
+          (Diag.info ~code:"I-dead-func" ~fid
+             (Printf.sprintf "function %s is never called from reachable code"
+                f.fname)))
+    prog.funcs;
+  List.sort Diag.compare !diags
+
+let errors ds = List.filter Diag.is_error ds
+let ok prog = errors (verify prog) = []

@@ -1,0 +1,27 @@
+(** The MiniVM bytecode verifier.
+
+    Structural well-formedness (delegated to {!Vm.Prog.wf_errors}: block
+    termination by construction, jump/br/call targets in range, call
+    arity against the declaration, register indices within the frame
+    cap) plus whole-program checks that need a CFG:
+
+    - unreachable blocks, detected by reachability from the entry block
+      of each function ([W-unreachable]);
+    - a [Ret] terminator reachable in [main], which the interpreter
+      traps on ([E-ret-in-main]);
+    - functions never referenced by any reachable call and not [main]
+      ([Info], [I-dead-func]).
+
+    Diagnostic codes: structural errors are [E-struct]; the others as
+    listed above. *)
+
+val reachable_blocks : Vm.Prog.func -> bool array
+(** Reachability from the entry block over the static CFG, indexed by
+    block id (shared by the other passes to mute unreachable code). *)
+
+val verify : Vm.Prog.t -> Diag.t list
+(** Sorted with {!Diag.compare}. *)
+
+val errors : Diag.t list -> Diag.t list
+val ok : Vm.Prog.t -> bool
+(** No [Error]-severity diagnostics. *)

@@ -42,6 +42,116 @@ let n_static_instrs t =
       Array.fold_left (fun acc b -> acc + Array.length b.instrs + 1) acc f.blocks)
     0 t.funcs
 
+(* ------------------------------------------------------------------ *)
+(* Structural well-formedness                                          *)
+(* ------------------------------------------------------------------ *)
+
+type wf_error = { wf_fid : int; wf_bid : int; wf_msg : string }
+
+let pp_wf_error fmt e =
+  Format.fprintf fmt "f%d.b%d: %s" e.wf_fid e.wf_bid e.wf_msg
+
+(* A cap on register indices: frames grow on demand, but an index this
+   large in a *static* program is certainly a builder bug. *)
+let max_reg_index = 4095
+
+let wf_errors (t : t) =
+  let errs = ref [] in
+  let err ~fid ~bid fmt =
+    Format.kasprintf
+      (fun m -> errs := { wf_fid = fid; wf_bid = bid; wf_msg = m } :: !errs)
+      fmt
+  in
+  let n_funcs = Array.length t.funcs in
+  if t.main < 0 || t.main >= n_funcs then
+    errs :=
+      { wf_fid = t.main; wf_bid = -1; wf_msg = "main function id out of range" }
+      :: !errs;
+  Array.iteri
+    (fun fid (f : func) ->
+      let n_blocks = Array.length f.blocks in
+      if f.fid <> fid then
+        err ~fid ~bid:(-1) "function id field %d does not match index" f.fid;
+      if n_blocks = 0 then err ~fid ~bid:(-1) "function has no entry block";
+      let check_reg bid what r =
+        if r < 0 || r > max_reg_index then
+          err ~fid ~bid "%s names register r%d (outside 0..%d)" what r
+            max_reg_index
+      in
+      let check_operand bid what = function
+        | Isa.Reg r -> check_reg bid what r
+        | Isa.Imm _ -> ()
+      in
+      let check_target bid what dst =
+        if dst < 0 || dst >= n_blocks then
+          err ~fid ~bid "%s targets block b%d (function has %d blocks)" what
+            dst n_blocks
+      in
+      Array.iteri
+        (fun bid (b : block) ->
+          if b.bid <> bid then
+            err ~fid ~bid "block id field %d does not match index" b.bid;
+          Array.iteri
+            (fun idx i ->
+              let what =
+                Format.asprintf "instruction %d (%a)" idx Isa.pp_instr i
+              in
+              match i with
+              | Isa.Const (r, _) | Isa.Fconst (r, _) -> check_reg bid what r
+              | Isa.Mov (r, o) | Isa.Load (r, o) | Isa.Itof (r, o)
+              | Isa.Ftoi (r, o) ->
+                  check_reg bid what r;
+                  check_operand bid what o
+              | Isa.Bin (_, r, a, b') | Isa.Fbin (_, r, a, b')
+              | Isa.Cmp (_, r, a, b') | Isa.Fcmp (_, r, a, b') ->
+                  check_reg bid what r;
+                  check_operand bid what a;
+                  check_operand bid what b'
+              | Isa.Store (a, v) ->
+                  check_operand bid what a;
+                  check_operand bid what v)
+            b.instrs;
+          match b.term with
+          | Isa.Jump dst -> check_target bid "jump" dst
+          | Isa.Br (c, bthen, belse) ->
+              check_operand bid "br condition" c;
+              check_target bid "br (then)" bthen;
+              check_target bid "br (else)" belse
+          | Isa.Call { dst; callee; args; cont } ->
+              (match dst with Some r -> check_reg bid "call dst" r | None -> ());
+              List.iter (check_operand bid "call argument") args;
+              check_target bid "call continuation" cont;
+              if callee < 0 || callee >= n_funcs then
+                err ~fid ~bid "call targets function f%d (program has %d)"
+                  callee n_funcs
+              else begin
+                let g = t.funcs.(callee) in
+                let n_args = List.length args in
+                if n_args <> g.n_params then
+                  err ~fid ~bid
+                    "call to %s passes %d argument%s but it declares %d \
+                     parameter%s"
+                    g.fname n_args
+                    (if n_args = 1 then "" else "s")
+                    g.n_params
+                    (if g.n_params = 1 then "" else "s")
+              end
+          | Isa.Ret v ->
+              Option.iter (check_operand bid "ret value") v
+          | Isa.Halt -> ())
+        f.blocks)
+    t.funcs;
+  List.rev !errs
+
+let validate t =
+  match wf_errors t with
+  | [] -> ()
+  | errs ->
+      invalid_arg
+        (Format.asprintf "malformed MiniVM program:@\n%a"
+           (Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_wf_error)
+           errs)
+
 let pp fmt t =
   Array.iter
     (fun f ->
@@ -181,5 +291,7 @@ module Builder = struct
         mem_size = pb.next_addr }
     in
     let mainf = func_by_name t main in
-    { t with main = mainf.fid }
+    let t = { t with main = mainf.fid } in
+    validate t;
+    t
 end

@@ -26,6 +26,26 @@ type t = {
   mem_size : int;  (** first free address after all globals *)
 }
 
+type wf_error = { wf_fid : int; wf_bid : int; wf_msg : string }
+(** A structural well-formedness violation located at function [wf_fid],
+    block [wf_bid] ([-1] for function-level problems). *)
+
+val wf_errors : t -> wf_error list
+(** Structural checks: block/function id fields consistent, jump/br/call
+    targets in range, call arity matching the callee declaration,
+    register indices sane.  (Block termination is enforced by the type:
+    every [block] carries a terminator.) *)
+
+val validate : t -> unit
+(** @raise Invalid_argument with a descriptive multi-line message if
+    {!wf_errors} is non-empty.  Called by [Builder.finish], so malformed
+    programs are rejected before they reach the interpreter. *)
+
+val pp_wf_error : Format.formatter -> wf_error -> unit
+
+val max_reg_index : int
+(** Largest register index the structural checks accept. *)
+
 val func_by_name : t -> string -> func
 val func_name : t -> int -> string
 val block : t -> fid:int -> bid:int -> block

@@ -4,14 +4,23 @@ type outcome = {
   pipeline : Polyprof.t option;
   dep_keys : int;
   sched_bailed : bool;
+  lint : Analysis.Lint.entry option;
 }
 
 let sched_budget = 1200
 
-let run ?(budget = sched_budget) (w : Workload.t) =
+let run ?(budget = sched_budget) ?(crosscheck = false) (w : Workload.t) =
   let prog = Vm.Hir.lower w.Workload.hir in
   let structure = Cfg.Cfg_builder.run prog in
   let profile = Ddg.Depprof.profile prog ~structure in
+  let lint =
+    if crosscheck then
+      Some
+        (Analysis.Lint.crosschecked
+           (Analysis.Lint.analyse ~name:w.Workload.w_name prog)
+           prog profile)
+    else None
+  in
   let dep_keys = List.length profile.Ddg.Depprof.deps in
   let polly =
     Staticbase.Polly_lite.analyse_function w.Workload.hir w.Workload.kernel_func
@@ -38,7 +47,8 @@ let run ?(budget = sched_budget) (w : Workload.t) =
       polly;
       pipeline = None;
       dep_keys;
-      sched_bailed = true }
+      sched_bailed = true;
+      lint }
   end
   else begin
     let analysis = Sched.Depanalysis.analyse prog profile in
@@ -58,10 +68,12 @@ let run ?(budget = sched_budget) (w : Workload.t) =
             analysis;
             feedback };
       dep_keys;
-      sched_bailed = false }
+      sched_bailed = false;
+      lint }
   end
 
-let run_all ?budget () = List.map (fun w -> (w, run ?budget w)) Rodinia.all
+let run_all ?budget ?crosscheck () =
+  List.map (fun w -> (w, run ?budget ?crosscheck w)) Rodinia.all
 
 let full_header = Sched.Metrics.header @ [ "Polly" ]
 

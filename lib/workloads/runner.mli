@@ -10,6 +10,9 @@ type outcome = {
       (** [None] when the scheduling stage bailed out *)
   dep_keys : int;  (** folded dependence relations in the DDG *)
   sched_bailed : bool;
+  lint : Analysis.Lint.entry option;
+      (** static lint + static-vs-dynamic cross-check of the profiled
+          DDG; [Some] iff [run ~crosscheck:true] *)
 }
 
 val sched_budget : int
@@ -17,9 +20,10 @@ val sched_budget : int
     accepts before declaring a blow-up (streamcluster reproduces the
     paper's scheduler memory exhaustion by exceeding it). *)
 
-val run : ?budget:int -> Workload.t -> outcome
+val run : ?budget:int -> ?crosscheck:bool -> Workload.t -> outcome
 
-val run_all : ?budget:int -> unit -> (Workload.t * outcome) list
+val run_all :
+  ?budget:int -> ?crosscheck:bool -> unit -> (Workload.t * outcome) list
 (** All 19 mini-Rodinia benchmarks, in Table 5 order. *)
 
 val table5 : (Workload.t * outcome) list -> string

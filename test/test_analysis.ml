@@ -1,0 +1,468 @@
+(* Tests for the static-analysis layer: bytecode verifier, definite
+   initialization, dead-store lint, affine access classification and the
+   static-vs-dynamic dependence cross-checker. *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+module I = Vm.Isa
+module P = Vm.Prog
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let expect_invalid_arg substr f =
+  match f () with
+  | _ -> Alcotest.failf "expected Invalid_argument mentioning %S" substr
+  | exception Invalid_argument m ->
+      if not (contains m substr) then
+        Alcotest.failf "Invalid_argument %S does not mention %S" m substr
+
+let blk bid instrs term =
+  { P.bid; instrs = Array.of_list instrs; term; block_loc = None }
+
+let raw_prog ?(n_params = 0) blocks =
+  { P.funcs =
+      [| { P.fid = 0;
+           fname = "main";
+           n_params;
+           blocks = Array.of_list blocks;
+           blacklisted = false } |];
+    main = 0;
+    globals = [];
+    mem_size = 64 }
+
+let with_code code diags =
+  List.filter (fun (d : Analysis.Diag.t) -> d.code = code) diags
+
+(* ---------------- structural verifier ---------------- *)
+
+let test_builder_rejects_bad_target () =
+  let pb = P.Builder.create () in
+  let fid = P.Builder.declare_func pb "main" ~n_params:0 in
+  let fb = P.Builder.define_func pb fid in
+  P.Builder.terminate fb 0 (I.Br (I.Imm 1, 5, 0));
+  P.Builder.finish_func fb;
+  expect_invalid_arg "targets block b5" (fun () ->
+      P.Builder.finish pb ~main:"main")
+
+let test_builder_rejects_unterminated () =
+  let pb = P.Builder.create () in
+  let fid = P.Builder.declare_func pb "main" ~n_params:0 in
+  let fb = P.Builder.define_func pb fid in
+  P.Builder.emit fb 0 (I.Const (0, 1));
+  expect_invalid_arg "not terminated" (fun () -> P.Builder.finish_func fb)
+
+let test_builder_rejects_bad_arity () =
+  let pb = P.Builder.create () in
+  let f = P.Builder.declare_func pb "callee" ~n_params:2 in
+  let m = P.Builder.declare_func pb "main" ~n_params:0 in
+  let fb = P.Builder.define_func pb f in
+  P.Builder.terminate fb 0 (I.Ret None);
+  P.Builder.finish_func fb;
+  let mb = P.Builder.define_func pb m in
+  let cont = P.Builder.fresh_block mb in
+  P.Builder.terminate mb 0
+    (I.Call { dst = None; callee = f; args = [ I.Imm 1 ]; cont });
+  P.Builder.terminate mb cont I.Halt;
+  P.Builder.finish_func mb;
+  expect_invalid_arg "passes 1 argument but it declares 2 parameters"
+    (fun () -> P.Builder.finish pb ~main:"main")
+
+let test_verify_struct_error () =
+  let prog = raw_prog [ blk 0 [] (I.Jump 7) ] in
+  let errs = P.wf_errors prog in
+  Alcotest.(check int) "one structural error" 1 (List.length errs);
+  let diags = Analysis.Verify.verify prog in
+  Alcotest.(check bool) "E-struct emitted" true
+    (with_code "E-struct" diags <> []);
+  Alcotest.(check bool) "verifier rejects" false (Analysis.Verify.ok prog);
+  expect_invalid_arg "jump targets block b7" (fun () -> P.validate prog)
+
+let test_verify_reg_out_of_range () =
+  let prog = raw_prog [ blk 0 [ I.Const (99999, 1) ] I.Halt ] in
+  Alcotest.(check bool) "huge register index rejected" true
+    (P.wf_errors prog <> [])
+
+let test_verify_unreachable () =
+  let prog =
+    raw_prog [ blk 0 [] I.Halt; blk 1 [ I.Const (0, 1) ] I.Halt ]
+  in
+  Alcotest.(check int) "structurally fine" 0 (List.length (P.wf_errors prog));
+  let diags = Analysis.Verify.verify prog in
+  match with_code "W-unreachable" diags with
+  | [ d ] ->
+      Alcotest.(check bool) "still verifies" true (Analysis.Verify.ok prog);
+      Alcotest.(check (option int))
+        "located at block 1" (Some (I.Sid.make ~fid:0 ~bid:1 ~idx:0)) d.sid
+  | ds -> Alcotest.failf "expected 1 W-unreachable, got %d" (List.length ds)
+
+let test_verify_ret_in_main () =
+  let prog = raw_prog [ blk 0 [] (I.Ret None) ] in
+  let diags = Analysis.Verify.verify prog in
+  Alcotest.(check int) "E-ret-in-main" 1
+    (List.length (with_code "E-ret-in-main" diags))
+
+(* ---------------- definite initialization ---------------- *)
+
+let test_initdef_catches_conditional_init () =
+  (* r0 is initialized on the then-path only; the read in the join block
+     is flagged at its exact static id *)
+  let prog =
+    raw_prog
+      [ blk 0 [] (I.Br (I.Imm 1, 1, 2));
+        blk 1 [ I.Const (0, 5) ] (I.Jump 3);
+        blk 2 [] (I.Jump 3);
+        blk 3 [ I.Mov (1, I.Reg 0); I.Store (I.Imm 16, I.Reg 1) ] I.Halt ]
+  in
+  (match with_code "W-uninit" (Analysis.Initdef.check prog) with
+  | [ d ] ->
+      Alcotest.(check (option int))
+        "flagged at the read" (Some (I.Sid.make ~fid:0 ~bid:3 ~idx:0)) d.sid;
+      Alcotest.(check bool) "names r0" true (contains d.message "r0")
+  | ds -> Alcotest.failf "expected 1 W-uninit, got %d" (List.length ds));
+  (* initializing on both paths silences it *)
+  let clean =
+    raw_prog
+      [ blk 0 [] (I.Br (I.Imm 1, 1, 2));
+        blk 1 [ I.Const (0, 5) ] (I.Jump 3);
+        blk 2 [ I.Const (0, 6) ] (I.Jump 3);
+        blk 3 [ I.Mov (1, I.Reg 0); I.Store (I.Imm 16, I.Reg 1) ] I.Halt ]
+  in
+  Alcotest.(check int) "both-path init is clean" 0
+    (List.length (with_code "W-uninit" (Analysis.Initdef.check clean)))
+
+let test_initdef_params_arrive_assigned () =
+  let prog =
+    { (raw_prog ~n_params:1
+         [ blk 0 [ I.Store (I.Imm 16, I.Reg 0) ] I.Halt ])
+      with main = 0 }
+  in
+  (* main with a param is unusual but initdef only cares about the frame *)
+  Alcotest.(check int) "no W-uninit" 0
+    (List.length (with_code "W-uninit" (Analysis.Initdef.check prog)))
+
+(* ---------------- liveness / dead stores ---------------- *)
+
+let test_liveness_dead_store () =
+  let prog =
+    raw_prog
+      [ blk 0
+          [ I.Const (0, 1);  (* dead: overwritten before any read *)
+            I.Const (0, 2);
+            I.Store (I.Imm 16, I.Reg 0) ]
+          I.Halt ]
+  in
+  match with_code "W-dead-store" (Analysis.Liveness.check prog) with
+  | [ d ] ->
+      Alcotest.(check (option int))
+        "first const flagged" (Some (I.Sid.make ~fid:0 ~bid:0 ~idx:0)) d.sid
+  | ds -> Alcotest.failf "expected 1 W-dead-store, got %d" (List.length ds)
+
+let test_liveness_across_blocks () =
+  (* a def consumed only around the loop back edge is live *)
+  let prog =
+    raw_prog
+      [ blk 0 [ I.Const (0, 0) ] (I.Jump 1);
+        blk 1
+          [ I.Bin (I.Add, 0, I.Reg 0, I.Imm 1); I.Cmp (I.Clt, 1, I.Reg 0, I.Imm 9) ]
+          (I.Br (I.Reg 1, 1, 2));
+        blk 2 [ I.Store (I.Imm 16, I.Reg 0) ] I.Halt ]
+  in
+  Alcotest.(check int) "no dead stores" 0
+    (List.length (with_code "W-dead-store" (Analysis.Liveness.check prog)));
+  Alcotest.(check (list int))
+    "r0 live into the loop header" [ 0 ]
+    (Analysis.Liveness.live_in prog.P.funcs.(0) 1)
+
+(* ---------------- affine classification ---------------- *)
+
+let analyse_main hir =
+  let prog = H.lower hir in
+  let frs = Analysis.Affine_class.analyse_prog prog in
+  let fid = (P.func_by_name prog "main").P.fid in
+  (prog, frs.(fid))
+
+let base_of prog name =
+  match
+    List.find_opt (fun (n, _, _) -> n = name) prog.P.globals
+  with
+  | Some (_, base, _) -> base
+  | None -> Alcotest.failf "no global %s" name
+
+let test_affine_2d_nest () =
+  let hir : H.program =
+    { H.funs =
+        [ H.fundef "main" []
+            [ H.for_ "r" (i 0) (i 4)
+                [ H.for_ "c" (i 0) (i 8)
+                    [ store "a" ((v "r" *! i 8) +! v "c") (i 1) ] ] ] ];
+      arrays = [ ("a", 32) ];
+      main = "main" }
+  in
+  let prog, fr = analyse_main hir in
+  let stores =
+    List.filter
+      (fun (a : Analysis.Affine_class.access) -> a.acc_store)
+      fr.Analysis.Affine_class.fr_accesses
+  in
+  match stores with
+  | [ a ] ->
+      (match Analysis.Affine_class.classify a with
+      | `Affine _ -> ()
+      | `Nonaffine _ ->
+          Alcotest.failf "a[8r+c] not affine: %s"
+            (Format.asprintf "%a" Analysis.Affine_class.pp_access a));
+      Alcotest.(check int) "depth 2" 2 a.acc_depth;
+      let base = base_of prog "a" in
+      Alcotest.(check (option (pair int int)))
+        "range covers exactly the array" (Some (base, base + 31)) a.acc_range
+  | _ -> Alcotest.failf "expected 1 store, got %d" (List.length stores)
+
+let test_affine_indirect_is_nonaffine () =
+  let hir : H.program =
+    { H.funs =
+        [ H.fundef "main" []
+            [ H.for_ "k" (i 0) (i 4)
+                [ (* a[2*idx[k]] — a loaded value scaled: code F *)
+                  store "a" ("idx".%[v "k"] *! i 2) (i 1);
+                  (* b[idx[k]] — a loaded value as additive root: code P *)
+                  store "b" ("idx".%[v "k"]) (i 1) ] ] ];
+      arrays = [ ("idx", 4); ("a", 8); ("b", 8) ];
+      main = "main" }
+  in
+  let _, fr = analyse_main hir in
+  let codes =
+    List.filter_map
+      (fun (a : Analysis.Affine_class.access) ->
+        if a.acc_store then Some (Analysis.Affine_class.class_code a) else None)
+      fr.Analysis.Affine_class.fr_accesses
+  in
+  Alcotest.(check (list string)) "store classifications" [ "F"; "P" ] codes;
+  (* the idx[k] loads themselves are affine *)
+  List.iter
+    (fun (a : Analysis.Affine_class.access) ->
+      if not a.acc_store then
+        Alcotest.(check string)
+          "idx[k] load is affine" "-"
+          (Analysis.Affine_class.class_code a))
+    fr.Analysis.Affine_class.fr_accesses
+
+let test_affine_interprocedural_constants () =
+  (* the kernel sees its trip count and base offset only through call
+     arguments; constant propagation across the call makes the access
+     ranged anyway *)
+  let hir : H.program =
+    { H.funs =
+        [ H.fundef "kern" [ "off"; "n" ]
+            [ H.for_ "k" (i 0) (v "n")
+                [ store "a" (v "off" +! v "k") (i 1) ] ];
+          H.fundef "main" [] [ H.CallS (None, "kern", [ i 2; i 5 ]) ] ];
+      arrays = [ ("a", 8) ];
+      main = "main" }
+  in
+  let prog = H.lower hir in
+  let frs = Analysis.Affine_class.analyse_prog prog in
+  let fid = (P.func_by_name prog "kern").P.fid in
+  let stores =
+    List.filter
+      (fun (a : Analysis.Affine_class.access) -> a.acc_store)
+      frs.(fid).Analysis.Affine_class.fr_accesses
+  in
+  match stores with
+  | [ a ] ->
+      let base = base_of prog "a" in
+      Alcotest.(check (option (pair int int)))
+        "a[2+k], k<5" (Some (base + 2, base + 6)) a.acc_range
+  | _ -> Alcotest.failf "expected 1 store, got %d" (List.length stores)
+
+(* ---------------- cross-checker ---------------- *)
+
+let two_array_hir : H.program =
+  { H.funs =
+      [ H.fundef "main" []
+          [ H.for_ "k" (i 0) (i 4)
+              [ store "a" (v "k") (i 1); store "b" (v "k") (i 2) ] ] ];
+    arrays = [ ("a", 4); ("b", 4) ];
+    main = "main" }
+
+let test_crosscheck_clean_and_seeded_violation () =
+  let prog = H.lower two_array_hir in
+  let structure = Cfg.Cfg_builder.run prog in
+  let profile = Ddg.Depprof.profile prog ~structure in
+  let report = Analysis.Crosscheck.check prog profile in
+  Alcotest.(check bool) "real profile is clean" true
+    (Analysis.Crosscheck.ok report);
+  Alcotest.(check bool) "has independence facts" true
+    (report.Analysis.Crosscheck.facts > 0);
+  (* seed a fabricated mem dependence between the two (provably
+     disjoint) stores: the checker must call it out *)
+  let frs = Analysis.Affine_class.analyse_prog prog in
+  let fid = (P.func_by_name prog "main").P.fid in
+  let stores =
+    List.filter
+      (fun (a : Analysis.Affine_class.access) ->
+        a.acc_store && a.acc_range <> None)
+      frs.(fid).Analysis.Affine_class.fr_accesses
+  in
+  match stores with
+  | [ sa; sb ] ->
+      let fake : Ddg.Depprof.dep_info =
+        { dk =
+            { src_sid = sa.acc_sid;
+              src_ctx = 0;
+              dst_sid = sb.acc_sid;
+              dst_ctx = 0;
+              kind = Ddg.Depprof.Mem_dep };
+          d_count = 1;
+          d_pieces = [];
+          src_depth = 1;
+          dst_depth = 1 }
+      in
+      let tampered =
+        { profile with Ddg.Depprof.deps = fake :: profile.Ddg.Depprof.deps }
+      in
+      let report = Analysis.Crosscheck.check prog tampered in
+      (match report.Analysis.Crosscheck.violations with
+      | [ d ] ->
+          Alcotest.(check string) "code" "E-crosscheck" d.code;
+          Alcotest.(check bool) "is an error" true (Analysis.Diag.is_error d)
+      | ds -> Alcotest.failf "expected 1 violation, got %d" (List.length ds))
+  | _ -> Alcotest.failf "expected 2 ranged stores, got %d" (List.length stores)
+
+(* ---------------- agreement with the static Polly baseline -------- *)
+
+let nonaffine_reasons fr =
+  List.filter_map
+    (fun a ->
+      match Analysis.Affine_class.classify a with
+      | `Affine _ -> None
+      | `Nonaffine r -> Some r)
+    fr.Analysis.Affine_class.fr_accesses
+
+let all_affine_in hir fname =
+  let prog = H.lower hir in
+  let frs = Analysis.Affine_class.analyse_prog prog in
+  let fid = (P.func_by_name prog fname).P.fid in
+  nonaffine_reasons frs.(fid) = []
+
+let polly_has_f hir fname =
+  let v = Staticbase.Polly_lite.analyse_function hir fname in
+  List.mem Staticbase.Polly_lite.F_nonaffine_access
+    v.Staticbase.Polly_lite.reasons
+
+let test_agreement_figure3 () =
+  (* fig. 3 ex1: both the loop in B (parametric base) and the loop in A
+     are affine for the bytecode classifier, and Polly agrees that no
+     access function is non-affine *)
+  List.iter
+    (fun fname ->
+      Alcotest.(check bool)
+        (fname ^ " classified affine") true
+        (all_affine_in Workloads.Figure3.ex1 fname);
+      Alcotest.(check bool)
+        (fname ^ " polly agrees (no F)") false
+        (polly_has_f Workloads.Figure3.ex1 fname))
+    [ "B"; "A" ]
+
+let test_agreement_rodinia () =
+  (* fully-modeled kernel: classifier sees it all-affine too *)
+  let gems = Workloads.Gems_fdtd.workload in
+  Alcotest.(check bool) "gems_fdtd kernel all affine" true
+    (all_affine_in gems.Workloads.Workload.hir
+       gems.Workloads.Workload.kernel_func);
+  Alcotest.(check bool) "gems_fdtd polly has no F" false
+    (polly_has_f gems.Workloads.Workload.hir
+       gems.Workloads.Workload.kernel_func);
+  (* kernels Polly rejects with F: the classifier must also find at
+     least one non-affine access there (agreement in the other
+     direction) *)
+  List.iter
+    (fun name ->
+      let w = Workloads.Rodinia.find name in
+      Alcotest.(check bool)
+        (name ^ " polly reports F") true
+        (polly_has_f w.Workloads.Workload.hir w.Workloads.Workload.kernel_func);
+      Alcotest.(check bool)
+        (name ^ " classifier finds non-affine accesses") false
+        (all_affine_in w.Workloads.Workload.hir
+           w.Workloads.Workload.kernel_func))
+    [ "bfs"; "cfd" ]
+
+(* ---------------- whole-workload sweep ---------------- *)
+
+let test_sweep_all_workloads () =
+  let ws =
+    Workloads.Rodinia.all @ [ Workloads.Gems_fdtd.workload ]
+  in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let e =
+        Analysis.Lint.of_hir ~name:w.w_name ~profile:true w.Workloads.Workload.hir
+      in
+      Alcotest.(check int)
+        (w.w_name ^ ": no verifier/analysis errors") 0
+        (Analysis.Diag.count Analysis.Diag.Error e.Analysis.Lint.e_diags);
+      Alcotest.(check int)
+        (w.w_name ^ ": no warnings") 0
+        (Analysis.Diag.count Analysis.Diag.Warning e.Analysis.Lint.e_diags);
+      match e.Analysis.Lint.e_xcheck with
+      | None -> Alcotest.failf "%s: cross-check did not run" w.w_name
+      | Some r ->
+          Alcotest.(check int)
+            (w.w_name ^ ": no cross-check violations") 0
+            (List.length r.Analysis.Crosscheck.violations))
+    ws
+
+let test_runner_carries_lint () =
+  let w = Workloads.Rodinia.find "hotspot" in
+  let o = Workloads.Runner.run ~crosscheck:true w in
+  match o.Workloads.Runner.lint with
+  | None -> Alcotest.fail "runner did not attach a lint entry"
+  | Some e ->
+      Alcotest.(check bool) "lint passes" true (Analysis.Lint.passed e);
+      Alcotest.(check bool) "cross-check ran on the runner's profile" true
+        (e.Analysis.Lint.e_xcheck <> None)
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "verifier",
+        [ Alcotest.test_case "builder rejects bad branch target" `Quick
+            test_builder_rejects_bad_target;
+          Alcotest.test_case "builder rejects unterminated block" `Quick
+            test_builder_rejects_unterminated;
+          Alcotest.test_case "builder rejects call-arity mismatch" `Quick
+            test_builder_rejects_bad_arity;
+          Alcotest.test_case "jump out of range" `Quick test_verify_struct_error;
+          Alcotest.test_case "register index out of range" `Quick
+            test_verify_reg_out_of_range;
+          Alcotest.test_case "unreachable block" `Quick test_verify_unreachable;
+          Alcotest.test_case "ret in main" `Quick test_verify_ret_in_main ] );
+      ( "initdef",
+        [ Alcotest.test_case "conditional init flagged" `Quick
+            test_initdef_catches_conditional_init;
+          Alcotest.test_case "params arrive assigned" `Quick
+            test_initdef_params_arrive_assigned ] );
+      ( "liveness",
+        [ Alcotest.test_case "dead store flagged" `Quick
+            test_liveness_dead_store;
+          Alcotest.test_case "loop-carried liveness" `Quick
+            test_liveness_across_blocks ] );
+      ( "affine",
+        [ Alcotest.test_case "2-D nest with range" `Quick test_affine_2d_nest;
+          Alcotest.test_case "indirect accesses are F/P" `Quick
+            test_affine_indirect_is_nonaffine;
+          Alcotest.test_case "interprocedural constants" `Quick
+            test_affine_interprocedural_constants ] );
+      ( "crosscheck",
+        [ Alcotest.test_case "clean profile + seeded violation" `Quick
+            test_crosscheck_clean_and_seeded_violation ] );
+      ( "polly-agreement",
+        [ Alcotest.test_case "figure 3" `Quick test_agreement_figure3;
+          Alcotest.test_case "rodinia kernels" `Quick test_agreement_rodinia ] );
+      ( "sweep",
+        [ Alcotest.test_case "all workloads lint clean" `Slow
+            test_sweep_all_workloads;
+          Alcotest.test_case "runner cross-check integration" `Quick
+            test_runner_carries_lint ] ) ]

@@ -1,0 +1,15 @@
+.PHONY: all check test bench clean
+
+all:
+	dune build @all
+
+check: all
+	dune runtest
+
+test: check
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -287,6 +287,27 @@ let table_5 () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Case studies, closed loop: apply the feedback and verify it         *)
+(* ------------------------------------------------------------------ *)
+
+let casestudy_verify () =
+  section
+    "Case studies I & II, closed loop: apply the suggested schedules and \
+     verify them differentially";
+  let detailed =
+    [ Workloads.Backprop.workload; Workloads.Gems_fdtd.workload ]
+  in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let s = Polyprof.apply_and_verify ~name:w.w_name w.hir in
+      Format.printf "%a@." Xform.Driver.pp_summary s)
+    detailed;
+  Format.printf
+    "@.Suite-wide summary (every benchmark, every suggested plan):@.";
+  let results = Workloads.Runner.run_all ~xverify:true () in
+  print_string (Workloads.Runner.verify_table results)
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 7: annotated flame graph                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -487,7 +508,8 @@ let ablation () =
 let () =
   let sections =
     [ ("table1-2", tables_1_and_2); ("table3", table_3); ("table4", table_4);
-      ("table5", table_5); ("fig5", fig_5); ("fig7", fig_7);
+      ("table5", table_5); ("casestudy-verify", casestudy_verify);
+      ("fig5", fig_5); ("fig7", fig_7);
       ("ablation", ablation); ("perf", perf); ("overhead", overhead) ]
   in
   let requested =

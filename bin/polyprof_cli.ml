@@ -265,6 +265,82 @@ let lint_cmd =
              DDG against statically-proven independence")
     Term.(const run $ bench)
 
+let transform_cmd =
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Differentially verify each applied plan: run original and \
+             transformed programs, compare memory images, re-profile and \
+             re-check legality and profitability.")
+  in
+  let max_plans =
+    Arg.(
+      value & opt int 8
+      & info [ "max-plans" ] ~docv:"N"
+          ~doc:"Verify at most N plans (hottest first).")
+  in
+  let eps =
+    Arg.(
+      value & opt float 1e-9
+      & info [ "eps" ] ~docv:"EPS"
+          ~doc:"Relative tolerance for float memory cells.")
+  in
+  let run name verify max_plans eps =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w ->
+        let hir = w.Workloads.Workload.hir in
+        if not verify then begin
+          (* apply the hottest plan and show the transformed source *)
+          let t = Polyprof.run_hir hir in
+          let plans = Sched.Plan.plans_of_feedback t.Polyprof.feedback in
+          match plans with
+          | [] ->
+              Format.printf "no applicable transformation plans for %s@." name;
+              0
+          | plan :: _ -> (
+              Format.printf "== plan for %s: nest %s ==@." name
+                (Sched.Plan.describe plan);
+              List.iter
+                (fun s -> Format.printf "  %a@." Sched.Transform.pp_step s)
+                plan.Sched.Plan.p_steps;
+              match Xform.Apply.apply_plan hir plan with
+              | Error e ->
+                  Format.printf "cannot apply: %s@." e;
+                  1
+              | Ok o ->
+                  List.iter
+                    (fun a -> Format.printf "%a@." Xform.Apply.pp_applied a)
+                    o.Xform.Apply.o_applied;
+                  List.iter
+                    (fun (s, why) ->
+                      Format.printf "skipped %a: %s@." Sched.Transform.pp_step s
+                        why)
+                    o.Xform.Apply.o_skipped;
+                  Format.printf "== transformed source ==@.%a@."
+                    Vm.Hir.pp_program o.Xform.Apply.o_hir;
+                  0)
+        end
+        else begin
+          let summary =
+            Polyprof.apply_and_verify ~eps ~max_plans ~name hir
+          in
+          Format.printf "%a@." Xform.Driver.pp_summary summary;
+          if summary.Xform.Driver.sm_rejected = 0 then 0 else 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:
+         "Apply the suggested transformation schedule of a benchmark to its \
+          HIR source ($(b,--verify): prove it equivalent, legal and \
+          profitable by differential re-profiling)")
+    Term.(const run $ bench_arg $ verify $ max_plans $ eps)
+
 let source_cmd =
   let run name =
     match find_workload name with
@@ -290,4 +366,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; flamegraph_cmd; table5_cmd; polly_cmd; trace_cmd;
-            deps_cmd; lint_cmd; source_cmd ]))
+            deps_cmd; lint_cmd; transform_cmd; source_cmd ]))

@@ -51,3 +51,9 @@ let flamegraph_ascii ?width t =
 
 let render_feedback fmt t = Sched.Feedback.render fmt t.feedback
 let n_dynamic_ops t = t.profile.Ddg.Depprof.run_stats.Vm.Interp.dyn_instrs
+
+(* Apply the feedback's suggested schedules to the HIR source and verify
+   each one differentially (Xform.Driver): the end-to-end oracle that
+   the profiler, folder and scheduler are telling the truth. *)
+let apply_and_verify ?eps ?max_steps ?max_plans ~name hir =
+  Xform.Driver.apply_and_verify ?eps ?max_steps ?max_plans ~name hir

@@ -56,3 +56,15 @@ val flamegraph_svg : ?width:int -> t -> string
 val flamegraph_ascii : ?width:int -> t -> string
 val render_feedback : Format.formatter -> t -> unit
 val n_dynamic_ops : t -> int
+
+val apply_and_verify :
+  ?eps:float ->
+  ?max_steps:int ->
+  ?max_plans:int ->
+  name:string ->
+  Vm.Hir.program ->
+  Xform.Driver.summary
+(** Apply the feedback's suggested schedules to the HIR source and verify
+    each one differentially (see {!Xform.Driver.apply_and_verify}): the
+    end-to-end oracle that profiler, folder and scheduler agree with an
+    actual execution of the transformed program. *)

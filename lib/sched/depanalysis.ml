@@ -42,12 +42,49 @@ let dir_join a b =
     | true, true, false -> Dnonpos
     | _ -> Dany
 
+let dir_can_be_positive = function
+  | Dpos | Dnonneg | Dany -> true
+  | Dzero | Dneg | Dnonpos -> false
+
+let dir_of_signs ~neg ~zero ~pos =
+  match (neg, zero, pos) with
+  | false, false, true -> Dpos
+  | true, false, false -> Dneg
+  | false, true, false -> Dzero
+  | false, true, true -> Dnonneg
+  | true, true, false -> Dnonpos
+  | _ -> Dany
+
+(* Interval arithmetic on sign abstractions, for composing direction
+   vectors under affine schedule changes (skewing): the sign set of
+   a + b given the sign sets of a and b. *)
+let dir_add a b =
+  let na = dir_can_be_negative a
+  and za = dir_can_be_zero a
+  and pa = dir_can_be_positive a in
+  let nb = dir_can_be_negative b
+  and zb = dir_can_be_zero b
+  and pb = dir_can_be_positive b in
+  dir_of_signs
+    ~neg:(na || nb)
+    ~zero:((za && zb) || (na && pb) || (pa && nb))
+    ~pos:(pa || pb)
+
+let dir_scale k d =
+  if k = 0 then Dzero
+  else if k > 0 then d
+  else
+    dir_of_signs ~neg:(dir_can_be_positive d) ~zero:(dir_can_be_zero d)
+      ~pos:(dir_can_be_negative d)
+
 type path = Ddg.Iiv.ctx_id list list
 
 type stmt_ext = { si : Ddg.Depprof.stmt_info; spath : path }
 
 type dep_ext = {
   di : Ddg.Depprof.dep_info;
+  dsrc_path : path;
+  ddst_path : path;
   common : int;
   dirs : dir array;
   dists : int option array;
@@ -162,7 +199,8 @@ let analyse_dep (di : Ddg.Depprof.dep_info) ~src_path ~dst_path =
     approx := true;
     Array.fill dirs 0 common Dany
   end;
-  { di; common; dirs; dists; approx = !approx }
+  { di; dsrc_path = src_path; ddst_path = dst_path; common; dirs; dists;
+    approx = !approx }
 
 (* Can the dependence be loop-independent w.r.t. the first [p] dims? *)
 let zeros_possible_before d dirs =
@@ -355,10 +393,22 @@ let max_band_width n =
 
 let nest_uses_skew n = List.exists (fun b -> b.b_skews <> []) n.bands
 
+(* A same-block register chain: the signature of a scalar reduction,
+   privatisable/reassociable, so it does not pin the loop order.  The
+   same exemption the band construction in [analyse] applies. *)
+let dep_reduction_like (d : dep_ext) =
+  d.di.Ddg.Depprof.dk.kind = Ddg.Depprof.Reg_dep
+  && Vm.Isa.Sid.fid d.di.Ddg.Depprof.dk.src_sid
+     = Vm.Isa.Sid.fid d.di.Ddg.Depprof.dk.dst_sid
+  && Vm.Isa.Sid.bid d.di.Ddg.Depprof.dk.src_sid
+     = Vm.Isa.Sid.bid d.di.Ddg.Depprof.dk.dst_sid
+
+(* Uses the paths resolved at [analyse] time: the ctx ids inside
+   [dep_info] dangle once another program is profiled ([Depprof.profile]
+   resets the global intern table), and the differential driver
+   interleaves legality checks with re-profiling runs. *)
 let dep_relevant_to_prefix d prefix =
-  let src = d.di.Ddg.Depprof.dk.src_ctx and dst = d.di.Ddg.Depprof.dk.dst_ctx in
-  let p c = loop_dims_of_context (Ddg.Iiv.context_of_id c) in
-  is_prefix prefix (p src) && is_prefix prefix (p dst)
+  is_prefix prefix d.dsrc_path && is_prefix prefix d.ddst_path
 
 let pp fmt t =
   Format.fprintf fmt "%d stmts, %d deps, %d loops, %d nests, %d ops@\n"

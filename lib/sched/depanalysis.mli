@@ -9,6 +9,14 @@ val pp_dir : Format.formatter -> dir -> unit
 val dir_can_be_zero : dir -> bool
 val dir_can_be_nonzero : dir -> bool
 val dir_can_be_negative : dir -> bool
+val dir_can_be_positive : dir -> bool
+
+val dir_add : dir -> dir -> dir
+(** Sign-interval addition: the abstraction of [a + b].  Used to compose
+    direction vectors under affine schedule changes (skewing). *)
+
+val dir_scale : int -> dir -> dir
+(** The abstraction of [k * a]. *)
 
 type path = Ddg.Iiv.ctx_id list list
 (** A loop-dimension stack prefix: element [i] is the full context stack
@@ -22,6 +30,9 @@ type stmt_ext = {
 
 type dep_ext = {
   di : Ddg.Depprof.dep_info;
+  dsrc_path : path;  (** source loop dims, resolved at [analyse] time
+                         (the raw ctx ids dangle after re-profiling) *)
+  ddst_path : path;  (** destination loop dims, same caveat *)
   common : int;  (** length of the common loop prefix of src and dst *)
   dirs : dir array;  (** per common dimension *)
   dists : int option array;  (** constant distance per dim if known *)
@@ -68,5 +79,14 @@ val nest_uses_skew : nest_info -> bool
 val dep_relevant_to_prefix : dep_ext -> path -> bool
 (** Both endpoints of the dependence lie (strictly or not) below the
     given loop prefix. *)
+
+val dep_reduction_like : dep_ext -> bool
+(** A same-block register chain: the signature of a scalar reduction,
+    privatisable/reassociable, exempt from band/schedule legality (the
+    same exemption the band construction applies). *)
+
+val zeros_possible_before : int -> dir array -> bool
+(** Can the dependence be loop-independent w.r.t. the first [d - 1]
+    dimensions (i.e. is it *not* necessarily carried before dim [d])? *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,295 @@
+(* Machine-applicable schedules.
+
+   [Transform.suggest] produces a list of steps over abstract nest
+   dimensions d1..dn; the feedback report renders them as text.  This
+   module exports the missing half: for each dimension, *which loop in
+   the program* it denotes (source location + owning function), so an
+   applier ([Xform.Apply]) can replay the steps as source rewrites — and
+   a static legality check of the whole step sequence against the
+   profiled direction vectors, step by step, the way a polyhedral
+   scheduler would validate a user-supplied schedule. *)
+
+type dim_target = {
+  t_loc : Vm.Prog.loc option;  (* header location of the loop for this dim *)
+  t_fid : int option;  (* function owning that loop *)
+}
+
+type t = {
+  p_nest : Depanalysis.nest_info;
+  p_targets : dim_target array;  (* one per dim, outermost first *)
+  p_steps : Transform.step list;
+  p_stride01 : float array;
+  p_interchange : (int * int) option;
+  p_weight : int;
+}
+
+let rec take n = function
+  | [] -> []
+  | x :: xs -> if n <= 0 then [] else x :: take (n - 1) xs
+
+let dim_fid (path : Depanalysis.path) d =
+  match List.nth_opt path d with
+  | Some stack -> (
+      match List.rev stack with
+      | Ddg.Iiv.Cloop (fid, _) :: _ -> Some fid
+      | _ -> None)
+  | None -> None
+
+(* Header location of each dimension of a nest, outermost first. *)
+let nest_dim_locs (t : Depanalysis.t) (n : Depanalysis.nest_info) =
+  Array.init n.Depanalysis.ndepth (fun d ->
+      match Depanalysis.loop_at t (take (d + 1) n.Depanalysis.npath) with
+      | Some l -> l.Depanalysis.header_loc
+      | None -> None)
+
+let of_suggestion (t : Depanalysis.t) (s : Transform.suggestion) =
+  let n = s.Transform.nest in
+  let locs = nest_dim_locs t n in
+  let targets =
+    Array.init n.Depanalysis.ndepth (fun d ->
+        { t_loc = locs.(d); t_fid = dim_fid n.Depanalysis.npath d })
+  in
+  { p_nest = n;
+    p_targets = targets;
+    p_steps = s.Transform.steps;
+    p_stride01 = s.Transform.stride01;
+    p_interchange = s.Transform.interchange;
+    p_weight = n.Depanalysis.nweight }
+
+let target_locs p =
+  Array.to_list p.p_targets
+  |> List.filter_map (fun t -> t.t_loc)
+
+let describe p =
+  String.concat " > "
+    (Array.to_list p.p_targets
+    |> List.map (fun t ->
+           match t.t_loc with
+           | Some l -> Printf.sprintf "%s:%d" l.Vm.Prog.file l.Vm.Prog.line
+           | None -> "?"))
+
+(* All plans of a feedback report that carry at least one step, hottest
+   first.  Two dynamic nests can denote the same static loops (a kernel
+   called from two sites); they would replay to the identical rewrite,
+   so deduplicate by (targets, steps). *)
+let plans_of_feedback (fb : Feedback.t) =
+  let plans =
+    List.concat_map
+      (fun (r : Feedback.region_report) ->
+        List.filter_map
+          (fun (s : Transform.suggestion) ->
+            if s.Transform.steps = [] then None
+            else Some (of_suggestion fb.Feedback.analysis s))
+          r.Feedback.suggestions)
+      fb.Feedback.regions
+  in
+  let seen = Hashtbl.create 16 in
+  let plans =
+    List.filter
+      (fun p ->
+        let key = (Array.map (fun t -> t.t_loc) p.p_targets, p.p_steps) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      plans
+  in
+  List.sort (fun a b -> compare b.p_weight a.p_weight) plans
+
+(* ------------------------------------------------------------------ *)
+(* Static legality of a step sequence on the profiled DDG              *)
+(* ------------------------------------------------------------------ *)
+
+type step_verdict = {
+  sv_step : Transform.step;
+  sv_ok : bool;
+  sv_why : string;
+}
+
+type legality = {
+  lg_ok : bool;
+  lg_verdicts : step_verdict list;
+  lg_deps : int;  (* dependences the sequence was checked against *)
+}
+
+(* Would the transformed direction vector admit a lexicographically
+   negative instance?  (first possibly-nonzero component possibly
+   negative, with all earlier components possibly zero) *)
+let lex_negative_possible dirs =
+  let n = Array.length dirs in
+  let rec go i =
+    if i >= n then false
+    else if Depanalysis.dir_can_be_negative dirs.(i) then true
+    else if Depanalysis.dir_can_be_zero dirs.(i) then go (i + 1)
+    else false
+  in
+  go 0
+
+(* Check the steps of [plan] against every dependence relevant to its
+   nest, transforming each dependence's direction vector as the steps
+   are applied (skews compose, interchange permutes); reduction-like
+   register chains are exempt, as in the band construction. *)
+let legal (t : Depanalysis.t) (plan : t) : legality =
+  let n = plan.p_nest in
+  let rel =
+    List.filter
+      (fun d ->
+        Depanalysis.dep_relevant_to_prefix d n.Depanalysis.npath
+        && not (Depanalysis.dep_reduction_like d))
+      t.Depanalysis.deps
+  in
+  (* per-dependence state: direction vector plus the constant distance
+     per dim when known — distances compose exactly under skewing where
+     the sign abstraction alone would degrade to [Dany] *)
+  let states =
+    List.map
+      (fun (d : Depanalysis.dep_ext) ->
+        (d, Array.copy d.dirs, Array.copy d.dists))
+      rel
+  in
+  (* a dependence not carried strictly before dim [a] (1-based) *)
+  let may_reach a dirs =
+    Array.length dirs >= a - 1 && Depanalysis.zeros_possible_before a dirs
+  in
+  let verdicts =
+    List.map
+      (fun (step : Transform.step) ->
+        match step with
+        | Transform.Skew (o, i, f) ->
+            if f < 0 then
+              { sv_step = step; sv_ok = false; sv_why = "negative skew factor" }
+            else begin
+              List.iter
+                (fun ((_ : Depanalysis.dep_ext), dirs, dists) ->
+                  let len = Array.length dirs in
+                  if i - 1 < len && o - 1 < len then begin
+                    let dist =
+                      match (dists.(i - 1), dists.(o - 1)) with
+                      | Some di, Some dd -> Some (di + (f * dd))
+                      | _ -> None
+                    in
+                    dists.(i - 1) <- dist;
+                    dirs.(i - 1) <-
+                      (match dist with
+                      | Some d when d > 0 -> Depanalysis.Dpos
+                      | Some 0 -> Depanalysis.Dzero
+                      | Some _ -> Depanalysis.Dneg
+                      | None ->
+                          Depanalysis.dir_add dirs.(i - 1)
+                            (Depanalysis.dir_scale f dirs.(o - 1)))
+                  end)
+                states;
+              { sv_step = step; sv_ok = true; sv_why = "unimodular" }
+            end
+        | Transform.Interchange (a, b) ->
+            let bad =
+              List.filter
+                (fun ((_ : Depanalysis.dep_ext), dirs, (_ : int option array)) ->
+                  let len = Array.length dirs in
+                  if len < a then false
+                  else if len < b then
+                    (* spans dim a but not b: moving dim b above it is
+                       only safe if the dependence is already carried
+                       before a *)
+                    may_reach a dirs
+                  else begin
+                    let c = Array.copy dirs in
+                    let tmp = c.(a - 1) in
+                    c.(a - 1) <- c.(b - 1);
+                    c.(b - 1) <- tmp;
+                    lex_negative_possible c
+                  end)
+                states
+            in
+            if bad = [] then begin
+              List.iter
+                (fun ((_ : Depanalysis.dep_ext), dirs, dists) ->
+                  if Array.length dirs >= b then begin
+                    let tmp = dirs.(a - 1) in
+                    dirs.(a - 1) <- dirs.(b - 1);
+                    dirs.(b - 1) <- tmp;
+                    let tmp = dists.(a - 1) in
+                    dists.(a - 1) <- dists.(b - 1);
+                    dists.(b - 1) <- tmp
+                  end)
+                states;
+              { sv_step = step;
+                sv_ok = true;
+                sv_why = "direction vectors stay lexicographically non-negative" }
+            end
+            else
+              { sv_step = step;
+                sv_ok = false;
+                sv_why =
+                  Printf.sprintf
+                    "%d dependence(s) would be reversed by the interchange"
+                    (List.length bad) }
+        | Transform.Tile (a, b, _) ->
+            let bad =
+              List.filter
+                (fun ((_ : Depanalysis.dep_ext), dirs, (_ : int option array)) ->
+                  let len = Array.length dirs in
+                  len >= a && may_reach a dirs
+                  &&
+                  let hi = min b len in
+                  let bad = ref false in
+                  for d = a - 1 to hi - 1 do
+                    if Depanalysis.dir_can_be_negative dirs.(d) then bad := true
+                  done;
+                  !bad)
+                states
+            in
+            if bad = [] then
+              { sv_step = step; sv_ok = true; sv_why = "band is permutable" }
+            else
+              { sv_step = step;
+                sv_ok = false;
+                sv_why =
+                  Printf.sprintf
+                    "%d dependence(s) have a negative component inside the band"
+                    (List.length bad) }
+        | Transform.Parallelize d ->
+            if
+              d >= 1
+              && d <= n.Depanalysis.ndepth
+              && n.Depanalysis.nparallel.(d - 1)
+            then
+              { sv_step = step; sv_ok = true; sv_why = "no dependence carried" }
+            else
+              { sv_step = step;
+                sv_ok = false;
+                sv_why = "a dependence is carried at this dimension" }
+        | Transform.Vectorize _ ->
+            let inner_after =
+              match plan.p_interchange with
+              | Some (a, _) -> a
+              | None -> n.Depanalysis.ndepth
+            in
+            if
+              (inner_after >= 1
+              && inner_after <= n.Depanalysis.ndepth
+              && n.Depanalysis.nparallel.(inner_after - 1))
+              || Transform.innermost_only_reductions t n
+            then
+              { sv_step = step;
+                sv_ok = true;
+                sv_why = "innermost dim parallel or reduction-only" }
+            else
+              { sv_step = step;
+                sv_ok = false;
+                sv_why = "innermost dimension carries a dependence" })
+      plan.p_steps
+  in
+  { lg_ok = List.for_all (fun v -> v.sv_ok) verdicts;
+    lg_verdicts = verdicts;
+    lg_deps = List.length rel }
+
+let pp_legality fmt l =
+  Format.fprintf fmt "checked against %d dependence(s):@\n" l.lg_deps;
+  List.iter
+    (fun v ->
+      Format.fprintf fmt "  %s %a: %s@\n"
+        (if v.sv_ok then "ok  " else "FAIL")
+        Transform.pp_step v.sv_step v.sv_why)
+    l.lg_verdicts

@@ -31,5 +31,10 @@ val stride01_profile : Depanalysis.nest_info -> float array
 (** Per-dimension stride-0/1 profile of the nest's memory accesses
     (paper Table 3's "% stride 0/1" columns). *)
 
+val innermost_only_reductions : Depanalysis.t -> Depanalysis.nest_info -> bool
+(** Every dependence relevant to the nest is either carried before the
+    innermost dimension or is an innermost-carried same-block reduction
+    chain (vectorisable with a SIMD reduction clause). *)
+
 val suggest : ?tile_size:int -> Depanalysis.t -> Depanalysis.nest_info -> suggestion
 val pp_suggestion : Format.formatter -> suggestion -> unit

@@ -1,0 +1,550 @@
+(* Source-to-source rewriting of [Hir] loop nests: the structural
+   primitives (interchange, strip-mine/tile, skew, fusion, distribution)
+   behind the transformation-application engine ([lib/xform]).
+
+   Loops are addressed by their source location ([floc]) — the same key
+   the dynamic analysis reports — so a suggestion computed from a
+   profile can be replayed onto the program it was profiled from.  Every
+   primitive either returns the rewritten program or an [Error] with a
+   human-readable reason; none of them silently change semantics:
+   structural preconditions (perfect nesting, pure and invariant bounds,
+   rectangularity where required) are checked before touching the tree,
+   and anything the syntactic checks cannot guarantee is left to the
+   differential verifier downstream. *)
+
+exception Reject of string
+
+let reject fmt = Format.kasprintf (fun s -> raise (Reject s)) fmt
+
+let same_loc (a : Prog.loc) (b : Prog.loc) =
+  a.Prog.file = b.Prog.file && a.Prog.line = b.Prog.line
+
+let loc_matches floc loc =
+  match floc with Some l -> same_loc l loc | None -> false
+
+let loc_string (l : Prog.loc) = Printf.sprintf "%s:%d" l.Prog.file l.Prog.line
+
+(* ------------------------------------------------------------------ *)
+(* Expression and statement utilities                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_vars acc (e : Hir.expr) =
+  match e with
+  | Hir.Var n -> n :: acc
+  | Hir.Int _ | Hir.Flt _ | Hir.Base _ -> acc
+  | Hir.Bin (_, a, b) | Hir.Fbin (_, a, b) | Hir.Cmp (_, a, b)
+  | Hir.Fcmp (_, a, b) ->
+      expr_vars (expr_vars acc a) b
+  | Hir.Load a | Hir.Itof a | Hir.Ftoi a -> expr_vars acc a
+  | Hir.Callf (_, args) -> List.fold_left expr_vars acc args
+
+let expr_mentions name e = List.mem name (expr_vars [] e)
+
+(* Re-evaluable without observable effects and invariant as long as the
+   variables it mentions are: no memory reads, no calls. *)
+let rec expr_pure (e : Hir.expr) =
+  match e with
+  | Hir.Int _ | Hir.Flt _ | Hir.Var _ | Hir.Base _ -> true
+  | Hir.Bin (_, a, b) | Hir.Fbin (_, a, b) | Hir.Cmp (_, a, b)
+  | Hir.Fcmp (_, a, b) ->
+      expr_pure a && expr_pure b
+  | Hir.Itof a | Hir.Ftoi a -> expr_pure a
+  | Hir.Load _ | Hir.Callf _ -> false
+
+(* Every name bound or read anywhere in a statement, for fresh-name
+   generation.  HIR variables are function-scoped and mutable, so any
+   textual occurrence counts. *)
+let rec stmt_names acc (s : Hir.stmt) =
+  match s with
+  | Hir.Let (n, e) -> expr_vars (n :: acc) e
+  | Hir.Store (a, v) -> expr_vars (expr_vars acc a) v
+  | Hir.For fl ->
+      let acc = expr_vars (expr_vars (fl.Hir.v :: acc) fl.Hir.lo) fl.Hir.hi in
+      List.fold_left stmt_names acc fl.Hir.body
+  | Hir.While { cond; wbody; wloc = _ } ->
+      List.fold_left stmt_names (expr_vars acc cond) wbody
+  | Hir.If (c, a, b) ->
+      let acc = expr_vars acc c in
+      List.fold_left stmt_names (List.fold_left stmt_names acc a) b
+  | Hir.CallS (dst, _, args) ->
+      let acc = match dst with Some d -> d :: acc | None -> acc in
+      List.fold_left (fun acc e -> expr_vars acc e) acc args
+  | Hir.Return e -> ( match e with Some e -> expr_vars acc e | None -> acc)
+  | Hir.Break -> acc
+
+let fun_names (f : Hir.fundef) =
+  List.fold_left stmt_names f.Hir.params f.Hir.body
+
+(* Generate names not clashing with anything in [used]; each call also
+   reserves the returned name. *)
+let fresh_namer used =
+  let used = ref used in
+  fun base ->
+    let name =
+      if not (List.mem base !used) then base
+      else
+        let rec go k =
+          let cand = Printf.sprintf "%s%d" base k in
+          if List.mem cand !used then go (k + 1) else cand
+        in
+        go 2
+    in
+    used := name :: !used;
+    name
+
+(* Rename every occurrence of variable [a] (reads and binds alike) to
+   [b].  HIR has one flat mutable scope per function, so a consistent
+   whole-subtree rename is semantics-preserving provided [b] is fresh in
+   the function. *)
+let rec rename_expr a b (e : Hir.expr) =
+  match e with
+  | Hir.Var n when n = a -> Hir.Var b
+  | Hir.Int _ | Hir.Flt _ | Hir.Var _ | Hir.Base _ -> e
+  | Hir.Bin (op, x, y) -> Hir.Bin (op, rename_expr a b x, rename_expr a b y)
+  | Hir.Fbin (op, x, y) -> Hir.Fbin (op, rename_expr a b x, rename_expr a b y)
+  | Hir.Cmp (op, x, y) -> Hir.Cmp (op, rename_expr a b x, rename_expr a b y)
+  | Hir.Fcmp (op, x, y) -> Hir.Fcmp (op, rename_expr a b x, rename_expr a b y)
+  | Hir.Load x -> Hir.Load (rename_expr a b x)
+  | Hir.Itof x -> Hir.Itof (rename_expr a b x)
+  | Hir.Ftoi x -> Hir.Ftoi (rename_expr a b x)
+  | Hir.Callf (f, args) -> Hir.Callf (f, List.map (rename_expr a b) args)
+
+let rec rename_stmt a b (s : Hir.stmt) =
+  match s with
+  | Hir.Let (n, e) ->
+      Hir.Let ((if n = a then b else n), rename_expr a b e)
+  | Hir.Store (x, v) -> Hir.Store (rename_expr a b x, rename_expr a b v)
+  | Hir.For fl ->
+      Hir.For
+        { fl with
+          Hir.v = (if fl.Hir.v = a then b else fl.Hir.v);
+          lo = rename_expr a b fl.Hir.lo;
+          hi = rename_expr a b fl.Hir.hi;
+          body = List.map (rename_stmt a b) fl.Hir.body }
+  | Hir.While { cond; wbody; wloc } ->
+      Hir.While
+        { cond = rename_expr a b cond;
+          wbody = List.map (rename_stmt a b) wbody;
+          wloc }
+  | Hir.If (c, x, y) ->
+      Hir.If
+        ( rename_expr a b c,
+          List.map (rename_stmt a b) x,
+          List.map (rename_stmt a b) y )
+  | Hir.CallS (dst, f, args) ->
+      Hir.CallS
+        ( (match dst with Some d when d = a -> Some b | d -> d),
+          f,
+          List.map (rename_expr a b) args )
+  | Hir.Return e -> Hir.Return (Option.map (rename_expr a b) e)
+  | Hir.Break -> Hir.Break
+
+(* ------------------------------------------------------------------ *)
+(* Locating loops                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply [rw] to the first [For] whose header is at [loc]; [rw] returns
+   the replacement statement list.  [None] when no loop matches. *)
+let rewrite_in_stmts loc (rw : Hir.for_loop -> Hir.stmt list) stmts :
+    Hir.stmt list option =
+  let found = ref false in
+  let rec go_stmts stmts = List.concat_map go_stmt stmts
+  and go_stmt s =
+    if !found then [ s ]
+    else
+      match s with
+      | Hir.For fl when loc_matches fl.Hir.floc loc ->
+          found := true;
+          rw fl
+      | Hir.For fl -> [ Hir.For { fl with Hir.body = go_stmts fl.Hir.body } ]
+      | Hir.While { cond; wbody; wloc } ->
+          [ Hir.While { cond; wbody = go_stmts wbody; wloc } ]
+      | Hir.If (c, a, b) ->
+          let a' = go_stmts a in
+          let b' = go_stmts b in
+          [ Hir.If (c, a', b') ]
+      | (Hir.Let _ | Hir.Store _ | Hir.CallS _ | Hir.Return _ | Hir.Break) as s
+        ->
+          [ s ]
+  in
+  let stmts' = go_stmts stmts in
+  if !found then Some stmts' else None
+
+let rewrite_loop (p : Hir.program) loc rw : Hir.program option =
+  let rec go = function
+    | [] -> None
+    | (f : Hir.fundef) :: rest -> (
+        match rewrite_in_stmts loc rw f.Hir.body with
+        | Some body -> Some ({ f with Hir.body } :: rest)
+        | None -> Option.map (fun r -> f :: r) (go rest))
+  in
+  Option.map (fun funs -> { p with Hir.funs }) (go p.Hir.funs)
+
+let rec stmts_contain_loop loc stmts =
+  List.exists
+    (fun s ->
+      match s with
+      | Hir.For fl ->
+          loc_matches fl.Hir.floc loc || stmts_contain_loop loc fl.Hir.body
+      | Hir.While { wbody; _ } -> stmts_contain_loop loc wbody
+      | Hir.If (_, a, b) -> stmts_contain_loop loc a || stmts_contain_loop loc b
+      | Hir.Let _ | Hir.Store _ | Hir.CallS _ | Hir.Return _ | Hir.Break ->
+          false)
+    stmts
+
+let fun_of_loop (p : Hir.program) loc =
+  List.find_opt (fun (f : Hir.fundef) -> stmts_contain_loop loc f.Hir.body)
+    p.Hir.funs
+
+let find_loop (p : Hir.program) loc =
+  let res = ref None in
+  let rec go stmts =
+    List.iter
+      (fun s ->
+        if !res = None then
+          match s with
+          | Hir.For fl ->
+              if loc_matches fl.Hir.floc loc then res := Some fl
+              else go fl.Hir.body
+          | Hir.While { wbody; _ } -> go wbody
+          | Hir.If (_, a, b) ->
+              go a;
+              go b
+          | Hir.Let _ | Hir.Store _ | Hir.CallS _ | Hir.Return _ | Hir.Break ->
+            ())
+      stmts
+  in
+  List.iter (fun (f : Hir.fundef) -> if !res = None then go f.Hir.body) p.Hir.funs;
+  !res
+
+(* The perfectly-nested chain of loops from [fl] (inclusive) down to the
+   loop at [inner]: each intermediate loop body must consist of exactly
+   one [For].  Outermost first. *)
+let chain_to fl inner =
+  let rec go fl acc =
+    let acc = fl :: acc in
+    if loc_matches fl.Hir.floc inner then List.rev acc
+    else
+      match fl.Hir.body with
+      | [ Hir.For g ] -> go g acc
+      | _ ->
+          reject "loop%s is not perfectly nested around %s"
+            (match fl.Hir.floc with
+            | Some l -> " at " ^ loc_string l
+            | None -> Printf.sprintf " on %s" fl.Hir.v)
+            (loc_string inner)
+  in
+  go fl []
+
+(* The perfectly-nested chain matching exactly the given header
+   locations (outermost first). *)
+let chain_along fl locs =
+  match locs with
+  | [] -> reject "empty loop band"
+  | l0 :: rest ->
+      if not (loc_matches fl.Hir.floc l0) then
+        reject "expected a loop at %s" (loc_string l0);
+      let rec go (fl : Hir.for_loop) = function
+        | [] -> [ fl ]
+        | next :: rest -> (
+            match fl.Hir.body with
+            | [ Hir.For g ] when loc_matches g.Hir.floc next -> fl :: go g rest
+            | [ Hir.For g ] ->
+                reject "expected loop %s inside %s, found %s" (loc_string next)
+                  (match fl.Hir.floc with
+                  | Some l -> loc_string l
+                  | None -> fl.Hir.v)
+                  (match g.Hir.floc with
+                  | Some l -> loc_string l
+                  | None -> "an unlocated loop")
+            | _ ->
+                reject "loop band at %s is not perfectly nested"
+                  (loc_string l0))
+      in
+      go fl rest
+
+(* Nest a list of headers (outermost first) around [innermost_body]. *)
+let rec rebuild (headers : Hir.for_loop list) innermost_body =
+  match headers with
+  | [] -> innermost_body
+  | h :: rest -> [ Hir.For { h with Hir.body = rebuild rest innermost_body } ]
+
+let check_pure_bounds what (fl : Hir.for_loop) =
+  if not (expr_pure fl.Hir.lo && expr_pure fl.Hir.hi) then
+    reject "%s: bounds of loop on %s are not pure (memory read or call)" what
+      fl.Hir.v
+
+let header_name (fl : Hir.for_loop) =
+  match fl.Hir.floc with Some l -> loc_string l | None -> fl.Hir.v
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let wrap f = try f () with Reject m -> Error m
+
+(* Swap the headers of the loops at [outer] and [inner]; every loop
+   strictly between them stays in place (a rotation of two positions of
+   the permutation).  The nest from [outer] down to [inner] must be
+   perfect and all bounds must be pure and invariant in the iterators
+   that move. *)
+let interchange (p : Hir.program) ~outer ~inner =
+  wrap (fun () ->
+      match
+        rewrite_loop p outer (fun fl ->
+            let chain = chain_to fl inner in
+            (match chain with
+            | [] | [ _ ] ->
+                reject "interchange: %s and %s are not distinct nested loops"
+                  (loc_string outer) (loc_string inner)
+            | _ -> ());
+            List.iter (check_pure_bounds "interchange") chain;
+            let o = List.hd chain in
+            let i = List.nth chain (List.length chain - 1) in
+            let mids =
+              List.filteri
+                (fun k _ -> k > 0 && k < List.length chain - 1)
+                chain
+            in
+            let mentions (fl : Hir.for_loop) names =
+              List.exists
+                (fun n -> expr_mentions n fl.Hir.lo || expr_mentions n fl.Hir.hi)
+                names
+            in
+            let above_vars =
+              o.Hir.v :: List.map (fun (m : Hir.for_loop) -> m.Hir.v) mids
+            in
+            if mentions i above_vars then
+              reject
+                "interchange: bounds of %s depend on an enclosing iterator \
+                 (triangular nest)"
+                (header_name i);
+            if List.exists (fun m -> mentions m [ o.Hir.v; i.Hir.v ]) mids then
+              reject
+                "interchange: an intermediate loop's bounds depend on a \
+                 swapped iterator";
+            if mentions o (i.Hir.v :: List.map (fun (m : Hir.for_loop) -> m.Hir.v) mids)
+            then
+              reject "interchange: bounds of %s depend on an inner iterator"
+                (header_name o);
+            let inner_body = i.Hir.body in
+            rebuild ((i :: mids) @ [ o ]) inner_body)
+      with
+      | Some p' -> Ok p'
+      | None -> Error (Printf.sprintf "no loop at %s" (loc_string outer)))
+
+(* Strip-mine every loop of the band (given by header locations,
+   outermost first) with the same [size], hoisting the tile loops above
+   the whole band: the classic rectangular tiling
+     for iT in lo..hi step size*step
+       iub = min (iT + size*step) hi     (materialised with an If)
+       for i in iT..iub step step
+   The band must be perfectly nested and rectangular (no bound may
+   mention another band iterator), and bounds must be pure since they
+   are re-evaluated. *)
+let tile (p : Hir.program) ~band ~size =
+  wrap (fun () ->
+      if size < 1 then reject "tile: size must be >= 1 (got %d)" size;
+      match band with
+      | [] -> Error "tile: empty band"
+      | l0 :: _ -> (
+          let owner = fun_of_loop p l0 in
+          let fresh =
+            fresh_namer
+              (match owner with Some f -> fun_names f | None -> [])
+          in
+          match
+            rewrite_loop p l0 (fun fl ->
+                let chain = chain_along fl band in
+                List.iter (check_pure_bounds "tile") chain;
+                let vars = List.map (fun (l : Hir.for_loop) -> l.Hir.v) chain in
+                List.iter
+                  (fun (l : Hir.for_loop) ->
+                    let others = List.filter (fun v -> v <> l.Hir.v) vars in
+                    if
+                      List.exists
+                        (fun v ->
+                          expr_mentions v l.Hir.lo || expr_mentions v l.Hir.hi)
+                        others
+                    then
+                      reject
+                        "tile: band is not rectangular (bounds of %s mention \
+                         another band iterator)"
+                        (header_name l))
+                  chain;
+                let named =
+                  List.map
+                    (fun (l : Hir.for_loop) ->
+                      (l, fresh (l.Hir.v ^ "__t"), fresh (l.Hir.v ^ "__ub")))
+                    chain
+                in
+                let tile_headers =
+                  List.map
+                    (fun ((l : Hir.for_loop), tv, _) ->
+                      { l with
+                        Hir.v = tv;
+                        step = size * l.Hir.step;
+                        floc = None;
+                        unroll = false;
+                        body = [] })
+                    named
+                in
+                (* iub = min(iT + size*step, hi), spelled with an If *)
+                let guards =
+                  List.concat_map
+                    (fun ((l : Hir.for_loop), tv, ub) ->
+                      [ Hir.Let
+                          ( ub,
+                            Hir.Bin
+                              ( Isa.Add,
+                                Hir.Var tv,
+                                Hir.Int (size * l.Hir.step) ) );
+                        Hir.If
+                          ( Hir.Cmp (Isa.Cgt, Hir.Var ub, l.Hir.hi),
+                            [ Hir.Let (ub, l.Hir.hi) ],
+                            [] ) ])
+                    named
+                in
+                let point_headers =
+                  List.map
+                    (fun ((l : Hir.for_loop), tv, ub) ->
+                      { l with Hir.lo = Hir.Var tv; hi = Hir.Var ub })
+                    named
+                in
+                let innermost_body =
+                  (List.nth chain (List.length chain - 1)).Hir.body
+                in
+                let point_nest = rebuild point_headers innermost_body in
+                rebuild tile_headers (guards @ point_nest))
+          with
+          | Some p' -> Ok p'
+          | None -> Error (Printf.sprintf "no loop at %s" (loc_string l0))))
+
+(* Wavefront skew: replace the loop at [inner] (anywhere inside the loop
+   at [outer], not necessarily perfectly nested) by one iterating over
+   i' = i + factor*o, recovering i at the top of the body.  Always a
+   bijection on the iteration space, so semantics are preserved by
+   construction; the payoff (permutability) is claimed by the schedule
+   and re-checked downstream. *)
+let skew (p : Hir.program) ~outer ~inner ~factor =
+  wrap (fun () ->
+      if factor < 0 then reject "skew: negative factor %d" factor;
+      let owner = fun_of_loop p outer in
+      let fresh =
+        fresh_namer (match owner with Some f -> fun_names f | None -> [])
+      in
+      match
+        rewrite_loop p outer (fun ofl ->
+            let inner_result =
+              rewrite_in_stmts inner
+                (fun ifl ->
+                  check_pure_bounds "skew" ifl;
+                  let w = fresh (ifl.Hir.v ^ "__sk") in
+                  let shift =
+                    Hir.Bin (Isa.Mul, Hir.Int factor, Hir.Var ofl.Hir.v)
+                  in
+                  [ Hir.For
+                      { ifl with
+                        Hir.v = w;
+                        lo = Hir.Bin (Isa.Add, ifl.Hir.lo, shift);
+                        hi = Hir.Bin (Isa.Add, ifl.Hir.hi, shift);
+                        body =
+                          Hir.Let
+                            ( ifl.Hir.v,
+                              Hir.Bin (Isa.Sub, Hir.Var w, shift) )
+                          :: ifl.Hir.body } ])
+                ofl.Hir.body
+            in
+            match inner_result with
+            | Some body -> [ Hir.For { ofl with Hir.body } ]
+            | None ->
+                reject "skew: no loop at %s inside %s" (loc_string inner)
+                  (loc_string outer))
+      with
+      | Some p' -> Ok p'
+      | None -> Error (Printf.sprintf "no loop at %s" (loc_string outer)))
+
+(* Merge two adjacent loops with identical headers into one; the second
+   body's iterator is renamed onto the first's.  Statement-level
+   correctness (no value flows between the bodies within an iteration
+   that the original ordering provided) is left to the differential
+   verifier. *)
+let fuse (p : Hir.program) ~first ~second =
+  wrap (fun () ->
+      let owner = fun_of_loop p first in
+      let fresh =
+        fresh_namer (match owner with Some f -> fun_names f | None -> [])
+      in
+      let found = ref false in
+      let rec go_stmts stmts =
+        if !found then stmts
+        else
+          match stmts with
+          | Hir.For a :: Hir.For b :: rest
+            when loc_matches a.Hir.floc first && loc_matches b.Hir.floc second
+            ->
+              found := true;
+              check_pure_bounds "fuse" a;
+              check_pure_bounds "fuse" b;
+              if
+                not
+                  (a.Hir.lo = b.Hir.lo && a.Hir.hi = b.Hir.hi
+                 && a.Hir.step = b.Hir.step)
+              then
+                reject "fuse: headers of %s and %s differ" (loc_string first)
+                  (loc_string second);
+              let body_b =
+                if b.Hir.v = a.Hir.v then b.Hir.body
+                else
+                  (* go through a fresh intermediate so an existing use
+                     of [a.v] in the second body keeps its meaning *)
+                  let tmp = fresh (b.Hir.v ^ "__f") in
+                  List.map (rename_stmt b.Hir.v tmp) b.Hir.body
+                  |> List.map (rename_stmt tmp a.Hir.v)
+              in
+              Hir.For { a with Hir.body = a.Hir.body @ body_b } :: rest
+          | s :: rest ->
+              let s' = go_stmt s in
+              if !found then s' :: rest else s' :: go_stmts rest
+          | [] -> []
+      and go_stmt s =
+        match s with
+        | Hir.For fl -> Hir.For { fl with Hir.body = go_stmts fl.Hir.body }
+        | Hir.While { cond; wbody; wloc } ->
+            Hir.While { cond; wbody = go_stmts wbody; wloc }
+        | Hir.If (c, a, b) ->
+            let a' = go_stmts a in
+            let b' = go_stmts b in
+            Hir.If (c, a', b')
+        | Hir.Let _ | Hir.Store _ | Hir.CallS _ | Hir.Return _ | Hir.Break -> s
+      in
+      let funs =
+        List.map
+          (fun (f : Hir.fundef) ->
+            if !found then f else { f with Hir.body = go_stmts f.Hir.body })
+          p.Hir.funs
+      in
+      if !found then Ok { p with Hir.funs }
+      else
+        Error
+          (Printf.sprintf "fuse: no adjacent loops at %s / %s"
+             (loc_string first) (loc_string second)))
+
+(* Split the loop at [loc] in two at statement index [at] (0 < at <
+   body length): loop distribution.  The second copy keeps no source
+   location so later passes do not confuse the twins. *)
+let distribute (p : Hir.program) ~loc ~at =
+  wrap (fun () ->
+      match
+        rewrite_loop p loc (fun fl ->
+            let n = List.length fl.Hir.body in
+            if at <= 0 || at >= n then
+              reject "distribute: split index %d outside 1..%d" at (n - 1);
+            check_pure_bounds "distribute" fl;
+            let first = List.filteri (fun i _ -> i < at) fl.Hir.body in
+            let rest = List.filteri (fun i _ -> i >= at) fl.Hir.body in
+            [ Hir.For { fl with Hir.body = first };
+              Hir.For { fl with Hir.body = rest; floc = None } ])
+      with
+      | Some p' -> Ok p'
+      | None -> Error (Printf.sprintf "no loop at %s" (loc_string loc)))

@@ -252,10 +252,17 @@ let run_internal ?(max_steps = 200_000_000) ?(callbacks = no_instrumentation)
       dyn_mem_ops = !dyn_mem;
       dyn_fp_ops = !dyn_fp;
       max_depth = !max_depth },
-    fun addr -> Hashtbl.find_opt memory addr )
+    memory )
 
 let run ?max_steps ?callbacks ?args prog =
   fst (run_internal ?max_steps ?callbacks ?args prog)
 
 let run_with_memory ?max_steps ?callbacks ?args prog =
+  let stats, memory = run_internal ?max_steps ?callbacks ?args prog in
+  (stats, fun addr -> Hashtbl.find_opt memory addr)
+
+(* Like [run_with_memory] but exposes the whole final memory table, so a
+   differential verifier can enumerate every written address (including
+   stores that landed outside the declared globals). *)
+let run_dump ?max_steps ?callbacks ?args prog =
   run_internal ?max_steps ?callbacks ?args prog

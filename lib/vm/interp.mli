@@ -37,3 +37,13 @@ val run_with_memory :
   stats * (int -> Event.value option)
 (** Like {!run} but also returns a lookup function over the final memory
     state, for tests. *)
+
+val run_dump :
+  ?max_steps:int ->
+  ?callbacks:callbacks ->
+  ?args:int list ->
+  Prog.t ->
+  stats * (int, Event.value) Hashtbl.t
+(** Like {!run_with_memory} but exposes the whole final memory table, so
+    a differential verifier can enumerate every written address
+    (including stores outside the declared globals). *)

@@ -5,11 +5,13 @@ type outcome = {
   dep_keys : int;
   sched_bailed : bool;
   lint : Analysis.Lint.entry option;
+  xform : Xform.Driver.summary option;
 }
 
 let sched_budget = 1200
 
-let run ?(budget = sched_budget) ?(crosscheck = false) (w : Workload.t) =
+let run ?(budget = sched_budget) ?(crosscheck = false) ?(xverify = false)
+    (w : Workload.t) =
   let prog = Vm.Hir.lower w.Workload.hir in
   let structure = Cfg.Cfg_builder.run prog in
   let profile = Ddg.Depprof.profile prog ~structure in
@@ -48,7 +50,9 @@ let run ?(budget = sched_budget) ?(crosscheck = false) (w : Workload.t) =
       pipeline = None;
       dep_keys;
       sched_bailed = true;
-      lint }
+      lint;
+      (* no feedback to apply when the scheduler bailed out *)
+      xform = None }
   end
   else begin
     let analysis = Sched.Depanalysis.analyse prog profile in
@@ -69,11 +73,16 @@ let run ?(budget = sched_budget) ?(crosscheck = false) (w : Workload.t) =
             feedback };
       dep_keys;
       sched_bailed = false;
-      lint }
+      lint;
+      xform =
+        (if xverify then
+           Some
+             (Polyprof.apply_and_verify ~name:w.Workload.w_name w.Workload.hir)
+         else None) }
   end
 
-let run_all ?budget ?crosscheck () =
-  List.map (fun w -> (w, run ?budget ?crosscheck w)) Rodinia.all
+let run_all ?budget ?crosscheck ?xverify () =
+  List.map (fun w -> (w, run ?budget ?crosscheck ?xverify w)) Rodinia.all
 
 let full_header = Sched.Metrics.header @ [ "Polly" ]
 
@@ -86,6 +95,39 @@ let table5 results =
       results
   in
   Report.Texttable.render ~header:full_header rows
+
+let verify_table results =
+  let rows =
+    List.map
+      (fun ((w : Workload.t), o) ->
+        match o.xform with
+        | None ->
+            [ w.Workload.w_name; "-"; "-"; "-"; "-";
+              (if o.sched_bailed then "sched bailed out" else "not run") ]
+        | Some (s : Xform.Driver.summary) ->
+            let plans = List.length s.Xform.Driver.sm_entries in
+            let note =
+              let rejected =
+                List.filter_map
+                  (fun (e : Xform.Driver.entry) ->
+                    match e.Xform.Driver.en_status with
+                    | Xform.Driver.Rejected why -> Some why
+                    | _ -> None)
+                  s.Xform.Driver.sm_entries
+              in
+              match rejected with [] -> "" | why :: _ -> why
+            in
+            [ w.Workload.w_name;
+              string_of_int plans;
+              string_of_int s.Xform.Driver.sm_verified;
+              string_of_int s.Xform.Driver.sm_rejected;
+              string_of_int s.Xform.Driver.sm_skipped;
+              note ])
+      results
+  in
+  Report.Texttable.render
+    ~header:[ "Benchmark"; "Plans"; "Verified"; "Rejected"; "Skipped"; "Note" ]
+    rows
 
 let table5_with_paper results =
   let rows =

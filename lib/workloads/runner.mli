@@ -13,6 +13,10 @@ type outcome = {
   lint : Analysis.Lint.entry option;
       (** static lint + static-vs-dynamic cross-check of the profiled
           DDG; [Some] iff [run ~crosscheck:true] *)
+  xform : Xform.Driver.summary option;
+      (** differential transformation verification of every suggested
+          schedule; [Some] iff [run ~xverify:true] and the scheduler did
+          not bail out *)
 }
 
 val sched_budget : int
@@ -20,10 +24,11 @@ val sched_budget : int
     accepts before declaring a blow-up (streamcluster reproduces the
     paper's scheduler memory exhaustion by exceeding it). *)
 
-val run : ?budget:int -> ?crosscheck:bool -> Workload.t -> outcome
+val run : ?budget:int -> ?crosscheck:bool -> ?xverify:bool -> Workload.t -> outcome
 
 val run_all :
-  ?budget:int -> ?crosscheck:bool -> unit -> (Workload.t * outcome) list
+  ?budget:int -> ?crosscheck:bool -> ?xverify:bool -> unit ->
+  (Workload.t * outcome) list
 (** All 19 mini-Rodinia benchmarks, in Table 5 order. *)
 
 val table5 : (Workload.t * outcome) list -> string
@@ -31,3 +36,7 @@ val table5 : (Workload.t * outcome) list -> string
 
 val table5_with_paper : (Workload.t * outcome) list -> string
 (** Measured rows interleaved with the paper's reference rows. *)
+
+val verify_table : (Workload.t * outcome) list -> string
+(** One row per benchmark: suggested plans applied and differentially
+    verified / rejected / skipped (requires [run ~xverify:true]). *)

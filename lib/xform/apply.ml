@@ -1,0 +1,159 @@
+(* Replay a [Sched.Plan] onto the HIR program it was profiled from.
+
+   The plan's steps speak about abstract nest dimensions; each dimension
+   carries the header location and owning function of the loop it
+   denotes.  Steps that cannot be expressed as a source rewrite are
+   *skipped with a reason* rather than failing the whole plan: a tile
+   band spanning a call boundary is clipped to its intraprocedural
+   suffix (tiling the inner loops is what the generated code would do
+   anyway), an interchange across functions is skipped, and marking
+   steps (parallel/simd) never change the tree — they are claims for the
+   verifier to re-check on the transformed profile. *)
+
+module T = Sched.Transform
+
+type applied =
+  | A_interchange of Vm.Prog.loc * Vm.Prog.loc
+  | A_tile of Vm.Prog.loc list * int
+  | A_skew of Vm.Prog.loc * Vm.Prog.loc * int
+  | A_mark_parallel of int * Vm.Prog.loc option
+  | A_mark_simd of int
+
+type outcome = {
+  o_hir : Vm.Hir.program;
+  o_applied : applied list;
+  o_skipped : (T.step * string) list;
+  (* header locations of the point loops after the rewrite, outermost
+     first: where the original dims ended up (tile loops carry no
+     location and are not listed) *)
+  o_expected_locs : Vm.Prog.loc list;
+  o_structural : bool;  (* at least one rewrite changed the tree *)
+}
+
+let pp_applied fmt a =
+  let l (x : Vm.Prog.loc) = Printf.sprintf "%s:%d" x.Vm.Prog.file x.Vm.Prog.line in
+  match a with
+  | A_interchange (a, b) ->
+      Format.fprintf fmt "interchanged %s <-> %s" (l a) (l b)
+  | A_tile (locs, s) ->
+      Format.fprintf fmt "tiled [%s] by %d"
+        (String.concat "; " (List.map l locs))
+        s
+  | A_skew (o, i, f) -> Format.fprintf fmt "skewed %s by %d*%s" (l i) f (l o)
+  | A_mark_parallel (d, loc) ->
+      Format.fprintf fmt "marked d%d%s parallel" d
+        (match loc with Some x -> " (" ^ l x ^ ")" | None -> "")
+  | A_mark_simd d -> Format.fprintf fmt "marked d%d simd" d
+
+let apply_plan (hir : Vm.Hir.program) (plan : Sched.Plan.t) :
+    (outcome, string) result =
+  let depth = Array.length plan.Sched.Plan.p_targets in
+  if depth = 0 then Error "empty nest"
+  else begin
+    let loc d = plan.Sched.Plan.p_targets.(d - 1).Sched.Plan.t_loc in
+    let fid d = plan.Sched.Plan.p_targets.(d - 1).Sched.Plan.t_fid in
+    (* position in the transformed nest -> original dimension *)
+    let order = Array.init depth (fun i -> i + 1) in
+    let cur = ref hir in
+    let applied = ref [] in
+    let skipped = ref [] in
+    let structural = ref false in
+    let skip step reason = skipped := (step, reason) :: !skipped in
+    List.iter
+      (fun (step : T.step) ->
+        match step with
+        | T.Skew (o, i, f) -> (
+            match (loc o, loc i) with
+            | Some lo_, Some li_ when fid o = fid i && fid o <> None -> (
+                match Vm.Hir_rewrite.skew !cur ~outer:lo_ ~inner:li_ ~factor:f with
+                | Ok p ->
+                    cur := p;
+                    structural := true;
+                    applied := A_skew (lo_, li_, f) :: !applied
+                | Error e -> skip step e)
+            | Some _, Some _ -> skip step "skew spans a call boundary"
+            | _ -> skip step "loop header location unknown")
+        | T.Interchange (a, b) -> (
+            match (loc a, loc b) with
+            | Some la, Some lb when fid a = fid b && fid a <> None -> (
+                match Vm.Hir_rewrite.interchange !cur ~outer:la ~inner:lb with
+                | Ok p ->
+                    cur := p;
+                    structural := true;
+                    applied := A_interchange (la, lb) :: !applied;
+                    let tmp = order.(a - 1) in
+                    order.(a - 1) <- order.(b - 1);
+                    order.(b - 1) <- tmp
+                | Error e -> skip step e)
+            | Some _, Some _ -> skip step "interchange spans a call boundary"
+            | _ -> skip step "loop header location unknown")
+        | T.Tile (a, b, size) when a >= 1 && b <= depth && a <= b -> (
+            (* the loops now at positions a..b, top-down *)
+            let dims =
+              List.init (b - a + 1) (fun k -> order.(a - 1 + k))
+            in
+            match
+              List.map
+                (fun d ->
+                  match (loc d, fid d) with
+                  | Some l, Some f -> Some (l, f)
+                  | _ -> None)
+                dims
+              |> fun xs ->
+              if List.exists Option.is_none xs then None
+              else Some (List.filter_map Fun.id xs)
+            with
+            | None -> skip step "loop header location or function unknown"
+            | Some located ->
+                (* clip to the suffix living in the innermost loop's
+                   function, then drop outer loops until the band is
+                   structurally tilable *)
+                let inner_fid = snd (List.nth located (List.length located - 1)) in
+                let clipped =
+                  let rec suffix = function
+                    | [] -> []
+                    | (_, f) :: rest as l ->
+                        if List.for_all (fun (_, f') -> f' = inner_fid) l && f = inner_fid
+                        then List.map fst l
+                        else suffix rest
+                  in
+                  suffix located
+                in
+                let rec attempt last_err = function
+                  | [] -> (
+                      match last_err with
+                      | Some e -> skip step e
+                      | None -> skip step "no tilable sub-band")
+                  | band -> (
+                      match Vm.Hir_rewrite.tile !cur ~band ~size with
+                      | Ok p ->
+                          cur := p;
+                          structural := true;
+                          applied := A_tile (band, size) :: !applied
+                      | Error e -> attempt (Some e) (List.tl band))
+                in
+                if clipped = [] then skip step "band spans call boundaries only"
+                else begin
+                  (if List.length clipped < List.length located then
+                     skip step
+                       (Printf.sprintf
+                          "band clipped to its intraprocedural suffix (%d of %d \
+                           loops)"
+                          (List.length clipped) (List.length located)));
+                  attempt None clipped
+                end)
+        | T.Tile (_, _, _) -> skip step "band outside the nest"
+        | T.Parallelize d ->
+            applied := A_mark_parallel (d, loc d) :: !applied
+        | T.Vectorize d -> applied := A_mark_simd d :: !applied)
+      plan.Sched.Plan.p_steps;
+    let expected =
+      Array.to_list (Array.map (fun d -> loc d) order) |> List.filter_map Fun.id
+    in
+    Ok
+      { o_hir = !cur;
+        o_applied = List.rev !applied;
+        o_skipped = List.rev !skipped;
+        o_expected_locs = expected;
+        o_structural = !structural }
+  end

@@ -1,4 +1,4 @@
-.PHONY: all check test bench clean
+.PHONY: all check test bench bench-json stream-smoke clean
 
 all:
 	dune build @all
@@ -10,6 +10,15 @@ test: check
 
 bench:
 	dune exec bench/main.exe
+
+# codec + sharded-profiling scaling numbers -> BENCH_stream.json
+bench-json:
+	dune exec bench/main.exe -- stream --json
+
+# quick end-to-end check of the out-of-core path: record, decode,
+# profile with 2 domains
+stream-smoke:
+	dune exec bin/polyprof_cli.exe -- trace stats backprop --domains 2
 
 clean:
 	dune clean

@@ -505,15 +505,189 @@ let ablation () =
       print_string (Report.Texttable.render ~header rows))
     benches
 
+(* ------------------------------------------------------------------ *)
+(* lib/stream: trace codec + domain-sharded profiling                   *)
+(* ------------------------------------------------------------------ *)
+
+let json_out = ref false
+
+type stream_row = {
+  sr_name : string;
+  sr_events : int;
+  sr_disk_bytes : int;
+  sr_marshal_bytes : int;
+  sr_enc_s : float;
+  sr_dec_s : float;
+  sr_seq_s : float;
+  sr_par_s : float;
+  sr_replay_s : float;
+  sr_merge_s : float;
+  sr_peak_shadow : int array;
+  sr_domain_events : int array;
+  sr_identical : bool;
+}
+
+let stream_bench () =
+  let domains = 4 in
+  section
+    (Printf.sprintf
+       "lib/stream: binary trace codec + %d-domain sharded profiling" domains);
+  let now = Unix.gettimeofday in
+  let ws = Workloads.Rodinia.all @ [ Workloads.Gems_fdtd.workload ] in
+  let rows =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        let prog = Vm.Hir.lower w.hir in
+        let path = Filename.temp_file "polyprof" ".trace" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        @@ fun () ->
+        let trace, stats = Vm.Trace.record prog in
+        let marshal_bytes = String.length (Marshal.to_string trace []) in
+        let t0 = now () in
+        let disk_bytes = Stream.Trace_file.save ~stats trace path in
+        let t_enc = now () -. t0 in
+        let t0 = now () in
+        Stream.Source.with_file path (fun src ->
+            Stream.Source.iter src ignore);
+        let t_dec = now () -. t0 in
+        let builder = Cfg.Cfg_builder.create prog in
+        Stream.Source.with_file path (fun src ->
+            Stream.Source.replay src (Cfg.Cfg_builder.callbacks builder));
+        let structure = Cfg.Cfg_builder.finalize builder in
+        let t0 = now () in
+        let seq =
+          Ddg.Depprof.profile_replay
+            ~feed:(fun cb ->
+              Stream.Source.with_file path (fun src ->
+                  Stream.Source.replay src cb))
+            ~run_stats:stats prog ~structure
+        in
+        let t_seq = now () -. t0 in
+        let t0 = now () in
+        let par =
+          Stream.Par_profile.profile_file ~domains path prog ~structure
+        in
+        let t_par = now () -. t0 in
+        let p = par.Stream.Par_profile.result in
+        let identical =
+          (seq.Ddg.Depprof.stmts, seq.deps, seq.pruned_dep_edges,
+           seq.total_dep_edges, seq.run_stats)
+          = (p.Ddg.Depprof.stmts, p.deps, p.pruned_dep_edges,
+             p.total_dep_edges, p.run_stats)
+        in
+        { sr_name = w.w_name;
+          sr_events = Vm.Trace.n_events trace;
+          sr_disk_bytes = disk_bytes;
+          sr_marshal_bytes = marshal_bytes;
+          sr_enc_s = t_enc;
+          sr_dec_s = t_dec;
+          sr_seq_s = t_seq;
+          sr_par_s = t_par;
+          sr_replay_s = par.par_stats.Stream.Par_profile.replay_seconds;
+          sr_merge_s = par.par_stats.Stream.Par_profile.merge_seconds;
+          sr_peak_shadow = par.par_stats.Stream.Par_profile.per_domain_peak_shadow;
+          sr_domain_events = par.par_stats.Stream.Par_profile.per_domain_events;
+          sr_identical = identical })
+      ws
+  in
+  let mbs bytes s = float_of_int bytes /. (s +. 1e-9) /. (1024. *. 1024.) in
+  let header =
+    [ "benchmark"; "events"; "disk KB"; "marshal KB"; "ratio"; "enc MB/s";
+      "dec MB/s"; "seq s"; Printf.sprintf "par(%d) s" domains; "speedup";
+      "same" ]
+  in
+  let table =
+    List.map
+      (fun r ->
+        [ r.sr_name;
+          string_of_int r.sr_events;
+          string_of_int (r.sr_disk_bytes / 1024);
+          string_of_int (r.sr_marshal_bytes / 1024);
+          Printf.sprintf "%.1fx"
+            (float_of_int r.sr_marshal_bytes
+            /. float_of_int (max 1 r.sr_disk_bytes));
+          Printf.sprintf "%.1f" (mbs r.sr_disk_bytes r.sr_enc_s);
+          Printf.sprintf "%.1f" (mbs r.sr_disk_bytes r.sr_dec_s);
+          Printf.sprintf "%.3f" r.sr_seq_s;
+          Printf.sprintf "%.3f" r.sr_par_s;
+          Printf.sprintf "%.2fx" (r.sr_seq_s /. (r.sr_par_s +. 1e-9));
+          (if r.sr_identical then "Y" else "N!") ])
+      rows
+  in
+  print_string (Report.Texttable.render ~header table);
+  let totals f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let cores = Domain.recommended_domain_count () in
+  Format.printf
+    "@.suite: %d events, %d KB on disk vs %d KB marshalled (%.1fx), all \
+     results identical: %b@."
+    (totals (fun r -> r.sr_events))
+    (totals (fun r -> r.sr_disk_bytes) / 1024)
+    (totals (fun r -> r.sr_marshal_bytes) / 1024)
+    (float_of_int (totals (fun r -> r.sr_marshal_bytes))
+    /. float_of_int (max 1 (totals (fun r -> r.sr_disk_bytes))))
+    (List.for_all (fun r -> r.sr_identical) rows);
+  if cores < domains then
+    Format.printf
+      "note: host has %d hardware thread(s) < %d domains -- the parallel \
+       runs are time-sliced, so wall-clock speedup is not meaningful on \
+       this machine (each domain decodes the full stream; expect ~1/%d \
+       \"speedup\" here and real gains only with >= %d cores).@."
+      cores domains domains domains;
+  if !json_out then begin
+    let buf = Buffer.create 4096 in
+    let ints a =
+      String.concat ","
+        (Array.to_list (Array.map string_of_int a))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\n  \"domains\": %d,\n  \"host_cores\": %d,\n  \
+          \"time_sliced\": %b,\n  \"chunk_bytes\": %d,\n  \"workloads\": [\n"
+         domains cores (cores < domains) Stream.Sink.default_chunk_bytes);
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"name\": %S, \"events\": %d, \"disk_bytes\": %d, \
+              \"marshal_bytes\": %d, \"compression\": %.2f, \
+              \"encode_mb_s\": %.2f, \"decode_mb_s\": %.2f, \
+              \"seq_seconds\": %.4f, \"par_seconds\": %.4f, \
+              \"speedup\": %.3f, \"replay_seconds\": %.4f, \
+              \"merge_seconds\": %.4f, \"domain_events\": [%s], \
+              \"peak_shadow\": [%s], \"identical\": %b}%s\n"
+             r.sr_name r.sr_events r.sr_disk_bytes r.sr_marshal_bytes
+             (float_of_int r.sr_marshal_bytes
+             /. float_of_int (max 1 r.sr_disk_bytes))
+             (mbs r.sr_disk_bytes r.sr_enc_s)
+             (mbs r.sr_disk_bytes r.sr_dec_s)
+             r.sr_seq_s r.sr_par_s
+             (r.sr_seq_s /. (r.sr_par_s +. 1e-9))
+             r.sr_replay_s r.sr_merge_s (ints r.sr_domain_events)
+             (ints r.sr_peak_shadow) r.sr_identical
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_stream.json" in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Format.printf "wrote BENCH_stream.json@."
+  end
+
 let () =
   let sections =
     [ ("table1-2", tables_1_and_2); ("table3", table_3); ("table4", table_4);
       ("table5", table_5); ("casestudy-verify", casestudy_verify);
       ("fig5", fig_5); ("fig7", fig_7);
-      ("ablation", ablation); ("perf", perf); ("overhead", overhead) ]
+      ("ablation", ablation); ("perf", perf); ("overhead", overhead);
+      ("stream", stream_bench) ]
   in
+  let argv = Array.to_list Sys.argv in
+  json_out := List.mem "--json" argv;
   let requested =
-    match Array.to_list Sys.argv with _ :: (_ :: _ as rest) -> rest | _ -> []
+    match List.filter (fun a -> a <> "--json") argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> []
   in
   List.iter
     (fun (name, fn) ->

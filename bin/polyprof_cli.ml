@@ -6,7 +6,8 @@
      polyprof flamegraph backprop -o backprop.svg
      polyprof table5 --paper
      polyprof polly lud
-     polyprof trace backprop --limit 40 *)
+     polyprof trace show backprop --limit 40
+     polyprof trace stats backprop --domains 4 *)
 
 open Cmdliner
 
@@ -176,10 +177,134 @@ let trace_cmd =
         0
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "show"
        ~doc:"Print the loop-event / dynamic-IIV trace of a benchmark \
              (paper Fig. 3 style)")
     Term.(const run $ bench_arg $ limit)
+
+let trace_record_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write.")
+  in
+  let chunk =
+    Arg.(
+      value
+      & opt int Stream.Sink.default_chunk_bytes
+      & info [ "chunk-bytes" ] ~docv:"BYTES"
+          ~doc:"Chunk payload budget of the binary codec.")
+  in
+  let run name out chunk =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w ->
+        let prog = Vm.Hir.lower w.Workloads.Workload.hir in
+        let wi = Stream.Trace_file.record_to_file ~chunk_bytes:chunk prog out in
+        Format.printf
+          "wrote %s: %d events in %d chunks, %d bytes (%.2f s, %.1f Mev/s)@."
+          out wi.Stream.Trace_file.wi_events wi.wi_chunks wi.wi_bytes
+          wi.wi_seconds
+          (float_of_int wi.wi_events /. (wi.wi_seconds +. 1e-9) /. 1e6);
+        0
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Execute a benchmark once, streaming its event trace to a \
+             binary file (out-of-core: memory stays one chunk)")
+    Term.(const run $ bench_arg $ out $ chunk)
+
+let trace_stats_cmd =
+  let domains =
+    Arg.(
+      value
+      & opt int (Stream.Par_profile.default_domains ())
+      & info [ "domains"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the sharded profiler.")
+  in
+  let run name domains =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w ->
+        let now = Unix.gettimeofday in
+        let prog = Vm.Hir.lower w.Workloads.Workload.hir in
+        let trace, stats = Vm.Trace.record prog in
+        let mem_bytes = String.length (Marshal.to_string trace []) in
+        let path = Filename.temp_file "polyprof" ".trace" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        @@ fun () ->
+        let t0 = now () in
+        let disk_bytes = Stream.Trace_file.save ~stats trace path in
+        let t_enc = now () -. t0 in
+        let t0 = now () in
+        let decoded =
+          Stream.Source.with_file path (fun src ->
+              let n = ref 0 in
+              Stream.Source.iter src (fun _ -> incr n);
+              !n)
+        in
+        let t_dec = now () -. t0 in
+        let builder = Cfg.Cfg_builder.create prog in
+        Stream.Source.with_file path (fun src ->
+            Stream.Source.replay src (Cfg.Cfg_builder.callbacks builder));
+        let structure = Cfg.Cfg_builder.finalize builder in
+        let { Stream.Par_profile.result; par_stats } =
+          Stream.Par_profile.profile_file ~domains path prog ~structure
+        in
+        let mevs n s = float_of_int n /. (s +. 1e-9) /. 1e6 in
+        let mbs n s = float_of_int n /. (s +. 1e-9) /. (1024. *. 1024.) in
+        let ints a =
+          String.concat " "
+            (Array.to_list (Array.map string_of_int a))
+        in
+        Format.printf "== trace stats: %s ==@." name;
+        Format.printf "events          %d (%d control, %d exec)@."
+          (Vm.Trace.n_events trace) (Vm.Trace.n_control trace)
+          (Vm.Trace.n_exec trace);
+        Format.printf "bytes on disk   %d (in-memory %d, %.1fx smaller)@."
+          disk_bytes mem_bytes
+          (float_of_int mem_bytes /. float_of_int (max 1 disk_bytes));
+        Format.printf "encode          %.2f Mev/s, %.1f MB/s@."
+          (mevs (Vm.Trace.n_events trace) t_enc)
+          (mbs disk_bytes t_enc);
+        Format.printf "decode          %.2f Mev/s, %.1f MB/s (%d events)@."
+          (mevs decoded t_dec) (mbs disk_bytes t_dec) decoded;
+        Format.printf "== sharded profile (%d domains) ==@."
+          par_stats.Stream.Par_profile.domains;
+        Format.printf "domain events   [%s]@."
+          (ints par_stats.Stream.Par_profile.per_domain_events);
+        Format.printf "domain edges    [%s]@."
+          (ints par_stats.Stream.Par_profile.per_domain_dep_edges);
+        Format.printf "peak shadow     [%s]@."
+          (ints par_stats.Stream.Par_profile.per_domain_peak_shadow);
+        Format.printf "replay          %.3f s, merge %.3f s@."
+          par_stats.Stream.Par_profile.replay_seconds
+          par_stats.Stream.Par_profile.merge_seconds;
+        Format.printf "profile         %d statements, %d dependence \
+                       relations, %d dynamic edges@."
+          (List.length result.Ddg.Depprof.stmts)
+          (List.length result.Ddg.Depprof.deps)
+          result.Ddg.Depprof.total_dep_edges;
+        0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Record a benchmark's trace to disk, decode it back and \
+             profile it with the domain-sharded profiler, printing codec \
+             and scaling counters")
+    Term.(const run $ bench_arg $ domains)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Record, inspect and profile execution traces")
+    [ trace_cmd; trace_record_cmd; trace_stats_cmd ]
 
 let deps_cmd =
   let run name =

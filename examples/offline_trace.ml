@@ -14,10 +14,11 @@ let () =
     (Vm.Trace.n_events trace) (Vm.Trace.n_control trace)
     (Vm.Trace.n_exec trace) stats.Vm.Interp.dyn_instrs;
 
-  (* a trace can be saved and re-loaded *)
+  (* a trace can be saved and re-loaded (binary chunked codec) *)
   let path = Filename.temp_file "polyprof" ".trace" in
-  Vm.Trace.save trace path;
-  let trace = Vm.Trace.load path in
+  let bytes = Stream.Trace_file.save ~stats trace path in
+  Format.printf "saved %d events in %d bytes@." (Vm.Trace.n_events trace) bytes;
+  let trace, _ = Stream.Trace_file.load path in
   Sys.remove path;
 
   (* 2. Instrumentation I from the trace: control-structure recovery *)

@@ -21,6 +21,20 @@ let run_hir ?config ?max_steps ?args hir =
   let prog = Vm.Hir.lower hir in
   run_internal ?config ?max_steps ?args ~hir:(Some hir) prog
 
+(* Out-of-core pipeline: both instrumentation stages replayed from a
+   binary trace file, Instrumentation II sharded across domains. *)
+let run_trace_file ?config ?domains ~path prog =
+  let builder = Cfg.Cfg_builder.create prog in
+  Stream.Source.with_file path (fun src ->
+      Stream.Source.replay src (Cfg.Cfg_builder.callbacks builder));
+  let structure = Cfg.Cfg_builder.finalize builder in
+  let { Stream.Par_profile.result = profile; par_stats } =
+    Stream.Par_profile.profile_file ?config ?domains path prog ~structure
+  in
+  let analysis = Sched.Depanalysis.analyse prog profile in
+  let feedback = Sched.Feedback.make prog profile analysis in
+  ({ prog; hir = None; structure; profile; analysis; feedback }, par_stats)
+
 let metrics ?ld_src ?fusion_strategy ~name t =
   let ld_src =
     match ld_src with

@@ -45,6 +45,20 @@ val run_hir :
 (** Lower the HIR program and run the pipeline, keeping the HIR around
     as source for the static baseline and ld-src. *)
 
+val run_trace_file :
+  ?config:Ddg.Depprof.config ->
+  ?domains:int ->
+  path:string ->
+  Vm.Prog.t ->
+  t * Stream.Par_profile.stats
+(** Out-of-core pipeline over a recorded binary trace (written by
+    {!Stream.Trace_file.record_to_file}): Instrumentation I streams the
+    file once; Instrumentation II is sharded across [domains] workers
+    ({!Stream.Par_profile.profile_file}) and produces the same profile
+    as {!run} of the same execution.  The trace must carry a stats
+    trailer.
+    @raise Stream.Error on a corrupt or truncated trace. *)
+
 val metrics :
   ?ld_src:int -> ?fusion_strategy:Sched.Fusion.strategy -> name:string -> t
   -> Sched.Metrics.row

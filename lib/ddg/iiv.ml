@@ -83,35 +83,64 @@ let context t : context =
   let dims = List.rev_map (fun d -> List.rev d.dctx) t.outer in
   dims @ [ List.rev t.last ]
 
-(* Global intern table. *)
-let intern_tbl : (context, int) Hashtbl.t = Hashtbl.create 256
-let rev_intern : (int, context) Hashtbl.t = Hashtbl.create 256
-let next_intern = ref 0
+(* Intern table: domain-local, so parallel profiling domains replaying
+   the same event stream each intern contexts independently — and, since
+   they intern in identical stream order, assign identical ids.  The
+   worker that owns the schedule tree snapshots its table and the main
+   domain restores it, keeping [context_of_id] valid for the later
+   (main-domain) scheduling stages. *)
+type intern_state = {
+  tbl : (context, int) Hashtbl.t;
+  rev : (int, context) Hashtbl.t;
+  mutable next : int;
+}
+
+let intern_key =
+  Domain.DLS.new_key (fun () ->
+      { tbl = Hashtbl.create 256; rev = Hashtbl.create 256; next = 0 })
 
 let reset_intern_table () =
-  Hashtbl.reset intern_tbl;
-  Hashtbl.reset rev_intern;
-  next_intern := 0
+  let s = Domain.DLS.get intern_key in
+  Hashtbl.reset s.tbl;
+  Hashtbl.reset s.rev;
+  s.next <- 0
 
 let context_id t =
   if t.cached_ctx_id >= 0 then t.cached_ctx_id
   else begin
+    let s = Domain.DLS.get intern_key in
     let c = context t in
     let id =
-      match Hashtbl.find_opt intern_tbl c with
+      match Hashtbl.find_opt s.tbl c with
       | Some id -> id
       | None ->
-          let id = !next_intern in
-          incr next_intern;
-          Hashtbl.add intern_tbl c id;
-          Hashtbl.add rev_intern id c;
+          let id = s.next in
+          s.next <- s.next + 1;
+          Hashtbl.add s.tbl c id;
+          Hashtbl.add s.rev id c;
           id
     in
     t.cached_ctx_id <- id;
     id
   end
 
-let context_of_id id = Hashtbl.find rev_intern id
+let context_of_id id = Hashtbl.find (Domain.DLS.get intern_key).rev id
+
+let snapshot_intern_table () =
+  let s = Domain.DLS.get intern_key in
+  let a = Array.make s.next [] in
+  Hashtbl.iter (fun id c -> a.(id) <- c) s.rev;
+  a
+
+let restore_intern_table a =
+  reset_intern_table ();
+  let s = Domain.DLS.get intern_key in
+  Array.iteri
+    (fun id c ->
+      Hashtbl.replace s.tbl c id;
+      Hashtbl.replace s.rev id c)
+    a;
+  s.next <- Array.length a
 
 let default_name c = Format.asprintf "%a" pp_ctx_id c
 

@@ -1,0 +1,343 @@
+(* Binary trace wire format (version 1).
+
+   File layout:
+
+     +---------------------------+
+     | magic   "PLYPROF1"  8 B   |
+     | version u8          1 B   |
+     +---------------------------+
+     | chunk*                    |
+     +---------------------------+
+
+   Chunk layout:
+
+     kind     u8       'E' = events, 'S' = stats trailer
+     length   varint   payload byte count
+     crc32    u32 LE   CRC-32 of the payload bytes
+     payload  length bytes
+
+   An events payload is [varint n] followed by [n] encoded events.  All
+   per-chunk coding state — delta predictors and the two dictionaries —
+   resets at each chunk boundary, so a chunk decodes without looking at
+   any other chunk's payload; a truncated or corrupted file is detected
+   by the framing (missing bytes or CRC mismatch) and rejected with a
+   diagnostic instead of Marshal undefined behaviour.  The one piece of
+   cross-chunk state is the call depth, which is not stored at all: it
+   is re-derived by counting call/return events, exactly how the
+   interpreter produced it.
+
+   Event encoding: one tag byte (0 jump / 1 call / 2 return / 3 exec).
+   Control fields are small varints, with the jump/call function id
+   delta-coded against the previous function id.  Exec events carry a
+   flags byte (value/addr presence, value kind, operand-dictionary miss,
+   op class) and then:
+
+   - the sid, delta-coded with a zigzag varint (small strides in loops);
+   - the produced value: ints as zigzag varints; floats through a
+     per-chunk dictionary — a varint index (0 = literal follows, 8 B
+     little-endian IEEE bits, which also defines the next index) since
+     traced programs churn through few distinct float values compared
+     to the number of FP events;
+   - read/written addresses, delta-coded (array walks are strided);
+   - the register operand lists only on the first occurrence of the sid
+     in the chunk (flag bit 4): operands of a static instruction never
+     change, so later events reuse the dictionary entry. *)
+
+let magic = "PLYPROF1"
+let version = 1
+
+let kind_events = 'E'
+let kind_stats = 'S'
+
+let max_chunk_payload = 1 lsl 30
+(* sanity bound when decoding: a corrupt length field must not trigger a
+   gigantic allocation *)
+
+let max_float_dict = 1 lsl 20
+(* bound on dictionary entries per chunk, so decoder memory stays small
+   even for an adversarial maximum-size chunk *)
+
+(* ------------------------------------------------------------------ *)
+(* Coding state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type operands = { o_reads : Vm.Isa.reg list; o_writes : Vm.Isa.reg option }
+
+type delta = {
+  mutable prev_fid : int;
+  mutable prev_sid : int;
+  mutable prev_addr_r : int;
+  mutable prev_addr_w : int;
+  mutable depth : int;  (* derived call depth: persists across chunks *)
+  sid_ops : (int, operands) Hashtbl.t;  (* per-chunk operand dictionary *)
+  f_enc : (int64, int) Hashtbl.t;  (* encoder: float bits -> dict index *)
+  mutable f_dec : float array;  (* decoder: dict index -> float *)
+  mutable n_floats : int;
+}
+
+let delta () =
+  { prev_fid = 0;
+    prev_sid = 0;
+    prev_addr_r = 0;
+    prev_addr_w = 0;
+    depth = 0;
+    sid_ops = Hashtbl.create 256;
+    f_enc = Hashtbl.create 256;
+    f_dec = Array.make 256 0.0;
+    n_floats = 0 }
+
+let reset_delta d =
+  d.prev_fid <- 0;
+  d.prev_sid <- 0;
+  d.prev_addr_r <- 0;
+  d.prev_addr_w <- 0;
+  Hashtbl.reset d.sid_ops;
+  Hashtbl.reset d.f_enc;
+  d.n_floats <- 0
+(* [depth] deliberately survives: the call stack spans chunks *)
+
+(* ------------------------------------------------------------------ *)
+(* Op class <-> 3 bits                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cls_to_int = function
+  | Vm.Isa.Int_alu -> 0
+  | Vm.Isa.Fp_alu -> 1
+  | Vm.Isa.Mem_load -> 2
+  | Vm.Isa.Mem_store -> 3
+  | Vm.Isa.Other_op -> 4
+
+let cls_of_int = function
+  | 0 -> Vm.Isa.Int_alu
+  | 1 -> Vm.Isa.Fp_alu
+  | 2 -> Vm.Isa.Mem_load
+  | 3 -> Vm.Isa.Mem_store
+  | 4 -> Vm.Isa.Other_op
+  | n -> Error.fail "codec: invalid op class %d" n
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tag_jump = 0
+let tag_call = 1
+let tag_return = 2
+let tag_exec = 3
+
+let encode_control d b (c : Vm.Event.control) =
+  match c with
+  | Vm.Event.Jump { fid; src; dst } ->
+      Buffer.add_char b (Char.chr tag_jump);
+      Varint.put_s b (fid - d.prev_fid);
+      d.prev_fid <- fid;
+      Varint.put_u b src;
+      Varint.put_u b dst
+  | Vm.Event.Call { caller; site; callee; dst } ->
+      Buffer.add_char b (Char.chr tag_call);
+      Varint.put_s b (caller - d.prev_fid);
+      Varint.put_u b site;
+      Varint.put_u b callee;
+      Varint.put_u b dst;
+      d.prev_fid <- callee;
+      d.depth <- d.depth + 1
+  | Vm.Event.Return { callee; caller; dst } ->
+      Buffer.add_char b (Char.chr tag_return);
+      Varint.put_u b callee;
+      Varint.put_u b caller;
+      Varint.put_u b dst;
+      d.prev_fid <- caller;
+      d.depth <- d.depth - 1
+
+let encode_float d b f =
+  let bits = Int64.bits_of_float f in
+  match Hashtbl.find_opt d.f_enc bits with
+  | Some i -> Varint.put_u b (i + 1)
+  | None ->
+      Varint.put_u b 0;
+      Varint.put_f64 b f;
+      if d.n_floats < max_float_dict then begin
+        Hashtbl.add d.f_enc bits d.n_floats;
+        d.n_floats <- d.n_floats + 1
+      end
+
+let encode_exec d b (e : Vm.Event.exec) =
+  Buffer.add_char b (Char.chr tag_exec);
+  let ops_known =
+    match Hashtbl.find_opt d.sid_ops e.sid with
+    | Some o -> o.o_reads = e.reads && o.o_writes = e.writes
+    | None -> false
+  in
+  let flags = ref (cls_to_int e.cls lsl 5) in
+  (match e.value with
+  | Some (Vm.Event.I _) -> flags := !flags lor 0x01
+  | Some (Vm.Event.F _) -> flags := !flags lor 0x03
+  | None -> ());
+  if e.addr_read <> None then flags := !flags lor 0x04;
+  if e.addr_written <> None then flags := !flags lor 0x08;
+  if not ops_known then flags := !flags lor 0x10;
+  Buffer.add_char b (Char.chr !flags);
+  Varint.put_s b (e.sid - d.prev_sid);
+  d.prev_sid <- e.sid;
+  (match e.value with
+  | Some (Vm.Event.I v) -> Varint.put_s b v
+  | Some (Vm.Event.F f) -> encode_float d b f
+  | None -> ());
+  (match e.addr_read with
+  | Some a ->
+      Varint.put_s b (a - d.prev_addr_r);
+      d.prev_addr_r <- a
+  | None -> ());
+  (match e.addr_written with
+  | Some a ->
+      Varint.put_s b (a - d.prev_addr_w);
+      d.prev_addr_w <- a
+  | None -> ());
+  if not ops_known then begin
+    Varint.put_u b (List.length e.reads);
+    List.iter (fun r -> Varint.put_u b r) e.reads;
+    (match e.writes with
+    | Some r -> Varint.put_u b (r + 1)
+    | None -> Varint.put_u b 0);
+    Hashtbl.replace d.sid_ops e.sid { o_reads = e.reads; o_writes = e.writes }
+  end
+
+let encode d b = function
+  | Vm.Event.Control c -> encode_control d b c
+  | Vm.Event.Exec e -> encode_exec d b e
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let decode_float d (r : Varint.reader) =
+  match Varint.get_u r with
+  | 0 ->
+      let f = Varint.get_f64 r in
+      if d.n_floats < max_float_dict then begin
+        if d.n_floats = Array.length d.f_dec then begin
+          let bigger = Array.make (2 * Array.length d.f_dec) 0.0 in
+          Array.blit d.f_dec 0 bigger 0 d.n_floats;
+          d.f_dec <- bigger
+        end;
+        d.f_dec.(d.n_floats) <- f;
+        d.n_floats <- d.n_floats + 1
+      end;
+      f
+  | k ->
+      if k > d.n_floats then
+        Error.fail "codec: float dictionary index %d out of range (%d entries)"
+          k d.n_floats;
+      d.f_dec.(k - 1)
+
+let decode_one d (r : Varint.reader) : Vm.Event.t =
+  if Varint.eof r then Error.fail "codec: truncated event payload";
+  let tag = Char.code (Bytes.get r.Varint.buf r.Varint.pos) in
+  r.Varint.pos <- r.Varint.pos + 1;
+  if tag = tag_jump then begin
+    let fid = d.prev_fid + Varint.get_s r in
+    d.prev_fid <- fid;
+    let src = Varint.get_u r in
+    let dst = Varint.get_u r in
+    Vm.Event.Control (Vm.Event.Jump { fid; src; dst })
+  end
+  else if tag = tag_call then begin
+    let caller = d.prev_fid + Varint.get_s r in
+    let site = Varint.get_u r in
+    let callee = Varint.get_u r in
+    let dst = Varint.get_u r in
+    d.prev_fid <- callee;
+    d.depth <- d.depth + 1;
+    Vm.Event.Control (Vm.Event.Call { caller; site; callee; dst })
+  end
+  else if tag = tag_return then begin
+    let callee = Varint.get_u r in
+    let caller = Varint.get_u r in
+    let dst = Varint.get_u r in
+    d.prev_fid <- caller;
+    d.depth <- d.depth - 1;
+    Vm.Event.Control (Vm.Event.Return { callee; caller; dst })
+  end
+  else if tag = tag_exec then begin
+    if Varint.eof r then Error.fail "codec: truncated exec flags";
+    let flags = Char.code (Bytes.get r.Varint.buf r.Varint.pos) in
+    r.Varint.pos <- r.Varint.pos + 1;
+    let cls = cls_of_int (flags lsr 5) in
+    let sid = d.prev_sid + Varint.get_s r in
+    d.prev_sid <- sid;
+    let value =
+      if flags land 0x01 = 0 then None
+      else if flags land 0x02 <> 0 then Some (Vm.Event.F (decode_float d r))
+      else Some (Vm.Event.I (Varint.get_s r))
+    in
+    let addr_read =
+      if flags land 0x04 = 0 then None
+      else begin
+        let a = d.prev_addr_r + Varint.get_s r in
+        d.prev_addr_r <- a;
+        Some a
+      end
+    in
+    let addr_written =
+      if flags land 0x08 = 0 then None
+      else begin
+        let a = d.prev_addr_w + Varint.get_s r in
+        d.prev_addr_w <- a;
+        Some a
+      end
+    in
+    let { o_reads = reads; o_writes = writes } =
+      if flags land 0x10 <> 0 then begin
+        let nreads = Varint.get_u r in
+        if nreads > r.Varint.limit - r.Varint.pos then
+          Error.fail "codec: corrupt read-list length %d" nreads;
+        let reads = List.init nreads (fun _ -> Varint.get_u r) in
+        let writes =
+          match Varint.get_u r with 0 -> None | w -> Some (w - 1)
+        in
+        let o = { o_reads = reads; o_writes = writes } in
+        Hashtbl.replace d.sid_ops sid o;
+        o
+      end
+      else
+        match Hashtbl.find_opt d.sid_ops sid with
+        | Some o -> o
+        | None ->
+            Error.fail "codec: exec of sid %d before its operand-dictionary \
+                        entry" sid
+    in
+    Vm.Event.Exec
+      { sid; cls; value; addr_read; addr_written; reads; writes;
+        depth = d.depth }
+  end
+  else Error.fail "codec: unknown event tag %d" tag
+
+let decode_events d payload f =
+  let r = Varint.reader payload in
+  let n = Varint.get_u r in
+  reset_delta d;
+  for _ = 1 to n do
+    f (decode_one d r)
+  done;
+  if not (Varint.eof r) then
+    Error.fail "codec: %d trailing bytes after %d events"
+      (r.Varint.limit - r.Varint.pos) n;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Stats trailer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let encode_stats b (s : Vm.Interp.stats) =
+  Varint.put_u b s.Vm.Interp.dyn_instrs;
+  Varint.put_u b s.Vm.Interp.dyn_mem_ops;
+  Varint.put_u b s.Vm.Interp.dyn_fp_ops;
+  Varint.put_u b s.Vm.Interp.max_depth
+
+let decode_stats payload : Vm.Interp.stats =
+  let r = Varint.reader payload in
+  let dyn_instrs = Varint.get_u r in
+  let dyn_mem_ops = Varint.get_u r in
+  let dyn_fp_ops = Varint.get_u r in
+  let max_depth = Varint.get_u r in
+  if not (Varint.eof r) then Error.fail "codec: trailing bytes in stats chunk";
+  { Vm.Interp.dyn_instrs; dyn_mem_ops; dyn_fp_ops; max_depth }

@@ -1,0 +1,45 @@
+(** Versioned, self-describing binary event codec (wire format v1).
+
+    Events are packed with tag bytes, presence flags and
+    varint/zigzag-coded fields; program counters (sids) and memory
+    addresses are delta-coded against the previous event of the chunk,
+    float values and per-sid register operand lists go through
+    per-chunk dictionaries.  All per-chunk coding state resets at each
+    chunk boundary so chunk payloads decode independently.  Call-stack
+    depth is not stored at all: the decoder re-derives it by counting
+    call/return events (so a stream whose exec depths disagree with its
+    own control events is normalised to the derived depth).  See the
+    .ml header for the exact layout. *)
+
+val magic : string
+(** 8-byte file magic, ["PLYPROF1"]. *)
+
+val version : int
+
+val kind_events : char
+val kind_stats : char
+
+val max_chunk_payload : int
+(** Upper bound accepted for a chunk's declared payload length. *)
+
+(** Coding state, one per stream being encoded or decoded: per-chunk
+    predictors/dictionaries plus the cross-chunk derived call depth. *)
+type delta
+
+val delta : unit -> delta
+val reset_delta : delta -> unit
+(** Reset the per-chunk parts (predictors and dictionaries); the
+    derived call depth survives, since the call stack spans chunks. *)
+
+val encode : delta -> Buffer.t -> Vm.Event.t -> unit
+(** Append one event to a chunk payload under construction. *)
+
+val decode_events : delta -> Bytes.t -> (Vm.Event.t -> unit) -> int
+(** Decode a full events-chunk payload (resetting [delta]'s per-chunk
+    state first), calling the consumer on each event in order; returns
+    the event count.  Pass the same [delta] for every chunk of a
+    stream, in order, so the derived call depth carries over.
+    @raise Error.Error on any malformed payload. *)
+
+val encode_stats : Buffer.t -> Vm.Interp.stats -> unit
+val decode_stats : Bytes.t -> Vm.Interp.stats

@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE, the zlib/PNG polynomial) over bytes, used to seal each
+    trace chunk so truncation and corruption are detected instead of
+    silently decoded. *)
+
+val update : int32 -> Bytes.t -> pos:int -> len:int -> int32
+(** [update crc b ~pos ~len] extends a running checksum. Initial value: [0l]. *)
+
+val bytes : ?crc:int32 -> Bytes.t -> int32
+val string : ?crc:int32 -> string -> int32

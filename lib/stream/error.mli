@@ -1,0 +1,7 @@
+exception Error of string
+(** Typed error for every failure of the trace codec: bad magic,
+    unsupported version, truncated file, CRC mismatch, malformed
+    varint/event payload.  Re-exported as [Stream.Error]. *)
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Error} with a formatted diagnostic. *)

@@ -1,0 +1,116 @@
+(* Domain-parallel sharded dependence profiling.
+
+   Each of [domains] workers replays the complete event stream (its own
+   [Source] on the trace file, or a shared in-memory trace) as one
+   address shard of [Ddg.Depprof.Sharded]; the partials are then merged
+   — with the per-dependence folds themselves spread over a small domain
+   pool — into a result bit-identical to the sequential profiler. *)
+
+type stats = {
+  domains : int;
+  per_domain_events : int array;
+  per_domain_dep_edges : int array;
+  per_domain_peak_shadow : int array;
+  replay_seconds : float;
+  merge_seconds : float;
+}
+
+type outcome = { result : Ddg.Depprof.result; par_stats : stats }
+
+let default_domains () =
+  let n = Domain.recommended_domain_count () in
+  max 1 (min 4 n)
+
+(* Work-stealing map over independent pure thunks: an atomic cursor
+   hands out indices, [domains - 1] helper domains plus the caller drain
+   it.  Results land in distinct array slots; Domain.join publishes
+   them. *)
+let pool_map ~domains thunks =
+  let arr = Array.of_list thunks in
+  let n = Array.length arr in
+  if domains <= 1 || n <= 1 then List.map (fun f -> f ()) thunks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec drain () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (arr.(i) ());
+        drain ()
+      end
+    in
+    let helpers =
+      List.init (min domains n - 1) (fun _ -> Domain.spawn drain)
+    in
+    drain ();
+    List.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  end
+
+let finish ?config ~t0 ~t1 ~partials ~run_stats ~structure ~domains () =
+  let pmap = pool_map ~domains in
+  let result =
+    Ddg.Depprof.Sharded.merge ?config ~pmap ~partials ~run_stats ~structure ()
+  in
+  let t2 = Unix.gettimeofday () in
+  let per f = Array.of_list (List.map f partials) in
+  { result;
+    par_stats =
+      { domains;
+        per_domain_events = per (fun p -> p.Ddg.Depprof.Sharded.pt_events);
+        per_domain_dep_edges = per (fun p -> p.Ddg.Depprof.Sharded.pt_dep_edges);
+        per_domain_peak_shadow =
+          per (fun p -> p.Ddg.Depprof.Sharded.pt_peak_shadow);
+        replay_seconds = t1 -. t0;
+        merge_seconds = t2 -. t1 } }
+
+let run_workers ?config ~domains ~feed prog ~structure =
+  let t0 = Unix.gettimeofday () in
+  let partials =
+    if domains = 1 then
+      [ Ddg.Depprof.Sharded.worker ?config ~shard:0 ~nshards:1
+          ~feed:(feed 0) prog ~structure ]
+    else begin
+      let spawned =
+        List.init (domains - 1) (fun i ->
+            let shard = i + 1 in
+            Domain.spawn (fun () ->
+                Ddg.Depprof.Sharded.worker ?config ~shard ~nshards:domains
+                  ~feed:(feed shard) prog ~structure))
+      in
+      let lead =
+        Ddg.Depprof.Sharded.worker ?config ~shard:0 ~nshards:domains
+          ~feed:(feed 0) prog ~structure
+      in
+      lead :: List.map Domain.join spawned
+    end
+  in
+  (t0, Unix.gettimeofday (), partials)
+
+let profile_trace ?config ?domains trace ~run_stats prog ~structure =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let feed _shard cb = Vm.Trace.replay trace cb in
+  let t0, t1, partials = run_workers ?config ~domains ~feed prog ~structure in
+  finish ?config ~t0 ~t1 ~partials ~run_stats ~structure ~domains ()
+
+let profile_file ?config ?domains path prog ~structure =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  (* each worker streams its own Source: peak memory stays one chunk per
+     domain plus the live shadow/fold state *)
+  let stats = Array.make domains None in
+  let feed shard cb =
+    Source.with_file path (fun src ->
+        Source.replay src cb;
+        stats.(shard) <- Source.stats src)
+  in
+  let t0, t1, partials = run_workers ?config ~domains ~feed prog ~structure in
+  let run_stats =
+    match stats.(0) with
+    | Some s -> s
+    | None ->
+        Error.fail "%s: trace has no stats trailer; cannot profile (re-record \
+                    with Trace_file.record_to_file or Sink.close ~stats)"
+          path
+  in
+  finish ?config ~t0 ~t1 ~partials ~run_stats ~structure ~domains ()

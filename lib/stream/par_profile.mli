@@ -1,0 +1,43 @@
+(** Domain-parallel dependence profiling over a recorded trace.
+
+    [domains] workers each replay the full event stream as one shard of
+    {!Ddg.Depprof.Sharded} (shadow state split by address range), then
+    the buffered dependence edges are merged — folding in parallel on a
+    small domain pool — into a result {e bit-identical} to the
+    sequential {!Ddg.Depprof.profile} of the same execution. *)
+
+type stats = {
+  domains : int;
+  per_domain_events : int array;  (** events replayed by each worker *)
+  per_domain_dep_edges : int array;  (** dynamic edges each shard owned *)
+  per_domain_peak_shadow : int array;  (** peak live shadow entries *)
+  replay_seconds : float;  (** parallel replay wall time *)
+  merge_seconds : float;  (** deterministic merge + fold wall time *)
+}
+
+type outcome = { result : Ddg.Depprof.result; par_stats : stats }
+
+val default_domains : unit -> int
+(** [min 4 (Domain.recommended_domain_count ())], at least 1. *)
+
+val profile_file :
+  ?config:Ddg.Depprof.config ->
+  ?domains:int ->
+  string ->
+  Vm.Prog.t ->
+  structure:Cfg.Cfg_builder.structure ->
+  outcome
+(** Profile a binary trace file out-of-core: every domain streams its
+    own {!Source} on the file, so peak memory is bounded by shadow/fold
+    state, not trace length.  The file must carry a stats trailer.
+    @raise Error.Error on a corrupt trace or missing trailer. *)
+
+val profile_trace :
+  ?config:Ddg.Depprof.config ->
+  ?domains:int ->
+  Vm.Trace.t ->
+  run_stats:Vm.Interp.stats ->
+  Vm.Prog.t ->
+  structure:Cfg.Cfg_builder.structure ->
+  outcome
+(** Same over an in-memory trace (shared read-only across domains). *)

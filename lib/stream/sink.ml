@@ -1,0 +1,97 @@
+(* Bounded-memory streaming trace writer: events are encoded into an
+   in-memory chunk payload and flushed to the channel every time the
+   payload reaches the chunk budget.  Peak memory is one chunk,
+   independent of trace length. *)
+
+type t = {
+  oc : out_channel;
+  owned : bool;
+  chunk_bytes : int;
+  body : Buffer.t;
+  scratch : Buffer.t;
+  d : Codec.delta;
+  mutable chunk_events : int;
+  mutable n_events : int;
+  mutable n_chunks : int;
+  mutable bytes_written : int;
+  mutable closed : bool;
+}
+
+let default_chunk_bytes = 64 * 1024
+
+let to_channel ?(chunk_bytes = default_chunk_bytes) oc =
+  output_string oc Codec.magic;
+  output_char oc (Char.chr Codec.version);
+  { oc;
+    owned = false;
+    chunk_bytes = max 512 chunk_bytes;
+    body = Buffer.create (chunk_bytes + 256);
+    scratch = Buffer.create 32;
+    d = Codec.delta ();
+    chunk_events = 0;
+    n_events = 0;
+    n_chunks = 0;
+    bytes_written = String.length Codec.magic + 1;
+    closed = false }
+
+let create ?chunk_bytes path =
+  let oc = open_out_bin path in
+  { (to_channel ?chunk_bytes oc) with owned = true }
+
+let write_chunk t kind payload_head payload_body =
+  let crc = Crc32.string ~crc:(Crc32.string payload_head) payload_body in
+  output_char t.oc kind;
+  Buffer.clear t.scratch;
+  Varint.put_u t.scratch (String.length payload_head + String.length payload_body);
+  Buffer.output_buffer t.oc t.scratch;
+  let c = Int32.to_int (Int32.logand crc 0xFFFFFFFFl) land 0xFFFFFFFF in
+  for i = 0 to 3 do
+    output_char t.oc (Char.chr ((c lsr (8 * i)) land 0xFF))
+  done;
+  output_string t.oc payload_head;
+  output_string t.oc payload_body;
+  t.bytes_written <-
+    t.bytes_written + 1 + Buffer.length t.scratch + 4 + String.length payload_head
+    + String.length payload_body;
+  t.n_chunks <- t.n_chunks + 1
+
+let flush_events t =
+  if t.chunk_events > 0 then begin
+    Buffer.clear t.scratch;
+    Varint.put_u t.scratch t.chunk_events;
+    let head = Buffer.contents t.scratch in
+    write_chunk t Codec.kind_events head (Buffer.contents t.body);
+    Buffer.clear t.body;
+    Codec.reset_delta t.d;
+    t.chunk_events <- 0
+  end
+
+let event t ev =
+  if t.closed then invalid_arg "Stream.Sink.event: sink is closed";
+  Codec.encode t.d t.body ev;
+  t.chunk_events <- t.chunk_events + 1;
+  t.n_events <- t.n_events + 1;
+  if Buffer.length t.body >= t.chunk_bytes then flush_events t
+
+let callbacks t =
+  { Vm.Interp.on_control = (fun c -> event t (Vm.Event.Control c));
+    on_exec = (fun e -> event t (Vm.Event.Exec e)) }
+
+let close ?stats t =
+  if not t.closed then begin
+    flush_events t;
+    (match stats with
+    | Some s ->
+        Buffer.clear t.body;
+        Codec.encode_stats t.body s;
+        write_chunk t Codec.kind_stats "" (Buffer.contents t.body);
+        Buffer.clear t.body
+    | None -> ());
+    flush t.oc;
+    if t.owned then close_out t.oc;
+    t.closed <- true
+  end
+
+let n_events t = t.n_events
+let n_chunks t = t.n_chunks
+let bytes_written t = t.bytes_written

@@ -1,0 +1,33 @@
+(** Bounded-memory streaming trace writer.
+
+    Events are delta-encoded into a chunk buffer flushed every
+    [chunk_bytes] (default 64 KiB); memory use is one chunk regardless
+    of trace length.  The file starts with the codec magic and version;
+    {!close} optionally appends the run's {!Vm.Interp.stats} as a
+    trailer chunk so replay-based profiling can report them. *)
+
+type t
+
+val default_chunk_bytes : int
+
+val create : ?chunk_bytes:int -> string -> t
+(** Open [path] for writing and emit the header. *)
+
+val to_channel : ?chunk_bytes:int -> out_channel -> t
+(** Same on an already-open channel (not closed by {!close}). *)
+
+val event : t -> Vm.Event.t -> unit
+
+val callbacks : t -> Vm.Interp.callbacks
+(** Interpreter callbacks that stream every event into the sink —
+    out-of-core trace recording is
+    [Interp.run ~callbacks:(Sink.callbacks sink) prog]. *)
+
+val close : ?stats:Vm.Interp.stats -> t -> unit
+(** Flush the pending chunk, write the stats trailer if given, and close
+    the underlying file.  Idempotent. *)
+
+val n_events : t -> int
+val n_chunks : t -> int
+val bytes_written : t -> int
+(** Total file bytes produced so far (header + flushed chunks). *)

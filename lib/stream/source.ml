@@ -1,0 +1,108 @@
+(* Streaming trace reader: validates the header, then decodes chunk by
+   chunk — peak memory is one chunk payload, independent of trace
+   length.  Every framing defect (bad magic, unsupported version,
+   truncated chunk, CRC mismatch, malformed payload) raises
+   [Error.Error] with a diagnostic. *)
+
+type t = {
+  ic : in_channel;
+  path : string;
+  d : Codec.delta;
+  mutable stats : Vm.Interp.stats option;
+  mutable n_events : int;
+  mutable n_chunks : int;
+  mutable consumed : bool;
+}
+
+let read_exact ic n what =
+  try really_input_string ic n
+  with End_of_file -> Error.fail "trace: truncated file (%s)" what
+
+let get_u_ch ic what =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift > 62 then Error.fail "trace: overlong varint (%s)" what;
+    let c =
+      try Char.code (input_char ic)
+      with End_of_file -> Error.fail "trace: truncated file (%s)" what
+    in
+    v := !v lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if c land 0x80 = 0 then continue := false
+  done;
+  !v
+
+let open_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error e -> Error.fail "trace: cannot open %s: %s" path e
+  in
+  let m =
+    try really_input_string ic (String.length Codec.magic)
+    with End_of_file ->
+      close_in_noerr ic;
+      Error.fail "trace: %s: file too short for a trace header" path
+  in
+  if m <> Codec.magic then begin
+    close_in_noerr ic;
+    Error.fail "trace: %s: bad magic %S (not a polyprof binary trace)" path m
+  end;
+  let v =
+    try Char.code (input_char ic)
+    with End_of_file ->
+      close_in_noerr ic;
+      Error.fail "trace: %s: truncated file (missing version byte)" path
+  in
+  if v <> Codec.version then begin
+    close_in_noerr ic;
+    Error.fail "trace: %s: unsupported format version %d (expected %d)" path v
+      Codec.version
+  end;
+  { ic; path; d = Codec.delta (); stats = None; n_events = 0; n_chunks = 0;
+    consumed = false }
+
+let iter t f =
+  if t.consumed then invalid_arg "Stream.Source.iter: source already consumed";
+  t.consumed <- true;
+  let continue = ref true in
+  while !continue do
+    match input_char t.ic with
+    | exception End_of_file -> continue := false
+    | kind ->
+        let len = get_u_ch t.ic "chunk length" in
+        if len < 0 || len > Codec.max_chunk_payload then
+          Error.fail "trace: %s: corrupt chunk length %d" t.path len;
+        let crc_s = read_exact t.ic 4 "chunk checksum" in
+        let expect =
+          let x = ref 0l in
+          for i = 3 downto 0 do
+            x := Int32.logor (Int32.shift_left !x 8) (Int32.of_int (Char.code crc_s.[i]))
+          done;
+          !x
+        in
+        let payload = Bytes.of_string (read_exact t.ic len "chunk payload") in
+        let crc = Crc32.bytes payload in
+        if crc <> expect then
+          Error.fail "trace: %s: chunk %d CRC mismatch (stored %08lx, computed %08lx)"
+            t.path t.n_chunks expect crc;
+        t.n_chunks <- t.n_chunks + 1;
+        if kind = Codec.kind_events then
+          t.n_events <- t.n_events + Codec.decode_events t.d payload f
+        else if kind = Codec.kind_stats then t.stats <- Some (Codec.decode_stats payload)
+        else
+          Error.fail "trace: %s: unknown chunk kind %C" t.path kind
+  done
+
+let replay t (cb : Vm.Interp.callbacks) =
+  iter t (function
+    | Vm.Event.Control c -> cb.Vm.Interp.on_control c
+    | Vm.Event.Exec e -> cb.Vm.Interp.on_exec e)
+
+let stats t = t.stats
+let n_events t = t.n_events
+let n_chunks t = t.n_chunks
+let close t = close_in_noerr t.ic
+
+let with_file path f =
+  let t = open_file path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,32 @@
+(** Streaming trace reader: decodes a binary trace chunk-at-a-time, so
+    peak memory is one chunk payload regardless of trace length.
+
+    All failures — missing/bad magic, unsupported version, truncated
+    file, CRC mismatch, malformed payload — raise [Stream.Error] with a
+    diagnostic naming the file and defect. *)
+
+type t
+
+val open_file : string -> t
+(** Validate the header.  @raise Error.Error if [path] is not a
+    version-compatible polyprof binary trace. *)
+
+val iter : t -> (Vm.Event.t -> unit) -> unit
+(** Stream every remaining event, in order, through the consumer.
+    Single-shot: a source can only be iterated once. *)
+
+val replay : t -> Vm.Interp.callbacks -> unit
+(** {!iter} dispatched to instrumentation callbacks. *)
+
+val stats : t -> Vm.Interp.stats option
+(** The recorded run's interpreter stats, once the trailer chunk has
+    been read (i.e. after {!iter}/{!replay} completed). *)
+
+val n_events : t -> int
+(** Events decoded so far. *)
+
+val n_chunks : t -> int
+val close : t -> unit
+
+val with_file : string -> (t -> 'a) -> 'a
+(** [with_file path f] opens, applies [f], and always closes. *)

@@ -1,0 +1,24 @@
+(** Out-of-core binary trace codec and parallel sharded dependence
+    profiling.
+
+    Wire format (version 1): a [PLYPROF1] magic + version byte header
+    followed by self-contained chunks, each [kind | varint payload
+    length | CRC-32 | payload].  Event payloads delta-encode program
+    counters and addresses with zigzag varints; a trailer chunk carries
+    the run's interpreter stats.  {!Sink}/{!Source} write and read
+    traces chunk-at-a-time in bounded memory; {!Trace_file} is the
+    whole-trace convenience layer; {!Par_profile} shards the dependence
+    profiler across OCaml domains with a deterministic merge. *)
+
+exception Error = Error.Error
+(** Raised on malformed input: bad magic/version, truncation, CRC
+    mismatch, varint overflow.  The payload is a diagnostic naming the
+    file and defect. *)
+
+module Crc32 = Crc32
+module Varint = Varint
+module Codec = Codec
+module Sink = Sink
+module Source = Source
+module Trace_file = Trace_file
+module Par_profile = Par_profile

@@ -1,0 +1,48 @@
+(* Whole-trace persistence on top of the chunked codec: the replacement
+   for the old [Vm.Trace.save]/[load] Marshal path. *)
+
+type write_info = {
+  wi_events : int;
+  wi_chunks : int;
+  wi_bytes : int;
+  wi_stats : Vm.Interp.stats;
+  wi_seconds : float;
+}
+
+let save ?chunk_bytes ?stats trace path =
+  let sink = Sink.create ?chunk_bytes path in
+  Vm.Trace.iter (Sink.event sink) trace;
+  Sink.close ?stats sink;
+  Sink.bytes_written sink
+
+let record_to_file ?max_steps ?args ?chunk_bytes prog path =
+  let t0 = Unix.gettimeofday () in
+  let sink = Sink.create ?chunk_bytes path in
+  let stats =
+    match Vm.Interp.run ?max_steps ?args ~callbacks:(Sink.callbacks sink) prog with
+    | stats -> stats
+    | exception e ->
+        (* do not leave a truncated file behind on a trapped run *)
+        Sink.close sink;
+        (try Sys.remove path with Sys_error _ -> ());
+        raise e
+  in
+  Sink.close ~stats sink;
+  { wi_events = Sink.n_events sink;
+    wi_chunks = Sink.n_chunks sink;
+    wi_bytes = Sink.bytes_written sink;
+    wi_stats = stats;
+    wi_seconds = Unix.gettimeofday () -. t0 }
+
+let load path =
+  Source.with_file path (fun src ->
+      let buf = ref [] in
+      let n = ref 0 in
+      Source.iter src (fun ev ->
+          incr n;
+          buf := ev :: !buf);
+      let events =
+        Array.make !n (Vm.Event.Control (Vm.Event.Jump { fid = 0; src = 0; dst = 0 }))
+      in
+      List.iteri (fun i e -> events.(!n - 1 - i) <- e) !buf;
+      (Vm.Trace.of_events events, Source.stats src))

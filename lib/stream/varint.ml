@@ -1,0 +1,66 @@
+(* LEB128-style variable-length integers.  Unsigned varints carry 7 bits
+   per byte, high bit = continuation.  Signed values go through zigzag
+   so small negative deltas stay short.  OCaml ints are 63-bit here;
+   [put_u]/[get_u] treat the int as an unsigned 63-bit payload (the
+   zigzag layer is what gives negatives a meaning). *)
+
+type reader = { buf : Bytes.t; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?limit buf =
+  let limit = match limit with Some l -> l | None -> Bytes.length buf in
+  { buf; pos; limit }
+
+let eof r = r.pos >= r.limit
+
+let put_u b v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let lo = !v land 0x7f in
+    (* logical shift: the sign bit must not stick for the top chunk *)
+    v := (!v lsr 7) land max_int;
+    if !v = 0 then begin
+      Buffer.add_char b (Char.chr lo);
+      continue := false
+    end
+    else Buffer.add_char b (Char.chr (lo lor 0x80))
+  done
+
+let get_u r =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if r.pos >= r.limit then
+      Error.fail "varint: truncated at byte %d" r.pos;
+    if !shift > 62 then Error.fail "varint: overlong encoding at byte %d" r.pos;
+    let c = Char.code (Bytes.get r.buf r.pos) in
+    r.pos <- r.pos + 1;
+    v := !v lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if c land 0x80 = 0 then continue := false
+  done;
+  !v
+
+(* Zigzag: 0, -1, 1, -2, 2 ... -> 0, 1, 2, 3, 4 ... *)
+let zigzag v = (v lsl 1) lxor (v asr 62)
+let unzigzag v = (v lsr 1) lxor (- (v land 1))
+
+let put_s b v = put_u b (zigzag v)
+let get_s r = unzigzag (get_u r)
+
+let put_f64 b f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let get_f64 r =
+  if r.pos + 8 > r.limit then Error.fail "varint: truncated float at byte %d" r.pos;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor !bits
+        (Int64.shift_left (Int64.of_int (Char.code (Bytes.get r.buf (r.pos + i)))) (8 * i))
+  done;
+  r.pos <- r.pos + 8;
+  Int64.float_of_bits !bits

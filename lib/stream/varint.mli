@@ -1,0 +1,24 @@
+(** LEB128 varints + zigzag signed encoding + raw little-endian 64-bit
+    floats, over [Buffer] (write side) and a positioned byte reader
+    (read side).  All decode failures raise {!Error.Error}. *)
+
+type reader = { buf : Bytes.t; mutable pos : int; limit : int }
+
+val reader : ?pos:int -> ?limit:int -> Bytes.t -> reader
+val eof : reader -> bool
+
+val put_u : Buffer.t -> int -> unit
+(** Unsigned (non-negative) varint; 63-bit payload. *)
+
+val get_u : reader -> int
+
+val put_s : Buffer.t -> int -> unit
+(** Signed varint via zigzag — full native int range. *)
+
+val get_s : reader -> int
+
+val zigzag : int -> int
+val unzigzag : int -> int
+
+val put_f64 : Buffer.t -> float -> unit
+val get_f64 : reader -> float

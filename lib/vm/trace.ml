@@ -18,6 +18,10 @@ let record ?max_steps ?args prog =
   List.iteri (fun i e -> events.(!n - 1 - i) <- e) !buf;
   ({ events }, stats)
 
+let of_events events = { events }
+
+let iter f t = Array.iter f t.events
+
 let replay t (cb : Interp.callbacks) =
   Array.iter
     (function
@@ -33,22 +37,3 @@ let n_control t =
     0 t.events
 
 let n_exec t = n_events t - n_control t
-
-let magic = "polyprof-trace-v1"
-
-let save t path =
-  let oc = open_out_bin path in
-  output_string oc magic;
-  Marshal.to_channel oc t [];
-  close_out oc
-
-let load path =
-  let ic = open_in_bin path in
-  let m = really_input_string ic (String.length magic) in
-  if m <> magic then begin
-    close_in ic;
-    failwith "Trace.load: not a polyprof trace"
-  end;
-  let t : t = Marshal.from_channel ic in
-  close_in ic;
-  t

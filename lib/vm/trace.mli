@@ -4,12 +4,23 @@
     trace that later stages consume.  This module records the full event
     stream of a run into a compact in-memory buffer and replays it into
     any {!Interp.callbacks} consumer — so Instrumentation II can run
-    without re-executing the program, and traces can be saved/loaded. *)
+    without re-executing the program.
+
+    Persistence lives in the [Stream] library ([Stream.Trace_file],
+    [Stream.Sink]/[Stream.Source]): a versioned, CRC-framed,
+    delta-compressed binary codec that streams traces to and from disk
+    chunk-at-a-time.  The old in-module [Marshal] path is gone. *)
 
 type t
 
 val record : ?max_steps:int -> ?args:int list -> Prog.t -> t * Interp.stats
 (** Execute the program once, recording every control and exec event. *)
+
+val of_events : Event.t array -> t
+(** Wrap an already-decoded event stream (used by the codec loader). *)
+
+val iter : (Event.t -> unit) -> t -> unit
+(** Visit every event in order (used by the codec saver). *)
 
 val replay : t -> Interp.callbacks -> unit
 (** Deliver the recorded events, in order, to the callbacks. *)
@@ -17,9 +28,3 @@ val replay : t -> Interp.callbacks -> unit
 val n_events : t -> int
 val n_control : t -> int
 val n_exec : t -> int
-
-val save : t -> string -> unit
-(** Marshal the trace to a file. *)
-
-val load : string -> t
-(** @raise Failure if the file does not contain a trace. *)

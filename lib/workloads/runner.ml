@@ -11,10 +11,30 @@ type outcome = {
 let sched_budget = 1200
 
 let run ?(budget = sched_budget) ?(crosscheck = false) ?(xverify = false)
-    (w : Workload.t) =
+    ?out_of_core (w : Workload.t) =
   let prog = Vm.Hir.lower w.Workload.hir in
-  let structure = Cfg.Cfg_builder.run prog in
-  let profile = Ddg.Depprof.profile prog ~structure in
+  let structure, profile =
+    match out_of_core with
+    | None ->
+        let structure = Cfg.Cfg_builder.run prog in
+        (structure, Ddg.Depprof.profile prog ~structure)
+    | Some domains ->
+        (* record once to disk, then replay both instrumentation stages
+           from the file, Instrumentation II sharded across domains *)
+        let path = Filename.temp_file "polyprof" ".trace" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        @@ fun () ->
+        ignore (Stream.Trace_file.record_to_file prog path);
+        let builder = Cfg.Cfg_builder.create prog in
+        Stream.Source.with_file path (fun src ->
+            Stream.Source.replay src (Cfg.Cfg_builder.callbacks builder));
+        let structure = Cfg.Cfg_builder.finalize builder in
+        let o =
+          Stream.Par_profile.profile_file ~domains path prog ~structure
+        in
+        (structure, o.Stream.Par_profile.result)
+  in
   let lint =
     if crosscheck then
       Some

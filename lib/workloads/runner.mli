@@ -24,7 +24,14 @@ val sched_budget : int
     accepts before declaring a blow-up (streamcluster reproduces the
     paper's scheduler memory exhaustion by exceeding it). *)
 
-val run : ?budget:int -> ?crosscheck:bool -> ?xverify:bool -> Workload.t -> outcome
+val run :
+  ?budget:int -> ?crosscheck:bool -> ?xverify:bool -> ?out_of_core:int ->
+  Workload.t -> outcome
+(** [out_of_core = Some domains] records the execution to a temporary
+    binary trace file and replays both instrumentation stages from it,
+    Instrumentation II sharded over [domains] workers
+    ({!Stream.Par_profile}); the profile is identical to the default
+    in-process run. *)
 
 val run_all :
   ?budget:int -> ?crosscheck:bool -> ?xverify:bool -> unit ->

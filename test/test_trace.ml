@@ -58,20 +58,26 @@ let test_offline_profiling () =
 
 let test_save_load () =
   let prog = H.lower program in
-  let trace, _ = Vm.Trace.record prog in
+  let trace, stats = Vm.Trace.record prog in
   let path = Filename.temp_file "polyprof" ".trace" in
-  Vm.Trace.save trace path;
-  let loaded = Vm.Trace.load path in
+  let bytes = Stream.Trace_file.save ~stats trace path in
+  let loaded, loaded_stats = Stream.Trace_file.load path in
   Sys.remove path;
+  Alcotest.(check bool) "wrote some bytes" true (bytes > 0);
   Alcotest.(check int) "event count survives" (Vm.Trace.n_events trace)
-    (Vm.Trace.n_events loaded)
+    (Vm.Trace.n_events loaded);
+  Alcotest.(check bool) "stats trailer survives" true
+    (loaded_stats = Some stats)
 
 let test_load_rejects_garbage () =
   let path = Filename.temp_file "polyprof" ".trace" in
   let oc = open_out path in
   output_string oc "definitely not a trace file content";
   close_out oc;
-  let rejected = try ignore (Vm.Trace.load path); false with Failure _ -> true in
+  let rejected =
+    try ignore (Stream.Trace_file.load path); false
+    with Stream.Error _ -> true
+  in
   Sys.remove path;
   Alcotest.(check bool) "garbage rejected" true rejected
 

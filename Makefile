@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-json stream-smoke clean
+.PHONY: all check test bench bench-json stream-smoke staticdep-smoke clean
 
 all:
 	dune build @all
@@ -19,6 +19,12 @@ bench-json:
 # profile with 2 domains
 stream-smoke:
 	dune exec bin/polyprof_cli.exe -- trace stats backprop --domains 2
+
+# static dependence engine over the whole suite, validating every
+# pruned profile against its unpruned twin (exits nonzero on any
+# divergence)
+staticdep-smoke:
+	dune exec bin/polyprof_cli.exe -- staticdep --prune
 
 clean:
 	dune clean

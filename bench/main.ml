@@ -674,13 +674,146 @@ let stream_bench () =
     Format.printf "wrote BENCH_stream.json@."
   end
 
+(* ------------------------------------------------------------------ *)
+(* lib/analysis: static dependence engine + instrumentation pruning     *)
+(* ------------------------------------------------------------------ *)
+
+type staticdep_row = {
+  dr_name : string;
+  dr_acc_static : int;  (* live reachable static accesses *)
+  dr_acc_resolved : int;
+  dr_dyn_mem : int;  (* dynamic memory operations *)
+  dr_dyn_pruned : int;  (* of which skipped shadow tracking *)
+  dr_pairs : int;  (* static pair summaries *)
+  dr_full_s : float;  (* unpruned in-process profile *)
+  dr_pruned_s : float;  (* pruned in-process profile *)
+  dr_trace_full : int;  (* trace bytes, full addresses *)
+  dr_trace_elided : int;  (* trace bytes, resolved addresses elided *)
+  dr_equal : bool;  (* pruned+injected result == unpruned *)
+}
+
+let staticdep_bench () =
+  section
+    "lib/analysis: static polyhedral dependences + instrumentation pruning";
+  let now = Unix.gettimeofday in
+  let ws =
+    Workloads.Rodinia.all
+    @ [ Workloads.Gems_fdtd.workload ]
+    @ Workloads.Polybench.all
+  in
+  let rows =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        let prog = Vm.Hir.lower w.hir in
+        let sd = Analysis.Statdep.analyse prog in
+        let structure = Cfg.Cfg_builder.run prog in
+        let t0 = now () in
+        let full = Ddg.Depprof.profile prog ~structure in
+        let t_full = now () -. t0 in
+        let t0 = now () in
+        let pruned =
+          Ddg.Depprof.profile ~static_prune:sd.Analysis.Statdep.plan prog
+            ~structure
+        in
+        let t_pruned = now () -. t0 in
+        let path = Filename.temp_file "polyprof" ".trace" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        @@ fun () ->
+        let wi_full = Stream.Trace_file.record_to_file prog path in
+        let wi_elided =
+          Stream.Trace_file.record_to_file
+            ~elide:(Hashtbl.mem sd.Analysis.Statdep.pruned)
+            prog path
+        in
+        { dr_name = w.w_name;
+          dr_acc_static = sd.Analysis.Statdep.n_accesses;
+          dr_acc_resolved = Analysis.Statdep.n_resolved sd;
+          dr_dyn_mem = full.Ddg.Depprof.run_stats.Vm.Interp.dyn_mem_ops;
+          dr_dyn_pruned = pruned.Ddg.Depprof.statically_pruned;
+          dr_pairs = List.length sd.Analysis.Statdep.pairs;
+          dr_full_s = t_full;
+          dr_pruned_s = t_pruned;
+          dr_trace_full = wi_full.Stream.Trace_file.wi_bytes;
+          dr_trace_elided = wi_elided.Stream.Trace_file.wi_bytes;
+          dr_equal = Ddg.Depprof.equal_result full pruned })
+      ws
+  in
+  let pct p t = 100. *. float_of_int p /. float_of_int (max 1 t) in
+  let header =
+    [ "benchmark"; "static"; "resolved"; "dyn mem"; "pruned"; "pruned %";
+      "pairs"; "full s"; "pruned s"; "trace KB"; "elided KB"; "same" ]
+  in
+  let table =
+    List.map
+      (fun r ->
+        [ r.dr_name;
+          string_of_int r.dr_acc_static;
+          string_of_int r.dr_acc_resolved;
+          string_of_int r.dr_dyn_mem;
+          string_of_int r.dr_dyn_pruned;
+          Printf.sprintf "%.0f%%" (pct r.dr_dyn_pruned r.dr_dyn_mem);
+          string_of_int r.dr_pairs;
+          Printf.sprintf "%.4f" r.dr_full_s;
+          Printf.sprintf "%.4f" r.dr_pruned_s;
+          string_of_int (r.dr_trace_full / 1024);
+          string_of_int (r.dr_trace_elided / 1024);
+          (if r.dr_equal then "Y" else "N!") ])
+      rows
+  in
+  print_string (Report.Texttable.render ~header table);
+  let all_equal = List.for_all (fun r -> r.dr_equal) rows in
+  let majority =
+    List.length (List.filter (fun r -> pct r.dr_dyn_pruned r.dr_dyn_mem > 50.) rows)
+  in
+  let tot f = List.fold_left (fun a r -> a + f r) 0 rows in
+  Format.printf
+    "@.suite: %d/%d dynamic accesses pruned (%.0f%%), %d workloads above \
+     50%%, all pruned profiles identical to unpruned: %b@."
+    (tot (fun r -> r.dr_dyn_pruned))
+    (tot (fun r -> r.dr_dyn_mem))
+    (pct (tot (fun r -> r.dr_dyn_pruned)) (tot (fun r -> r.dr_dyn_mem)))
+    majority all_equal;
+  if not all_equal then failwith "staticdep: pruned profile diverged";
+  if !json_out then begin
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\n  \"suite_pruned_pct\": %.2f,\n  \
+          \"workloads_above_50pct\": %d,\n  \"all_identical\": %b,\n  \
+          \"workloads\": [\n"
+         (pct (tot (fun r -> r.dr_dyn_pruned)) (tot (fun r -> r.dr_dyn_mem)))
+         majority all_equal);
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"name\": %S, \"static_accesses\": %d, \"resolved\": %d, \
+              \"dyn_mem_ops\": %d, \"dyn_pruned\": %d, \"pruned_pct\": %.2f, \
+              \"pair_summaries\": %d, \"full_seconds\": %.4f, \
+              \"pruned_seconds\": %.4f, \"trace_bytes\": %d, \
+              \"elided_trace_bytes\": %d, \"identical\": %b}%s\n"
+             r.dr_name r.dr_acc_static r.dr_acc_resolved r.dr_dyn_mem
+             r.dr_dyn_pruned
+             (pct r.dr_dyn_pruned r.dr_dyn_mem)
+             r.dr_pairs r.dr_full_s r.dr_pruned_s r.dr_trace_full
+             r.dr_trace_elided r.dr_equal
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_staticdep.json" in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Format.printf "wrote BENCH_staticdep.json@."
+  end
+
 let () =
   let sections =
     [ ("table1-2", tables_1_and_2); ("table3", table_3); ("table4", table_4);
       ("table5", table_5); ("casestudy-verify", casestudy_verify);
       ("fig5", fig_5); ("fig7", fig_7);
       ("ablation", ablation); ("perf", perf); ("overhead", overhead);
-      ("stream", stream_bench) ]
+      ("stream", stream_bench); ("staticdep", staticdep_bench) ]
   in
   let argv = Array.to_list Sys.argv in
   json_out := List.mem "--json" argv;

@@ -15,19 +15,32 @@ let bench_arg =
   let doc = "Benchmark name (see $(b,polyprof list))." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
 
+let polybench_names =
+  List.map (fun (w : Workloads.Workload.t) -> w.w_name) Workloads.Polybench.all
+
 let find_workload name =
   try Ok (Workloads.Rodinia.find name)
-  with Invalid_argument _ ->
+  with Invalid_argument _ -> (
     if name = "gems_fdtd" then Ok Workloads.Gems_fdtd.workload
     else
-      Error
-        (Printf.sprintf "unknown benchmark %s (try: %s, gems_fdtd)" name
-           (String.concat ", " Workloads.Rodinia.names))
+      match
+        List.find_opt
+          (fun (w : Workloads.Workload.t) -> w.w_name = name)
+          Workloads.Polybench.all
+      with
+      | Some w -> Ok w
+      | None ->
+          Error
+            (Printf.sprintf "unknown benchmark %s (try: %s, gems_fdtd, %s)"
+               name
+               (String.concat ", " Workloads.Rodinia.names)
+               (String.concat ", " polybench_names)))
 
 let list_cmd =
   let run () =
     List.iter print_endline Workloads.Rodinia.names;
     print_endline "gems_fdtd";
+    List.iter print_endline polybench_names;
     0
   in
   Cmd.v (Cmd.info "list" ~doc:"List the available mini benchmarks")
@@ -346,6 +359,70 @@ let deps_cmd =
        ~doc:"Print the folded polyhedral dependence relations of a benchmark")
     Term.(const run $ bench_arg)
 
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit machine-readable JSON on stdout instead of text.")
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let lint_entry_json (e : Analysis.Lint.entry) =
+  let c sev = Analysis.Diag.count sev e.Analysis.Lint.e_diags in
+  let diags =
+    String.concat ", "
+      (List.map
+         (fun (d : Analysis.Diag.t) ->
+           Printf.sprintf
+             "{\"severity\": %s, \"code\": %s, \"fid\": %d, \"message\": %s}"
+             (json_string
+                (match d.severity with
+                | Analysis.Diag.Error -> "error"
+                | Analysis.Diag.Warning -> "warning"
+                | Analysis.Diag.Info -> "info"))
+             (json_string d.code) d.fid (json_string d.message))
+         e.Analysis.Lint.e_diags)
+  in
+  let xcheck =
+    match e.Analysis.Lint.e_xcheck with
+    | None -> "null"
+    | Some r ->
+        Printf.sprintf
+          "{\"facts\": %d, \"checked_edges\": %d, \"skipped_edges\": %d, \
+           \"skip_norange\": %d, \"skip_crossfn\": %d, \"poly_pairs\": %d, \
+           \"poly_checked\": %d, \"sim_must\": %d, \"sim_may\": %d, \
+           \"sim_skipped\": %b, \"violations\": %d}"
+          r.Analysis.Crosscheck.facts r.Analysis.Crosscheck.checked_edges
+          r.Analysis.Crosscheck.skipped_edges
+          r.Analysis.Crosscheck.skip_norange
+          r.Analysis.Crosscheck.skip_crossfn
+          r.Analysis.Crosscheck.poly_pairs
+          r.Analysis.Crosscheck.poly_checked r.Analysis.Crosscheck.sim_must
+          r.Analysis.Crosscheck.sim_may r.Analysis.Crosscheck.sim_skipped
+          (List.length r.Analysis.Crosscheck.violations)
+  in
+  Printf.sprintf
+    "{\"name\": %s, \"errors\": %d, \"warnings\": %d, \"infos\": %d, \
+     \"accesses\": %d, \"affine\": %d, \"ranged\": %d, \"passed\": %b, \
+     \"crosscheck\": %s, \"diags\": [%s]}"
+    (json_string e.Analysis.Lint.e_name)
+    (c Analysis.Diag.Error) (c Analysis.Diag.Warning) (c Analysis.Diag.Info)
+    e.Analysis.Lint.e_accesses e.Analysis.Lint.e_affine
+    e.Analysis.Lint.e_ranged (Analysis.Lint.passed e) xcheck diags
+
 let lint_cmd =
   let bench =
     let doc =
@@ -358,7 +435,7 @@ let lint_cmd =
     let prog = Vm.Hir.lower w.Workloads.Workload.hir in
     (prog, Analysis.Lint.analyse_profiled ~name:w.Workloads.Workload.w_name prog)
   in
-  let run bench =
+  let run bench json =
     match bench with
     | Some name -> (
         match find_workload name with
@@ -367,28 +444,189 @@ let lint_cmd =
             1
         | Ok w ->
             let prog, entry = lint_one w in
-            Format.printf "%a@." (Analysis.Lint.pp_entry ~prog ()) entry;
+            if json then print_endline (lint_entry_json entry)
+            else Format.printf "%a@." (Analysis.Lint.pp_entry ~prog ()) entry;
             if Analysis.Lint.passed entry then 0 else 1)
     | None ->
-        let ws = Workloads.Rodinia.all @ [ Workloads.Gems_fdtd.workload ] in
+        let ws =
+          Workloads.Rodinia.all
+          @ [ Workloads.Gems_fdtd.workload ]
+          @ Workloads.Polybench.all
+        in
         let entries = List.map (fun w -> snd (lint_one w)) ws in
-        print_string (Analysis.Lint.table entries);
         let failed = List.filter (fun e -> not (Analysis.Lint.passed e)) entries in
-        List.iter
-          (fun e ->
-            List.iter
-              (fun d -> Format.printf "%s: %s@." e.Analysis.Lint.e_name
-                   (Analysis.Diag.to_string d))
-              (Analysis.Lint.errors e))
-          failed;
+        if json then
+          Printf.printf "[\n%s\n]\n"
+            (String.concat ",\n"
+               (List.map (fun e -> "  " ^ lint_entry_json e) entries))
+        else begin
+          print_string (Analysis.Lint.table entries);
+          List.iter
+            (fun e ->
+              List.iter
+                (fun d -> Format.printf "%s: %s@." e.Analysis.Lint.e_name
+                     (Analysis.Diag.to_string d))
+                (Analysis.Lint.errors e))
+            failed
+        end;
         if failed = [] then 0 else 1
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Run the static analyses (bytecode verifier, definite-init, \
-             dead-store, affine classifier) and cross-check the profiled \
-             DDG against statically-proven independence")
-    Term.(const run $ bench)
+             dead-store, dead-code, redundant-load, affine classifier) and \
+             cross-check the profiled DDG against statically-proven \
+             independence")
+    Term.(const run $ bench $ json_flag)
+
+let staticdep_cmd =
+  let bench =
+    let doc =
+      "Benchmark to analyse verbosely; without it, print the summary table \
+       over every bundled benchmark."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let prune =
+    Arg.(
+      value & flag
+      & info [ "prune" ]
+          ~doc:
+            "Also profile the benchmark twice -- with and without the \
+             instrumentation-pruning plan -- and report the pruned dynamic \
+             access fraction and the equality of the two profiles.")
+  in
+  let analyse_one (w : Workloads.Workload.t) =
+    let prog = Vm.Hir.lower w.Workloads.Workload.hir in
+    (prog, Analysis.Statdep.analyse prog)
+  in
+  (* a diverging pruned profile turns into a nonzero exit code, so
+     `staticdep --prune` doubles as a self-validation smoke test *)
+  let prune_failures = ref 0 in
+  let prune_stats prog (sd : Analysis.Statdep.t) =
+    let structure = Cfg.Cfg_builder.run prog in
+    let base = Ddg.Depprof.profile prog ~structure in
+    let pruned =
+      Ddg.Depprof.profile prog ~structure ~static_prune:sd.Analysis.Statdep.plan
+    in
+    let mem = base.Ddg.Depprof.run_stats.Vm.Interp.dyn_mem_ops in
+    let equal = Ddg.Depprof.equal_result base pruned in
+    if not equal then incr prune_failures;
+    (pruned.Ddg.Depprof.statically_pruned, mem, equal)
+  in
+  let sd_json name (prog : Vm.Prog.t) (sd : Analysis.Statdep.t) prune =
+    let possible =
+      List.length
+        (List.filter
+           (fun (p : Analysis.Statdep.pair_dep) -> p.pd_possible)
+           sd.Analysis.Statdep.pairs)
+    in
+    let prune_part =
+      if not prune then ""
+      else
+        let pruned_dyn, mem, equal = prune_stats prog sd in
+        Printf.sprintf
+          ", \"pruned_dynamic\": %d, \"dyn_mem_ops\": %d, \
+           \"pruned_fraction\": %.4f, \"profiles_equal\": %b"
+          pruned_dyn mem
+          (float_of_int pruned_dyn /. float_of_int (max 1 mem))
+          equal
+    in
+    Printf.sprintf
+      "{\"name\": %s, \"accesses\": %d, \"resolved\": %d, \"pruned\": %d, \
+       \"prunable_regions\": [%s], \"pairs\": %d, \"possible_pairs\": %d%s}"
+      (json_string name) sd.Analysis.Statdep.n_accesses
+      (Analysis.Statdep.n_resolved sd)
+      (Analysis.Statdep.n_pruned sd)
+      (String.concat ", "
+         (List.map json_string (Analysis.Statdep.prunable_regions sd)))
+      (List.length sd.Analysis.Statdep.pairs)
+      possible prune_part
+  in
+  let run bench prune json =
+    match bench with
+    | Some name -> (
+        match find_workload name with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok w ->
+            let prog, sd = analyse_one w in
+            if json then print_endline (sd_json name prog sd prune)
+            else begin
+              Format.printf "%a@." Analysis.Statdep.pp sd;
+              if prune then begin
+                let pruned_dyn, mem, equal = prune_stats prog sd in
+                Format.printf
+                  "pruning: %d/%d dynamic accesses skipped shadow tracking \
+                   (%.1f%%), pruned profile %s the unpruned one@."
+                  pruned_dyn mem
+                  (100.0 *. float_of_int pruned_dyn
+                  /. float_of_int (max 1 mem))
+                  (if equal then "IDENTICAL to" else "DIFFERS from")
+              end
+            end;
+            if !prune_failures > 0 then 1 else 0)
+    | None ->
+        let ws =
+          Workloads.Rodinia.all
+          @ [ Workloads.Gems_fdtd.workload ]
+          @ Workloads.Polybench.all
+        in
+        if json then
+          Printf.printf "[\n%s\n]\n"
+            (String.concat ",\n"
+               (List.map
+                  (fun (w : Workloads.Workload.t) ->
+                    let prog, sd = analyse_one w in
+                    "  " ^ sd_json w.w_name prog sd prune)
+                  ws))
+        else begin
+          let header =
+            [ "Workload"; "Acc"; "Res"; "Pruned"; "Regions"; "Pairs"; "Dep" ]
+            @ if prune then [ "DynPruned"; "Equal" ] else []
+          in
+          let rows =
+            List.map
+              (fun (w : Workloads.Workload.t) ->
+                let prog, sd = analyse_one w in
+                let possible =
+                  List.length
+                    (List.filter
+                       (fun (p : Analysis.Statdep.pair_dep) -> p.pd_possible)
+                       sd.Analysis.Statdep.pairs)
+                in
+                [ w.w_name;
+                  string_of_int sd.Analysis.Statdep.n_accesses;
+                  string_of_int (Analysis.Statdep.n_resolved sd);
+                  string_of_int (Analysis.Statdep.n_pruned sd);
+                  string_of_int
+                    (List.length (Analysis.Statdep.prunable_regions sd));
+                  string_of_int (List.length sd.Analysis.Statdep.pairs);
+                  string_of_int possible ]
+                @
+                if prune then begin
+                  let pruned_dyn, mem, equal = prune_stats prog sd in
+                  [ Printf.sprintf "%d/%d (%.0f%%)" pruned_dyn mem
+                      (100.0 *. float_of_int pruned_dyn
+                      /. float_of_int (max 1 mem));
+                    (if equal then "Y" else "N!") ]
+                end
+                else [])
+              ws
+          in
+          print_string (Report.Texttable.render ~header rows)
+        end;
+        if !prune_failures > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "staticdep"
+       ~doc:"Run the static polyhedral dependence engine: points-to \
+             regions, resolved affine accesses, exact per-pair dependence \
+             polyhedra, and the instrumentation-pruning plan (with \
+             $(b,--prune), validate the pruned profile against the \
+             unpruned one)")
+    Term.(const run $ bench $ prune $ json_flag)
 
 let transform_cmd =
   let verify =
@@ -491,4 +729,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; flamegraph_cmd; table5_cmd; polly_cmd; trace_cmd;
-            deps_cmd; lint_cmd; transform_cmd; source_cmd ]))
+            deps_cmd; lint_cmd; staticdep_cmd; transform_cmd; source_cmd ]))

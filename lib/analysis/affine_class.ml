@@ -18,11 +18,19 @@ type call_site = {
   cs_args : int option array;
 }
 
+type loop_info = {
+  li_id : int;
+  li_header : int;
+  li_trip : int option;
+  li_counters : (Vm.Isa.reg * lin option * int) list;
+}
+
 type func_result = {
   fr_fid : int;
   fr_forest : Cfg.Loopnest.t;
   fr_accesses : access list;
   fr_calls : call_site list;
+  fr_loops : loop_info list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -111,6 +119,8 @@ type loop_ctx = {
   lc_inds : (Vm.Isa.reg * int) list;  (** induction register, step *)
   mutable lc_bounds : (Vm.Isa.reg * (int * int * int)) list;
       (** per bounded induction register: lo, tight hi, wide hi *)
+  mutable lc_trip : int option;
+      (** constant body-execution count, from the branching counter *)
 }
 
 let member lc bid = Hashtbl.mem lc.lc_members bid
@@ -336,7 +346,10 @@ let extract_bounds fs lc =
                     let step = List.assoc r lc.lc_inds in
                     let tight = max lo (hi - 1) in
                     let wide = max lo (hi - 1 + step) in
-                    lc.lc_bounds <- (r, (lo, tight, wide)) :: lc.lc_bounds
+                    lc.lc_bounds <- (r, (lo, tight, wide)) :: lc.lc_bounds;
+                    lc.lc_trip <-
+                      Some
+                        (if hi <= lo then 0 else (hi - lo + step - 1) / step)
                 | None -> ())
             | _ -> ())
         | None -> ())
@@ -397,7 +410,8 @@ let analyse_func ?(param_value = fun _ -> None) (prog : Vm.Prog.t) fid =
         let members = Hashtbl.create 16 in
         List.iter (fun b -> Hashtbl.replace members b ()) l.members;
         let inds = induction_candidates func members in
-        { lc_loop = l; lc_members = members; lc_inds = inds; lc_bounds = [] })
+        { lc_loop = l; lc_members = members; lc_inds = inds; lc_bounds = [];
+          lc_trip = None })
       (Cfg.Loopnest.all_loops forest)
   in
   let header_of = Hashtbl.create 8 in
@@ -467,10 +481,41 @@ let analyse_func ?(param_value = fun _ -> None) (prog : Vm.Prog.t) fid =
           (walk_block fs bid (in_state fs bid) ~on_access ~on_call)
       end)
     func.blocks;
+  (* per-loop summary: constant trip count (when the branching counter
+     has compile-time bounds) and every induction register's entry value
+     (joined over loop entries from outside the region) and step *)
+  let entry_lin lc r =
+    let init =
+      List.fold_left
+        (fun acc p ->
+          if member lc p then acc
+          else
+            match fs.block_out.(p) with
+            | Some out when r < Array.length out -> (
+                match acc with
+                | None -> Some out.(r)
+                | Some v -> Some (vjoin v out.(r)))
+            | _ -> acc)
+        None
+        (Cfg.Digraph.preds fs.graph lc.lc_loop.Cfg.Loopnest.header)
+    in
+    match init with Some (Lin l) -> Some l | _ -> None
+  in
+  let fr_loops =
+    List.map
+      (fun lc ->
+        { li_id = lc.lc_loop.Cfg.Loopnest.loop_id;
+          li_header = lc.lc_loop.Cfg.Loopnest.header;
+          li_trip = lc.lc_trip;
+          li_counters =
+            List.map (fun (r, step) -> (r, entry_lin lc r, step)) lc.lc_inds })
+      fs.loops
+  in
   { fr_fid = fid;
     fr_forest = forest;
     fr_accesses = List.rev !accesses;
-    fr_calls = List.rev !calls }
+    fr_calls = List.rev !calls;
+    fr_loops }
 
 let analyse_prog (prog : Vm.Prog.t) =
   let n = Array.length prog.funcs in

@@ -63,11 +63,26 @@ type call_site = {
   cs_args : int option array;  (** per argument: compile-time constant? *)
 }
 
+type loop_info = {
+  li_id : int;  (** {!Cfg.Loopnest.loop} id *)
+  li_header : int;
+  li_trip : int option;
+      (** compile-time body-execution count, from the branching counter
+          of the lowered for-loop idiom; [None] when bounds are not
+          constant *)
+  li_counters : (Vm.Isa.reg * lin option * int) list;
+      (** every induction register with its entry value (joined over
+          loop entries from outside the region, [None] when not affine)
+          and step; [Ind] symbols of this loop evaluate to
+          [entry + k*step] at body iteration [k] *)
+}
+
 type func_result = {
   fr_fid : int;
   fr_forest : Cfg.Loopnest.t;  (** of the static CFG *)
   fr_accesses : access list;  (** in (bid, idx) order, reachable code only *)
   fr_calls : call_site list;
+  fr_loops : loop_info list;  (** one summary per static loop *)
 }
 
 val n_affine : func_result -> int

@@ -11,8 +11,26 @@
     validation experiments.
 
     Only edges whose two endpoints both carry a static range are
-    checked; everything else is out of the static analysis' reach and is
-    counted in [skipped_edges]. *)
+    interval-checked; everything else is out of the interval analysis'
+    reach and counted in [skipped_edges], broken down by reason.
+
+    On top of the interval facts, the checker consults the exact
+    {!Statdep} engine:
+
+    - {e polyhedral may-check}: a dynamic edge between two
+      statically-resolved accesses must be allowed by the pair's
+      dependence polyhedra ([E-crosscheck-poly] otherwise) — exact
+      emptiness, not interval disjointness;
+    - {e simulation must/may check}: the plan's last-writer simulation
+      predicts the exact dependence set over pruned accesses; a dynamic
+      edge between pruned accesses the simulation does not produce, or
+      a simulated flow edge (between non-SCEV statements) missing from
+      the dynamic DDG, is an [E-crosscheck-sim] violation.  Skipped
+      when the profiled run's execution counts diverge from the plan
+      (truncated run) or nothing was pruned.
+
+    At most one violation is reported per (src, dst, kind) dependence,
+    the cheapest refutation first. *)
 
 type report = {
   n_accesses : int;  (** accesses seen by the static classifier *)
@@ -22,9 +40,24 @@ type report = {
           least one store, i.e. pairs a dependence could connect *)
   checked_edges : int;
       (** dynamic [Mem_dep]/[Out_dep] edges with both endpoints ranged *)
-  skipped_edges : int;  (** memory edges out of static reach *)
+  skipped_edges : int;  (** memory edges out of the interval facts' reach *)
+  skip_norange : int;
+      (** of which: an endpoint without a static range, same function *)
+  skip_crossfn : int;
+      (** of which: endpoints in different functions (and not both
+          ranged) *)
+  poly_pairs : int;  (** static pair summaries built by {!Statdep} *)
+  poly_checked : int;
+      (** dynamic edges with both endpoints resolved, checked against
+          dependence polyhedra *)
+  sim_must : int;  (** simulated flow edges verified present in the DDG *)
+  sim_may : int;  (** dynamic pruned-pair edges verified simulated *)
+  sim_skipped : bool;
+      (** the simulation comparison did not apply (nothing pruned, or
+          the dynamic execution counts diverge from the plan) *)
   violations : Diag.t list;
-      (** one [Error] ([E-crosscheck]) per edge contradicting a fact *)
+      (** one [Error] per contradicting dependence ([E-crosscheck],
+          [E-crosscheck-poly] or [E-crosscheck-sim]) *)
 }
 
 val check : Vm.Prog.t -> Ddg.Depprof.result -> report

@@ -7,10 +7,139 @@ type entry = {
   e_xcheck : Crosscheck.report option;
 }
 
+(* constant value of an operand at the end of [b], if decidable from the
+   block alone: an immediate, or a register whose last in-block
+   definition is a constant *)
+let const_at_term (b : Vm.Prog.block) (o : Vm.Isa.operand) =
+  match o with
+  | Vm.Isa.Imm c -> Some c
+  | Vm.Isa.Reg r ->
+      let n = Array.length b.instrs in
+      let rec scan i =
+        if i < 0 then None
+        else
+          match b.instrs.(i) with
+          | Vm.Isa.Const (d, c) when d = r -> Some c
+          | Vm.Isa.Mov (d, Vm.Isa.Imm c) when d = r -> Some c
+          | Vm.Isa.Mov (d, _)
+          | Vm.Isa.Const (d, _)
+          | Vm.Isa.Fconst (d, _)
+          | Vm.Isa.Bin (_, d, _, _)
+          | Vm.Isa.Fbin (_, d, _, _)
+          | Vm.Isa.Cmp (_, d, _, _)
+          | Vm.Isa.Fcmp (_, d, _, _)
+          | Vm.Isa.Load (d, _)
+          | Vm.Isa.Itof (d, _)
+          | Vm.Isa.Ftoi (d, _)
+            when d = r ->
+              None
+          | _ -> scan (i - 1)
+      in
+      scan (n - 1)
+
+(* W-deadcode: blocks reachable in the plain static CFG that become
+   unreachable once constant conditional branches follow only their
+   taken edge.  Disjoint from the verifier's [W-unreachable] (plain
+   unreachability), which already covers blocks no path reaches. *)
+let deadcode (prog : Vm.Prog.t) =
+  let diags = ref [] in
+  Array.iter
+    (fun (f : Vm.Prog.func) ->
+      let n = Array.length f.blocks in
+      if n > 0 then begin
+        let plain = Verify.reachable_blocks f in
+        let feasible = Array.make n false in
+        let rec visit bid =
+          if bid >= 0 && bid < n && not feasible.(bid) then begin
+            feasible.(bid) <- true;
+            let b = f.blocks.(bid) in
+            let succs =
+              match b.term with
+              | Vm.Isa.Br (cond, t, e) -> (
+                  match const_at_term b cond with
+                  | Some c -> [ (if c <> 0 then t else e) ]
+                  | None -> [ t; e ])
+              | t -> Insn.term_succs t
+            in
+            List.iter visit succs
+          end
+        in
+        visit 0;
+        Array.iteri
+          (fun bid (b : Vm.Prog.block) ->
+            if plain.(bid) && not feasible.(bid) then
+              let sid =
+                if Array.length b.instrs > 0 then
+                  Some (Vm.Isa.Sid.make ~fid:f.fid ~bid ~idx:0)
+                else None
+              in
+              diags :=
+                Diag.warning ?sid ~code:"W-deadcode" ~fid:f.fid
+                  (Printf.sprintf
+                     "block b%d is dead code: every path to it takes the \
+                      other side of a constant conditional branch"
+                     bid)
+                :: !diags)
+          f.blocks
+      end)
+    prog.funcs;
+  List.rev !diags
+
+(* W-redundant-load: within a block, the same address operand loaded
+   again with no intervening store (any store may alias) and the
+   address register not redefined — the second load can reuse the first
+   one's value *)
+let redundant_load (prog : Vm.Prog.t) =
+  let diags = ref [] in
+  Array.iter
+    (fun (f : Vm.Prog.func) ->
+      Array.iter
+        (fun (b : Vm.Prog.block) ->
+          let avail : (Vm.Isa.operand, Vm.Isa.Sid.t) Hashtbl.t =
+            Hashtbl.create 8
+          in
+          let kill_reg r =
+            if Hashtbl.mem avail (Vm.Isa.Reg r) then
+              Hashtbl.remove avail (Vm.Isa.Reg r)
+          in
+          Array.iteri
+            (fun idx i ->
+              let sid = Vm.Isa.Sid.make ~fid:f.fid ~bid:b.bid ~idx in
+              match i with
+              | Vm.Isa.Load (dst, a) ->
+                  (match Hashtbl.find_opt avail a with
+                  | Some first ->
+                      diags :=
+                        Diag.warning ~sid ~code:"W-redundant-load"
+                          ~fid:f.fid
+                          (Format.asprintf
+                             "address already loaded at %a with no \
+                              intervening store; reuse that value"
+                             Vm.Isa.Sid.pp first)
+                        :: !diags
+                  | None -> Hashtbl.replace avail a sid);
+                  kill_reg dst
+              | Vm.Isa.Store (_, _) -> Hashtbl.reset avail
+              | Vm.Isa.Const (d, _)
+              | Vm.Isa.Fconst (d, _)
+              | Vm.Isa.Mov (d, _)
+              | Vm.Isa.Bin (_, d, _, _)
+              | Vm.Isa.Fbin (_, d, _, _)
+              | Vm.Isa.Cmp (_, d, _, _)
+              | Vm.Isa.Fcmp (_, d, _, _)
+              | Vm.Isa.Itof (d, _)
+              | Vm.Isa.Ftoi (d, _) ->
+                  kill_reg d)
+            b.instrs)
+        f.blocks)
+    prog.funcs;
+  List.rev !diags
+
 let static_entry name (prog : Vm.Prog.t) =
   let diags =
     List.sort Diag.compare
-      (Verify.verify prog @ Initdef.check prog @ Liveness.check prog)
+      (Verify.verify prog @ Initdef.check prog @ Liveness.check prog
+      @ deadcode prog @ redundant_load prog)
   in
   let frs = Affine_class.analyse_prog prog in
   let accesses = ref 0 and affine = ref 0 and ranged = ref 0 in

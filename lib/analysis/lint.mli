@@ -19,8 +19,19 @@ type entry = {
       (** [None] when the program was not executed *)
 }
 
+val deadcode : Vm.Prog.t -> Diag.t list
+(** [W-deadcode]: blocks reachable in the plain static CFG that become
+    unreachable once constant conditional branches follow only their
+    taken edge.  Disjoint from the verifier's [W-unreachable]. *)
+
+val redundant_load : Vm.Prog.t -> Diag.t list
+(** [W-redundant-load]: the same address operand loaded twice within a
+    block with no intervening store and no redefinition of the address
+    register — the second load can reuse the first one's value. *)
+
 val analyse : ?name:string -> Vm.Prog.t -> entry
-(** Static passes only (no execution, no cross-check). *)
+(** Static passes only (no execution, no cross-check), including
+    {!deadcode} and {!redundant_load}. *)
 
 val crosschecked : entry -> Vm.Prog.t -> Ddg.Depprof.result -> entry
 (** Attach the cross-check of an already-computed profile (for callers

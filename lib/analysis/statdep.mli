@@ -1,0 +1,97 @@
+(** Static polyhedral dependence engine (the hybrid static/dynamic
+    analysis of the paper's §8 "reducing overhead" discussion, after
+    Klimov's exact polyhedral models for the affine parts of a
+    program).
+
+    For loop nests that {!Affine_class} proves fully affine with
+    compile-time bounds and {!Points_to} proves alias-free, the engine
+
+    - reconstructs the program's {e once-executed chain}: per function,
+      the blocks that execute exactly once per region entry (they
+      dominate the region's latch, or every function exit), with
+      constant-trip loops as nested items and single-call-site callees
+      inlined at their call position;
+    - {e resolves} every access in the chain whose address is affine in
+      the enclosing induction registers: the address becomes
+      [base + coefs . iteration-vector] with a concrete per-dimension
+      trip count, and its exact address range must lie within a single
+      named memory region;
+    - builds {e dependence polyhedra} for every resolved pair sharing a
+      region: iteration-domain bounds, address equality and
+      lexicographic-precedence disjuncts over [src ++ dst] iteration
+      space, decided exactly by {!Minisl.Lp.feasible} (rational
+      infeasibility implies integer independence), yielding
+      per-statement-pair direction/distance summaries in the
+      {!Sched.Depanalysis.dir} vocabulary and, for uniform dependences,
+      the may-dependence relation as a {!Minisl.Pmap};
+    - derives the {e instrumentation-pruning plan}: a region is
+      prunable when every access that may touch it (per points-to) is
+      resolved; accesses assigned to prunable regions can skip dynamic
+      shadow tracking ({!Ddg.Depprof} [~static_prune]) because the
+      plan's simulation re-derives their dependences exactly. *)
+
+type reason =
+  | R_nonaffine  (** address not affine / symbolic parameter *)
+  | R_loop  (** an enclosing loop is not a modelable constant-trip nest *)
+  | R_cond  (** block not executed once per region iteration *)
+  | R_call  (** unmodelable call-chain position (multi-site, recursive) *)
+  | R_range  (** address range not within a single named region *)
+  | R_header  (** access in a loop header (executes trip+1 times) *)
+
+val reason_code : reason -> string
+
+type resolved = {
+  r_sid : Vm.Isa.Sid.t;
+  r_store : bool;
+  r_fid : int;
+  r_region : int;  (** {!Points_to} region index *)
+  r_base : int;
+  r_coefs : int array;  (** address = base + coefs . coords *)
+  r_trips : int array;  (** per-dimension constant trip counts *)
+  r_sched : int array;
+      (** static schedule: position of each ancestor chain item within
+          its parent, plus the access's own position (length
+          [depth + 1]); lexicographic comparison of interleaved
+          (position, coordinate) vectors is the execution order *)
+  r_lo : int;
+  r_hi : int;  (** inclusive exact address range *)
+}
+
+type pair_dep = {
+  pd_src : Vm.Isa.Sid.t;  (** the (earlier) store *)
+  pd_dst : Vm.Isa.Sid.t;
+  pd_kind : Ddg.Depprof.dep_kind;  (** [Mem_dep] (flow) or [Out_dep] *)
+  pd_common : int;  (** common loop-nest prefix depth *)
+  pd_possible : bool;  (** some dependence polyhedron is non-empty *)
+  pd_dirs : Sched.Depanalysis.dir array;  (** per common dimension *)
+  pd_dists : int option array;  (** constant distance where provable *)
+  pd_rel : Minisl.Pmap.t option;
+      (** consumer -> producer may-relation, for uniform dependences *)
+}
+
+type t = {
+  prog : Vm.Prog.t;
+  pta : Points_to.t;
+  resolved : (Vm.Isa.Sid.t, resolved) Hashtbl.t;
+  unresolved : (Vm.Isa.Sid.t * bool * reason) list;
+      (** live, reachable, not resolved; sorted by sid *)
+  prunable : bool array;  (** per region index *)
+  pruned : (Vm.Isa.Sid.t, unit) Hashtbl.t;
+      (** resolved accesses assigned to prunable regions *)
+  pairs : pair_dep list;
+  plan : Ddg.Depprof.static_plan;  (** pruned accesses only *)
+  n_accesses : int;  (** reachable accesses in live functions *)
+}
+
+val analyse : Vm.Prog.t -> t
+
+val pair_of :
+  t -> src:Vm.Isa.Sid.t -> dst:Vm.Isa.Sid.t -> Ddg.Depprof.dep_kind ->
+  pair_dep option
+(** Lookup of the static verdict for an ordered resolved pair. *)
+
+val n_resolved : t -> int
+val n_pruned : t -> int
+val prunable_regions : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -57,10 +57,36 @@ type result = {
   deps : dep_info list;
   pruned_dep_edges : int;
   total_dep_edges : int;
+  statically_pruned : int;
   stree : Sched_tree.t;
   cct : Cct.t;
   run_stats : Vm.Interp.stats;
   structure : Cfg.Cfg_builder.structure;
+}
+
+(* A statically resolved access: its address is an affine function of
+   the dynamic iteration vector, [base + coefs . coords].  Produced by
+   [Analysis.Statdep], consumed here to skip shadow-memory tracking and
+   re-derive the skipped dependences by simulation at finalisation. *)
+type static_access = {
+  sa_sid : Vm.Isa.Sid.t;
+  sa_store : bool;
+  sa_base : int;
+  sa_coefs : int array;
+}
+
+type static_item =
+  | Sacc of static_access
+  | Sloop of { sl_trip : int; sl_body : static_item list }
+
+type static_plan = {
+  sp_items : static_item list;
+      (** the program's once-executed chain restricted to pruned
+          accesses: straight-line items and constant-trip loops, in
+          execution order *)
+  sp_resolved : (Vm.Isa.Sid.t, static_access) Hashtbl.t;
+      (** the pruned accesses, keyed by statement id *)
+  sp_mem_size : int;
 }
 
 type stmt_rec = {
@@ -140,6 +166,8 @@ type engine = {
   stmts : (stmt_key, stmt_rec) Hashtbl.t;
   deps : (dep_key, dep_rec) Hashtbl.t;  (* direct folding *)
   recs : (dep_key, rec_buf) Hashtbl.t;  (* buffered edges *)
+  e_prune : static_plan option;
+  mutable n_pruned : int;  (* accesses whose shadow tracking was skipped *)
   mutable seq : int;  (* exec events seen *)
   mutable peak_shadow : int;
 }
@@ -159,9 +187,13 @@ let owns_reg e reg = e.nshards = 1 || (reg land max_int) mod e.nshards = e.shard
 let owns_stmt e ~ctx ~sid =
   e.nshards = 1 || (((ctx * 31) + sid) land max_int) mod e.nshards = e.shard
 
-let make_engine ?(config = default_config) ?(buffer_deps = false) ~shard
-    ~nshards prog ~structure =
+let make_engine ?(config = default_config) ?(buffer_deps = false)
+    ?static_prune ~shard ~nshards prog ~structure =
   Iiv.reset_intern_table ();
+  (match static_prune with
+  | Some _ when nshards > 1 ->
+      invalid_arg "Depprof: static pruning is sequential-only"
+  | _ -> ());
   { e_config = config;
     e_prog = prog;
     e_structure = structure;
@@ -177,6 +209,8 @@ let make_engine ?(config = default_config) ?(buffer_deps = false) ~shard
     stmts = Hashtbl.create 512;
     deps = Hashtbl.create 512;
     recs = Hashtbl.create 512;
+    e_prune = static_prune;
+    n_pruned = 0;
     seq = 0;
     peak_shadow = 0 }
 
@@ -260,6 +294,15 @@ let on_exec e (ex : Vm.Event.exec) =
   let ctx = Iiv.context_id e.iiv in
   let coords = Iiv.coords e.iiv in
   let depth = Array.length coords in
+  (* statically pruned access?  shadow-memory tracking is skipped; the
+     dependences are injected from the static plan at finalisation *)
+  let pruned_acc =
+    match e.e_prune with
+    | None -> None
+    | Some p -> Hashtbl.find_opt p.sp_resolved ex.sid
+  in
+  let pruned = Option.is_some pruned_acc in
+  if pruned then e.n_pruned <- e.n_pruned + 1;
   if e.lead then begin
     Cct.add_weight e.e_cct 1;
     Sched_tree.record e.e_stree ~ctx_key:ctx (Iiv.context e.iiv) ~weight:1
@@ -281,9 +324,19 @@ let on_exec e (ex : Vm.Event.exec) =
         | Laddr -> (
             match (ex.addr_read, ex.addr_written) with
             | Some a, _ | None, Some a -> [| a |]
-            | None, None ->
-                r.poisoned <- true;
-                [| 0 |])
+            | None, None -> (
+                (* an elided trace drops the addresses of pruned
+                   accesses; the static plan reconstructs them *)
+                match pruned_acc with
+                | Some sa when Array.length sa.sa_coefs = depth ->
+                    let a = ref sa.sa_base in
+                    Array.iteri
+                      (fun i c -> a := !a + (c * coords.(i)))
+                      sa.sa_coefs;
+                    [| !a |]
+                | _ ->
+                    r.poisoned <- true;
+                    [| 0 |]))
       in
       Fold.Collector.add r.collector coords label
     end
@@ -332,13 +385,13 @@ let on_exec e (ex : Vm.Event.exec) =
           | None -> ())
       ex.reads;
   (match ex.addr_read with
-  | Some addr when owns_addr e addr -> (
+  | Some addr when (not pruned) && owns_addr e addr -> (
       match Shadow.last_mem_writer e.shadow ~addr with
       | Some o -> record_dep ~slot:nreads Mem_dep o
       | None -> ())
   | Some _ | None -> ());
   (match ex.addr_written with
-  | Some addr when owns_addr e addr ->
+  | Some addr when (not pruned) && owns_addr e addr ->
       (if config.track_waw then
          match Shadow.last_mem_writer e.shadow ~addr with
          | Some o -> record_dep ~slot:(nreads + 1) Out_dep o
@@ -387,9 +440,147 @@ let scev_set_of stmt_infos =
     stmt_infos;
   scev_set
 
+(* Re-derive the dependences the pruned run skipped, by simulating the
+   static plan: enumerate the resolved accesses in exact execution order
+   (the plan is the program's once-executed chain) with a dense
+   last-writer table over the address space, feeding every rediscovered
+   edge into a fresh collector exactly as the sequential engine would
+   have.  Contexts are recovered from the pruned run's own statement
+   table — each pruned statement executes under a unique dynamic
+   context by construction of the plan (single static call chain). *)
+let simulate_plan e (plan : static_plan) =
+  let config = e.e_config in
+  let ctx_of : (Vm.Isa.Sid.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let dyn_count : (Vm.Isa.Sid.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (sk : stmt_key) (r : stmt_rec) ->
+      if Hashtbl.mem plan.sp_resolved sk.s_sid then begin
+        (match Hashtbl.find_opt ctx_of sk.s_sid with
+        | Some c when c <> sk.s_ctx ->
+            failwith
+              "Depprof: pruned statement has multiple dynamic contexts"
+        | _ -> Hashtbl.replace ctx_of sk.s_sid sk.s_ctx);
+        Hashtbl.replace dyn_count sk.s_sid
+          (r.count
+          + Option.value ~default:0 (Hashtbl.find_opt dyn_count sk.s_sid))
+      end)
+    e.stmts;
+  let last : (Vm.Isa.Sid.t * int array) option array =
+    Array.make (max 1 plan.sp_mem_size) None
+  in
+  let sim_count : (Vm.Isa.Sid.t, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let deps : (dep_key, dep_rec) Hashtbl.t = Hashtbl.create 64 in
+  let n_edges = ref 0 in
+  let emit kind (src_sid, src_coords) dst_sid dst_coords =
+    match (Hashtbl.find_opt ctx_of src_sid, Hashtbl.find_opt ctx_of dst_sid)
+    with
+    | Some src_ctx, Some dst_ctx ->
+        let key = { src_sid; src_ctx; dst_sid; dst_ctx; kind } in
+        let dr =
+          match Hashtbl.find_opt deps key with
+          | Some dr -> dr
+          | None ->
+              let dr =
+                { d_collector =
+                    Fold.Collector.create ~cap:config.dep_cap
+                      ~max_pieces:config.max_pieces
+                      ~boundary_splits:config.boundary_splits
+                      ~per_component:config.per_component_labels
+                      ~dim:(Array.length dst_coords)
+                      ~label_dim:(Array.length src_coords) ();
+                  d_n = 0;
+                  dr_src_depth = Array.length src_coords;
+                  dr_dst_depth = Array.length dst_coords }
+              in
+              Hashtbl.add deps key dr;
+              dr
+        in
+        dr.d_n <- dr.d_n + 1;
+        incr n_edges;
+        Fold.Collector.add dr.d_collector dst_coords src_coords
+    | _ -> failwith "Depprof: pruned dependence endpoint never executed"
+  in
+  let coords_buf = ref (Array.make 16 0) in
+  let depth = ref 0 in
+  let rec go items =
+    List.iter
+      (fun item ->
+        match item with
+        | Sacc a ->
+            let d = !depth in
+            if Array.length a.sa_coefs <> d then
+              failwith "Depprof: static plan depth mismatch";
+            let coords = Array.sub !coords_buf 0 d in
+            let addr = ref a.sa_base in
+            Array.iteri (fun i c -> addr := !addr + (c * coords.(i))) a.sa_coefs;
+            let addr = !addr in
+            if addr < 0 || addr >= Array.length last then
+              failwith "Depprof: static plan address out of range";
+            (match Hashtbl.find_opt sim_count a.sa_sid with
+            | Some r -> incr r
+            | None -> Hashtbl.add sim_count a.sa_sid (ref 1));
+            if a.sa_store then begin
+              (if config.track_waw then
+                 match last.(addr) with
+                 | Some origin -> emit Out_dep origin a.sa_sid coords
+                 | None -> ());
+              last.(addr) <- Some (a.sa_sid, coords)
+            end
+            else begin
+              match last.(addr) with
+              | Some origin -> emit Mem_dep origin a.sa_sid coords
+              | None -> ()
+            end
+        | Sloop { sl_trip; sl_body } ->
+            let d = !depth in
+            if d >= Array.length !coords_buf then begin
+              let grown = Array.make (2 * Array.length !coords_buf) 0 in
+              Array.blit !coords_buf 0 grown 0 (Array.length !coords_buf);
+              coords_buf := grown
+            end;
+            depth := d + 1;
+            for k = 0 to sl_trip - 1 do
+              !coords_buf.(d) <- k;
+              go sl_body
+            done;
+            depth := d)
+      items
+  in
+  go plan.sp_items;
+  (* the simulation must cover exactly the executions the run saw:
+     a mismatch means a truncated run or an unsound plan — fail loudly
+     rather than inject wrong dependences *)
+  Hashtbl.iter
+    (fun sid n ->
+      let m = Option.value ~default:0 (Hashtbl.find_opt dyn_count sid) in
+      if !n <> m then
+        failwith
+          (Format.asprintf
+             "Depprof: static plan simulated %d executions of %a, the run \
+              performed %d (truncated run?)"
+             !n Vm.Isa.Sid.pp sid m))
+    sim_count;
+  Hashtbl.iter
+    (fun sid m ->
+      if m > 0 && not (Hashtbl.mem sim_count sid) then
+        failwith "Depprof: pruned access executed but absent from the plan")
+    dyn_count;
+  (deps, !n_edges)
+
 let finalize e ~run_stats =
   let stmt_infos = stmt_infos_of e in
   let scev_set = scev_set_of stmt_infos in
+  (* inject the dependences skipped by static pruning *)
+  (match e.e_prune with
+  | Some plan when plan.sp_items <> [] ->
+      let injected, _ = simulate_plan e plan in
+      Hashtbl.iter
+        (fun key dr ->
+          if Hashtbl.mem e.deps key then
+            failwith "Depprof: injected dependence collides with a dynamic one";
+          Hashtbl.add e.deps key dr)
+        injected
+  | _ -> ());
   (* SCEV pruning: drop dependence edges whose producer or consumer is a
      recognised scalar-evolution instruction *)
   let total_dep_edges = ref 0 in
@@ -419,13 +610,16 @@ let finalize e ~run_stats =
     deps = List.sort (fun a b -> compare a.dk b.dk) dep_infos;
     pruned_dep_edges = !pruned;
     total_dep_edges = !total_dep_edges;
+    statically_pruned = e.n_pruned;
     stree = e.e_stree;
     cct = e.e_cct;
     run_stats;
     structure = e.e_structure }
 
-let profile ?config ?max_steps ?args prog ~structure =
-  let e = make_engine ?config ~shard:0 ~nshards:1 prog ~structure in
+let profile ?config ?max_steps ?args ?static_prune prog ~structure =
+  let e =
+    make_engine ?config ?static_prune ~shard:0 ~nshards:1 prog ~structure
+  in
   start e;
   let run_stats =
     Vm.Interp.run ?max_steps ?args ~callbacks:(callbacks e) prog
@@ -433,12 +627,22 @@ let profile ?config ?max_steps ?args prog ~structure =
   finish e;
   finalize e ~run_stats
 
-let profile_replay ?config ~feed ~run_stats prog ~structure =
-  let e = make_engine ?config ~shard:0 ~nshards:1 prog ~structure in
+let profile_replay ?config ?static_prune ~feed ~run_stats prog ~structure =
+  let e =
+    make_engine ?config ?static_prune ~shard:0 ~nshards:1 prog ~structure
+  in
   start e;
   feed (callbacks e);
   finish e;
   finalize e ~run_stats
+
+(* The invariant behind [~static_prune]: modulo the schedule tree and
+   CCT (shared mutable structures, compared by their own consumers), a
+   pruned-and-injected profile is bit-identical to the unpruned one. *)
+let equal_result (a : result) (b : result) =
+  a.stmts = b.stmts && a.deps = b.deps
+  && a.pruned_dep_edges = b.pruned_dep_edges
+  && a.total_dep_edges = b.total_dep_edges
 
 (* ------------------------------------------------------------------ *)
 (* Sharded profiling: workers + deterministic merge                     *)
@@ -574,6 +778,7 @@ module Sharded = struct
       deps = List.sort (fun a b -> compare a.dk b.dk) dep_infos;
       pruned_dep_edges = !pruned;
       total_dep_edges = !total_dep_edges;
+      statically_pruned = 0;
       stree = lead.pt_stree;
       cct = lead.pt_cct;
       run_stats;

@@ -61,24 +61,64 @@ type result = {
   deps : dep_info list;  (** with SCEV-producer/consumer edges pruned *)
   pruned_dep_edges : int;  (** dynamic dep edges dropped by SCEV pruning *)
   total_dep_edges : int;
+  statically_pruned : int;
+      (** dynamic accesses whose shadow tracking was skipped under
+          [~static_prune] (0 otherwise) *)
   stree : Sched_tree.t;
   cct : Cct.t;
   run_stats : Vm.Interp.stats;
   structure : Cfg.Cfg_builder.structure;
 }
 
+(** {2 Static instrumentation pruning}
+
+    A {!static_plan} (built by [Analysis.Statdep]) describes the
+    accesses whose addresses the static polyhedral dependence engine
+    fully resolved: each is an affine function [base + coefs . coords]
+    of its dynamic iteration vector, and together they form the
+    program's {e once-executed chain} — straight-line items and
+    constant-trip loops in execution order, covering every access to
+    the prunable memory regions.  Profiling under [~static_prune]
+    skips shadow-memory tracking for these accesses and re-derives the
+    skipped dependences at finalisation by simulating the chain with a
+    last-writer table, feeding edges to collectors in the exact order
+    the sequential engine would have: the result is asserted (and
+    tested) bit-identical to an unpruned profile. *)
+
+type static_access = {
+  sa_sid : Vm.Isa.Sid.t;
+  sa_store : bool;
+  sa_base : int;
+  sa_coefs : int array;  (** dense, one per iteration-vector dimension *)
+}
+
+type static_item =
+  | Sacc of static_access
+  | Sloop of { sl_trip : int; sl_body : static_item list }
+
+type static_plan = {
+  sp_items : static_item list;
+  sp_resolved : (Vm.Isa.Sid.t, static_access) Hashtbl.t;
+  sp_mem_size : int;
+}
+
 val profile :
   ?config:config ->
   ?max_steps:int ->
   ?args:int list ->
+  ?static_prune:static_plan ->
   Vm.Prog.t ->
   structure:Cfg.Cfg_builder.structure ->
   result
 (** Run the program under Instrumentation II.  [structure] comes from a
-    previous Instrumentation-I run ({!Cfg.Cfg_builder.run}). *)
+    previous Instrumentation-I run ({!Cfg.Cfg_builder.run}).
+    [static_prune] requires a complete (non-truncated) run; the
+    injection asserts its simulated execution counts against the run's
+    and raises [Failure] on mismatch. *)
 
 val profile_replay :
   ?config:config ->
+  ?static_prune:static_plan ->
   feed:(Vm.Interp.callbacks -> unit) ->
   run_stats:Vm.Interp.stats ->
   Vm.Prog.t ->
@@ -88,7 +128,15 @@ val profile_replay :
     live run: [feed] must deliver the events of one execution (e.g.
     [Vm.Trace.replay trace] or a streaming [Stream.Source.replay]) and
     produces a result identical to {!profile} of the same execution;
-    [run_stats] are the recorded run's interpreter stats. *)
+    [run_stats] are the recorded run's interpreter stats.  Under
+    [static_prune] the trace may have been recorded with the addresses
+    of pruned accesses elided ({!Stream.Trace_file} [~elide]): the plan
+    reconstructs the statement address labels. *)
+
+val equal_result : result -> result -> bool
+(** Structural equality of the folded profile (statements, dependences,
+    edge counters) — the pruning-equivalence invariant.  The schedule
+    tree and CCT are not compared. *)
 
 type dep_point = {
   p_seq : int;  (** global exec-event number of the consumer *)

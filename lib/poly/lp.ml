@@ -261,3 +261,9 @@ let bounds p objective =
     | Infeasible -> invalid_arg "Lp.bounds: empty polyhedron"
   in
   (lo, hi)
+
+let feasible p =
+  match maximize p (Affine.const ~dim:(Polyhedron.dim p) Rat.zero) with
+  | Opt _ -> true
+  | Unbounded -> true
+  | Infeasible -> false

@@ -22,3 +22,9 @@ val bounds : Polyhedron.t -> Affine.t -> Rat.t option * Rat.t option
 (** [(min, max)]; [None] on the unbounded side.
     @raise Invalid_argument if the polyhedron is empty (check
     emptiness first, or use {!maximize} which reports [Infeasible]). *)
+
+val feasible : Polyhedron.t -> bool
+(** Rational feasibility via phase 1 alone (a constant objective):
+    exact emptiness of the rational relaxation, cheaper and more robust
+    than eliminating down with {!Polyhedron.is_empty} in high
+    dimension. *)

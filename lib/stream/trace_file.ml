@@ -15,11 +15,31 @@ let save ?chunk_bytes ?stats trace path =
   Sink.close ?stats sink;
   Sink.bytes_written sink
 
-let record_to_file ?max_steps ?args ?chunk_bytes prog path =
+let record_to_file ?max_steps ?args ?chunk_bytes ?elide prog path =
   let t0 = Unix.gettimeofday () in
   let sink = Sink.create ?chunk_bytes path in
+  let callbacks =
+    let cb = Sink.callbacks sink in
+    match elide with
+    | None -> cb
+    | Some pruned ->
+        (* drop the address fields of statically-resolved accesses: the
+           codec encodes the absence in the flags byte and the
+           static-prune replay reconstructs the addresses from the plan *)
+        { cb with
+          Vm.Interp.on_exec =
+            (fun e ->
+              if
+                (e.Vm.Event.addr_read <> None
+                || e.Vm.Event.addr_written <> None)
+                && pruned e.Vm.Event.sid
+              then
+                cb.Vm.Interp.on_exec
+                  { e with Vm.Event.addr_read = None; addr_written = None }
+              else cb.Vm.Interp.on_exec e) }
+  in
   let stats =
-    match Vm.Interp.run ?max_steps ?args ~callbacks:(Sink.callbacks sink) prog with
+    match Vm.Interp.run ?max_steps ?args ~callbacks prog with
     | stats -> stats
     | exception e ->
         (* do not leave a truncated file behind on a trapped run *)

@@ -15,12 +15,20 @@ val save : ?chunk_bytes:int -> ?stats:Vm.Interp.stats -> Vm.Trace.t -> string ->
     replay-based profiling reports as [run_stats]. *)
 
 val record_to_file :
-  ?max_steps:int -> ?args:int list -> ?chunk_bytes:int -> Vm.Prog.t -> string ->
+  ?max_steps:int -> ?args:int list -> ?chunk_bytes:int ->
+  ?elide:(Vm.Isa.Sid.t -> bool) -> Vm.Prog.t -> string ->
   write_info
 (** Execute the program, streaming every event straight to [path]
     (out-of-core: peak memory is one chunk, not the trace).  The stats
     trailer is always written.  If the run traps, the partial file is
-    removed and the trap re-raised. *)
+    removed and the trap re-raised.
+
+    [elide sid] marks statically-resolved accesses whose address fields
+    are dropped from the trace (the codec's presence flags make absent
+    addresses free): profiling such a trace requires the matching
+    {!Ddg.Depprof} [~static_prune] plan, which reconstructs the
+    addresses.  The elision shrinks the trace file — the measured
+    benefit of instrumentation pruning on the out-of-core path. *)
 
 val load : string -> Vm.Trace.t * Vm.Interp.stats option
 (** Decode a trace file into memory.

@@ -1,0 +1,177 @@
+(** Mini-PolyBench kernels: fully affine loop nests with compile-time
+    constant bounds and direct (non-indirect) subscripts.  Unlike most
+    mini-Rodinia programs these are completely static — the polyhedral
+    dependence engine ({!Analysis.Statdep}) resolves every access, so
+    they exercise the instrumentation-pruning fast path end to end
+    (close to 100% of dynamic memory accesses skip shadow tracking). *)
+
+open Vm.Hir.Dsl
+module H = Vm.Hir
+
+let loc = Workload.loc
+
+(* ------------------------------------------------------------------ *)
+(* gemm: C := A * B + C                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gemm =
+  let n = 12 in
+  let at r c = (r *! i n) +! c in
+  let kernel =
+    H.fundef "gemm_kernel" []
+      [ H.for_ ~loc:(loc "gemm.c" 10) "r" (i 0) (i n)
+          [ H.for_ ~loc:(loc "gemm.c" 11) "c" (i 0) (i n)
+              [ H.for_ ~loc:(loc "gemm.c" 13) "k" (i 0) (i n)
+                  [ H.Let ("a", "A".%[at (v "r") (v "k")]);
+                    H.Let ("b", "B".%[at (v "k") (v "c")]);
+                    H.Let ("acc", "C".%[at (v "r") (v "c")]);
+                    store "C" (at (v "r") (v "c"))
+                      (v "acc" +? (v "a" *? v "b")) ] ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "A" (n * n)
+      @ Workload.init_float_array "B" (n * n)
+      @ Workload.init_float_array "C" (n * n)
+      @ [ H.CallS (None, "gemm_kernel", []) ])
+  in
+  Workload.make ~name:"gemm" ~kernel:"gemm_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("A", n * n); ("B", n * n); ("C", n * n) ];
+      main = "main" }
+
+(* ------------------------------------------------------------------ *)
+(* jacobi_2d: alternating 5-point stencil sweeps                       *)
+(* ------------------------------------------------------------------ *)
+
+let jacobi_2d =
+  let n = 14 and steps = 3 in
+  let at r c = (r *! i n) +! c in
+  let sweep fname src dst line =
+    H.fundef fname []
+      [ H.for_ ~loc:(loc "jacobi-2d.c" line) "r" (i 1) (i (n - 1))
+          [ H.for_ ~loc:(loc "jacobi-2d.c" (line + 1)) "c" (i 1) (i (n - 1))
+              [ H.Let ("m", src.%[at (v "r") (v "c")]);
+                H.Let ("no", src.%[at (v "r" -! i 1) (v "c")]);
+                H.Let ("so", src.%[at (v "r" +! i 1) (v "c")]);
+                H.Let ("we", src.%[at (v "r") (v "c" -! i 1)]);
+                H.Let ("ea", src.%[at (v "r") (v "c" +! i 1)]);
+                store dst (at (v "r") (v "c"))
+                  (f 0.2
+                  *? (v "m" +? (v "no" +? (v "so" +? (v "we" +? v "ea")))))
+              ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "Aj" (n * n)
+      @ Workload.init_float_array "Bj" (n * n)
+      @ [ H.for_ ~loc:(loc "jacobi-2d.c" 30) "t" (i 0) (i steps)
+            [ H.CallS (None, "jacobi_step_ab", []);
+              H.CallS (None, "jacobi_step_ba", []) ] ])
+  in
+  Workload.make ~name:"jacobi_2d" ~kernel:"jacobi_step_ab"
+    { H.funs =
+        Workload.libm
+        @ [ sweep "jacobi_step_ab" "Aj" "Bj" 10;
+            sweep "jacobi_step_ba" "Bj" "Aj" 20;
+            main ];
+      arrays = [ ("Aj", n * n); ("Bj", n * n) ];
+      main = "main" }
+
+(* ------------------------------------------------------------------ *)
+(* atax: y := A^T (A x)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let atax =
+  let n = 20 in
+  let at r c = (r *! i n) +! c in
+  let kernel =
+    H.fundef "atax_kernel" []
+      [ H.for_ ~loc:(loc "atax.c" 8) "r0" (i 0) (i n)
+          [ store "yv" (v "r0") (f 0.0) ];
+        H.for_ ~loc:(loc "atax.c" 10) "r" (i 0) (i n)
+          [ H.Let ("tmp", f 0.0);
+            H.for_ ~loc:(loc "atax.c" 12) "c" (i 0) (i n)
+              [ H.Let ("a", "Ax".%[at (v "r") (v "c")]);
+                H.Let ("x", "xv".%[v "c"]);
+                H.Let ("tmp", v "tmp" +? (v "a" *? v "x")) ];
+            H.for_ ~loc:(loc "atax.c" 15) "c2" (i 0) (i n)
+              [ H.Let ("a2", "Ax".%[at (v "r") (v "c2")]);
+                H.Let ("y0", "yv".%[v "c2"]);
+                store "yv" (v "c2") (v "y0" +? (v "a2" *? v "tmp")) ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "Ax" (n * n)
+      @ Workload.init_float_array "xv" n
+      @ [ H.CallS (None, "atax_kernel", []) ])
+  in
+  Workload.make ~name:"atax" ~kernel:"atax_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("Ax", n * n); ("xv", n); ("yv", n) ];
+      main = "main" }
+
+(* ------------------------------------------------------------------ *)
+(* mvt: x1 += A y1;  x2 += A^T y2                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mvt =
+  let n = 24 in
+  let at r c = (r *! i n) +! c in
+  let kernel =
+    H.fundef "mvt_kernel" []
+      [ H.for_ ~loc:(loc "mvt.c" 8) "r" (i 0) (i n)
+          [ H.for_ ~loc:(loc "mvt.c" 9) "c" (i 0) (i n)
+              [ H.Let ("x1", "x1v".%[v "r"]);
+                H.Let ("a", "Am".%[at (v "r") (v "c")]);
+                H.Let ("y1", "y1v".%[v "c"]);
+                store "x1v" (v "r") (v "x1" +? (v "a" *? v "y1")) ] ];
+        H.for_ ~loc:(loc "mvt.c" 13) "r2" (i 0) (i n)
+          [ H.for_ ~loc:(loc "mvt.c" 14) "c2" (i 0) (i n)
+              [ H.Let ("x2", "x2v".%[v "r2"]);
+                H.Let ("a2", "Am".%[at (v "c2") (v "r2")]);
+                H.Let ("y2", "y2v".%[v "c2"]);
+                store "x2v" (v "r2") (v "x2" +? (v "a2" *? v "y2")) ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "Am" (n * n)
+      @ Workload.init_float_array "x1v" n
+      @ Workload.init_float_array "x2v" n
+      @ Workload.init_float_array "y1v" n
+      @ Workload.init_float_array "y2v" n
+      @ [ H.CallS (None, "mvt_kernel", []) ])
+  in
+  Workload.make ~name:"mvt" ~kernel:"mvt_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays =
+        [ ("Am", n * n); ("x1v", n); ("x2v", n); ("y1v", n); ("y2v", n) ];
+      main = "main" }
+
+(* ------------------------------------------------------------------ *)
+(* seidel_1d: in-place 3-point Gauss-Seidel sweeps (loop-carried)      *)
+(* ------------------------------------------------------------------ *)
+
+let seidel_1d =
+  let n = 40 and steps = 6 in
+  let kernel =
+    H.fundef "seidel_kernel" []
+      [ H.for_ ~loc:(loc "seidel-1d.c" 8) "t" (i 0) (i steps)
+          [ H.for_ ~loc:(loc "seidel-1d.c" 9) "j" (i 1) (i (n - 1))
+              [ H.Let ("w", "As".%[v "j" -! i 1]);
+                H.Let ("m", "As".%[v "j"]);
+                H.Let ("e", "As".%[v "j" +! i 1]);
+                store "As" (v "j")
+                  (f 0.33333 *? (v "w" +? (v "m" +? v "e"))) ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "As" n
+      @ [ H.CallS (None, "seidel_kernel", []) ])
+  in
+  Workload.make ~name:"seidel_1d" ~kernel:"seidel_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("As", n) ];
+      main = "main" }
+
+let all = [ gemm; jacobi_2d; atax; mvt; seidel_1d ]

@@ -11,29 +11,51 @@ type outcome = {
 let sched_budget = 1200
 
 let run ?(budget = sched_budget) ?(crosscheck = false) ?(xverify = false)
-    ?out_of_core (w : Workload.t) =
+    ?out_of_core ?(static_prune = false) (w : Workload.t) =
   let prog = Vm.Hir.lower w.Workload.hir in
+  let plan =
+    if static_prune then Some (Analysis.Statdep.analyse prog).Analysis.Statdep.plan
+    else None
+  in
   let structure, profile =
     match out_of_core with
     | None ->
         let structure = Cfg.Cfg_builder.run prog in
-        (structure, Ddg.Depprof.profile prog ~structure)
+        (structure, Ddg.Depprof.profile ?static_prune:plan prog ~structure)
     | Some domains ->
         (* record once to disk, then replay both instrumentation stages
-           from the file, Instrumentation II sharded across domains *)
+           from the file, Instrumentation II sharded across domains
+           (static pruning is sequential-only: with a plan, record an
+           address-elided trace and replay Instrumentation II in
+           process instead) *)
         let path = Filename.temp_file "polyprof" ".trace" in
         Fun.protect
           ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
         @@ fun () ->
-        ignore (Stream.Trace_file.record_to_file prog path);
+        let elide =
+          Option.map
+            (fun p sid -> Hashtbl.mem p.Ddg.Depprof.sp_resolved sid)
+            plan
+        in
+        let wi = Stream.Trace_file.record_to_file ?elide prog path in
         let builder = Cfg.Cfg_builder.create prog in
         Stream.Source.with_file path (fun src ->
             Stream.Source.replay src (Cfg.Cfg_builder.callbacks builder));
         let structure = Cfg.Cfg_builder.finalize builder in
-        let o =
-          Stream.Par_profile.profile_file ~domains path prog ~structure
+        let result =
+          match plan with
+          | None ->
+              let o =
+                Stream.Par_profile.profile_file ~domains path prog ~structure
+              in
+              o.Stream.Par_profile.result
+          | Some p ->
+              Stream.Source.with_file path (fun src ->
+                  Ddg.Depprof.profile_replay ~static_prune:p
+                    ~feed:(fun cb -> Stream.Source.replay src cb)
+                    ~run_stats:wi.Stream.Trace_file.wi_stats prog ~structure)
         in
-        (structure, o.Stream.Par_profile.result)
+        (structure, result)
   in
   let lint =
     if crosscheck then

@@ -26,12 +26,19 @@ val sched_budget : int
 
 val run :
   ?budget:int -> ?crosscheck:bool -> ?xverify:bool -> ?out_of_core:int ->
-  Workload.t -> outcome
+  ?static_prune:bool -> Workload.t -> outcome
 (** [out_of_core = Some domains] records the execution to a temporary
     binary trace file and replays both instrumentation stages from it,
     Instrumentation II sharded over [domains] workers
     ({!Stream.Par_profile}); the profile is identical to the default
-    in-process run. *)
+    in-process run.
+
+    [static_prune] runs {!Analysis.Statdep} first and profiles under
+    its instrumentation-pruning plan: statically-resolved accesses skip
+    shadow tracking (and, on the out-of-core path, their addresses are
+    elided from the trace file; sharding is then replaced by a
+    sequential replay, as pruning is sequential-only).  The profile is
+    asserted identical to the unpruned one by construction. *)
 
 val run_all :
   ?budget:int -> ?crosscheck:bool -> ?xverify:bool -> unit ->

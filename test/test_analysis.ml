@@ -390,11 +390,201 @@ let test_agreement_rodinia () =
            w.Workloads.Workload.kernel_func))
     [ "bfs"; "cfd" ]
 
+(* ---------------- new lint passes ---------------- *)
+
+let test_lint_deadcode () =
+  (* r0 := 0; br r0 ? b1 : b2 -- b1 is plain-reachable but the branch
+     condition is a known constant, so only b2 can execute *)
+  let prog =
+    raw_prog
+      [ blk 0 [ I.Const (0, 0) ] (I.Br (I.Reg 0, 1, 2));
+        blk 1 [ I.Const (1, 7) ] I.Halt;
+        blk 2 [] I.Halt ]
+  in
+  (match with_code "W-deadcode" (Analysis.Lint.deadcode prog) with
+  | [ d ] -> Alcotest.(check bool) "warning" false (Analysis.Diag.is_error d)
+  | ds -> Alcotest.failf "expected 1 W-deadcode, got %d" (List.length ds));
+  (* a genuinely two-way branch must stay quiet *)
+  let live =
+    raw_prog
+      [ blk 0 [ I.Load (0, I.Imm 0) ] (I.Br (I.Reg 0, 1, 2));
+        blk 1 [ I.Const (1, 7) ] I.Halt;
+        blk 2 [] I.Halt ]
+  in
+  Alcotest.(check int) "no false positive" 0
+    (List.length (Analysis.Lint.deadcode live))
+
+let test_lint_redundant_load () =
+  let dup =
+    raw_prog
+      [ blk 0
+          [ I.Load (0, I.Imm 5); I.Load (1, I.Imm 5) ]
+          I.Halt ]
+  in
+  (match with_code "W-redundant-load" (Analysis.Lint.redundant_load dup) with
+  | [ _ ] -> ()
+  | ds -> Alcotest.failf "expected 1 W-redundant-load, got %d" (List.length ds));
+  (* an intervening store (may alias) must reset availability, and a
+     redefinition of the address register must kill its entry *)
+  let quiet =
+    raw_prog
+      [ blk 0
+          [ I.Load (0, I.Imm 5); I.Store (I.Imm 5, I.Imm 1);
+            I.Load (1, I.Imm 5) ]
+          I.Halt;
+        blk 1 [] I.Halt ]
+  in
+  Alcotest.(check int) "store resets availability" 0
+    (List.length (Analysis.Lint.redundant_load quiet))
+
+(* ---------------- static dependence engine ---------------- *)
+
+let profile_both prog =
+  let sd = Analysis.Statdep.analyse prog in
+  let structure = Cfg.Cfg_builder.run prog in
+  let full = Ddg.Depprof.profile prog ~structure in
+  let pruned =
+    Ddg.Depprof.profile ~static_prune:sd.Analysis.Statdep.plan prog ~structure
+  in
+  (sd, full, pruned)
+
+let test_statdep_gemm () =
+  let w = Workloads.Polybench.gemm in
+  let prog = H.lower w.Workloads.Workload.hir in
+  let sd, full, pruned = profile_both prog in
+  Alcotest.(check int) "all 7 accesses resolved" 7
+    (Analysis.Statdep.n_resolved sd);
+  Alcotest.(check int) "all 7 accesses pruned" 7 (Analysis.Statdep.n_pruned sd);
+  Alcotest.(check (list string)) "all three arrays prunable" [ "A"; "B"; "C" ]
+    (Analysis.Statdep.prunable_regions sd);
+  Alcotest.(check bool) "every dynamic access skipped shadow tracking" true
+    (pruned.Ddg.Depprof.statically_pruned
+    = full.Ddg.Depprof.run_stats.Vm.Interp.dyn_mem_ops);
+  Alcotest.(check bool) "pruned profile identical" true
+    (Ddg.Depprof.equal_result full pruned);
+  (* the C-reduction carries the classic (=, =, <) dependence with a
+     provable distance of 0 on the two outer dimensions *)
+  let module D = Sched.Depanalysis in
+  Alcotest.(check bool) "found the (=, =, <) flow dependence" true
+    (List.exists
+       (fun (p : Analysis.Statdep.pair_dep) ->
+         p.pd_kind = Ddg.Depprof.Mem_dep && p.pd_possible
+         && p.pd_dirs = [| D.Dzero; D.Dzero; D.Dpos |]
+         && p.pd_dists = [| Some 0; Some 0; None |])
+       sd.Analysis.Statdep.pairs)
+
+let alias_hir : H.program =
+  (* the middle loop stores through a loaded index: the whole [data]
+     region must fall back to dynamic tracking, while [idx] (all-affine
+     accesses) stays statically prunable *)
+  { H.funs =
+      [ H.fundef "main" []
+          [ H.for_ "k" (i 0) (i 8)
+              [ store "idx" (v "k") ((v "k" *! i 3) %! i 8) ];
+            H.for_ "k" (i 0) (i 8) [ store "data" ("idx".%[v "k"]) (i 1) ];
+            H.for_ "k" (i 0) (i 8)
+              [ store "data" (v "k") ("data".%[v "k"] +! i 1) ] ] ];
+    arrays = [ ("idx", 8); ("data", 8) ];
+    main = "main" }
+
+let test_statdep_alias_fallback () =
+  let prog = H.lower alias_hir in
+  let sd, full, pruned = profile_both prog in
+  let prunable = Analysis.Statdep.prunable_regions sd in
+  Alcotest.(check bool) "idx region prunable" true (List.mem "idx" prunable);
+  Alcotest.(check bool) "aliased data region not prunable" false
+    (List.mem "data" prunable);
+  Alcotest.(check bool) "fallback still matches the full profile" true
+    (Ddg.Depprof.equal_result full pruned);
+  Alcotest.(check bool) "cross-check clean" true
+    (Analysis.Crosscheck.ok (Analysis.Crosscheck.check prog full))
+
+(* random fully-affine nests: the static engine must over-approximate
+   the dynamic DDG (cross-check clean) and pruning must never change
+   the profile *)
+let gen_affine_program seed : H.program =
+  let st = Random.State.make [| seed |] in
+  let rand n = Random.State.int st (max 1 n) in
+  let fresh = ref 0 in
+  let idx vars =
+    List.fold_left
+      (fun acc name ->
+        if rand 3 = 0 then acc else acc +! (v name *! i (1 + rand 3)))
+      (i (rand 8)) vars
+  in
+  let arr () = if rand 4 = 0 then "aux" else "data" in
+  let rec stmts vars depth budget =
+    if budget <= 0 then []
+    else
+      let s, cost = stmt vars depth budget in
+      s :: stmts vars depth (budget - cost)
+  and stmt vars depth budget =
+    match if depth >= 3 then rand 3 else rand 5 with
+    | 0 -> (store (arr ()) (idx vars) (i (rand 9)), 1)
+    | 1 ->
+        let a = arr () in
+        (store a (idx vars) (a.%[idx vars] +! i (1 + rand 4)), 1)
+    | 2 ->
+        incr fresh;
+        (H.Let (Printf.sprintf "t%d" !fresh, idx vars), 1)
+    | _ ->
+        incr fresh;
+        let name = Printf.sprintf "k%d" !fresh in
+        let body = stmts (name :: vars) (depth + 1) (budget / 2) in
+        let body =
+          if body = [] then [ store (arr ()) (idx (name :: vars)) (i 1) ]
+          else body
+        in
+        (H.for_ name (i 0) (i (2 + rand 5)) body, 2 + (budget / 2))
+  in
+  let body = stmts [] 0 10 in
+  let body = if body = [] then [ store "data" (i 0) (i 1) ] else body in
+  { H.funs = [ H.fundef "main" [] body ];
+    arrays = [ ("data", 64); ("aux", 64) ];
+    main = "main" }
+
+let check_affine_seed seed =
+  let prog = H.lower (gen_affine_program seed) in
+  let _, full, pruned = profile_both prog in
+  Analysis.Crosscheck.ok (Analysis.Crosscheck.check prog full)
+  && Ddg.Depprof.equal_result full pruned
+
+let prop_affine_static_sound =
+  QCheck.Test.make ~name:"static may-deps over-approximate dynamic DDG"
+    ~count:40
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    check_affine_seed
+
+let test_affine_fixed_seeds () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d" seed)
+        true (check_affine_seed seed))
+    [ 1; 7; 42; 1234; 99991 ]
+
+let test_prune_equal_all_workloads () =
+  let ws =
+    Workloads.Rodinia.all
+    @ [ Workloads.Gems_fdtd.workload ]
+    @ Workloads.Polybench.all
+  in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let prog = H.lower w.Workloads.Workload.hir in
+      let _, full, pruned = profile_both prog in
+      Alcotest.(check bool)
+        (w.w_name ^ ": pruned profile identical to unpruned") true
+        (Ddg.Depprof.equal_result full pruned))
+    ws
+
 (* ---------------- whole-workload sweep ---------------- *)
 
 let test_sweep_all_workloads () =
   let ws =
-    Workloads.Rodinia.all @ [ Workloads.Gems_fdtd.workload ]
+    Workloads.Rodinia.all
+    @ [ Workloads.Gems_fdtd.workload ]
+    @ Workloads.Polybench.all
   in
   List.iter
     (fun (w : Workloads.Workload.t) ->
@@ -458,6 +648,21 @@ let () =
       ( "crosscheck",
         [ Alcotest.test_case "clean profile + seeded violation" `Quick
             test_crosscheck_clean_and_seeded_violation ] );
+      ( "lints",
+        [ Alcotest.test_case "W-deadcode constant branch" `Quick
+            test_lint_deadcode;
+          Alcotest.test_case "W-redundant-load in block" `Quick
+            test_lint_redundant_load ] );
+      ( "statdep",
+        [ Alcotest.test_case "gemm fully resolved + (=,=,<)" `Quick
+            test_statdep_gemm;
+          Alcotest.test_case "seeded alias forces dynamic fallback" `Quick
+            test_statdep_alias_fallback;
+          Alcotest.test_case "affine fixed seeds" `Quick
+            test_affine_fixed_seeds;
+          QCheck_alcotest.to_alcotest prop_affine_static_sound;
+          Alcotest.test_case "pruned == unpruned on every workload" `Slow
+            test_prune_equal_all_workloads ] );
       ( "polly-agreement",
         [ Alcotest.test_case "figure 3" `Quick test_agreement_figure3;
           Alcotest.test_case "rodinia kernels" `Quick test_agreement_rodinia ] );

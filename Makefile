@@ -1,4 +1,5 @@
-.PHONY: all check test bench bench-json stream-smoke staticdep-smoke clean
+.PHONY: all check test bench bench-json stream-smoke staticdep-smoke \
+  obs-smoke clean
 
 all:
 	dune build @all
@@ -25,6 +26,15 @@ stream-smoke:
 # divergence)
 staticdep-smoke:
 	dune exec bin/polyprof_cli.exe -- staticdep --prune
+
+# self-profiling telemetry end to end: run one benchmark with spans and
+# metrics on, export + validate the Chrome trace, then reproduce the
+# paper's section-8 overhead table as JSON
+obs-smoke:
+	dune exec bin/polyprof_cli.exe -- telemetry backprop \
+	  --trace-json telemetry_backprop.json \
+	  --prom telemetry_backprop.prom --svg telemetry_backprop.svg
+	dune exec bin/polyprof_cli.exe -- overhead backprop --json
 
 clean:
 	dune clean

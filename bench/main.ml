@@ -392,12 +392,12 @@ let overhead () =
   List.iter
     (fun (w : Workloads.Workload.t) ->
       let prog = Vm.Hir.lower w.hir in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.monotonic () in
       let (_ : Vm.Interp.stats) = Vm.Interp.run prog in
-      let t1 = Unix.gettimeofday () in
+      let t1 = Obs.Clock.monotonic () in
       let structure = Cfg.Cfg_builder.run prog in
       let (_ : Ddg.Depprof.result) = Ddg.Depprof.profile prog ~structure in
-      let t2 = Unix.gettimeofday () in
+      let t2 = Obs.Clock.monotonic () in
       total_plain := !total_plain +. (t1 -. t0);
       total_prof := !total_prof +. (t2 -. t1))
     Workloads.Rodinia.all;
@@ -532,7 +532,7 @@ let stream_bench () =
   section
     (Printf.sprintf
        "lib/stream: binary trace codec + %d-domain sharded profiling" domains);
-  let now = Unix.gettimeofday in
+  let now = Obs.Clock.monotonic in
   let ws = Workloads.Rodinia.all @ [ Workloads.Gems_fdtd.workload ] in
   let rows =
     List.map
@@ -635,42 +635,40 @@ let stream_bench () =
        \"speedup\" here and real gains only with >= %d cores).@."
       cores domains domains domains;
   if !json_out then begin
-    let buf = Buffer.create 4096 in
-    let ints a =
-      String.concat ","
-        (Array.to_list (Array.map string_of_int a))
+    let open Obs.Json_emit in
+    let ints a = List (Array.to_list (Array.map (fun i -> Int i) a)) in
+    let doc =
+      Obj
+        (schema_header ~schema_version:1
+        @ [ ("domains", Int domains);
+            ("time_sliced", Bool (cores < domains));
+            ("chunk_bytes", Int Stream.Sink.default_chunk_bytes);
+            ( "workloads",
+              List
+                (List.map
+                   (fun r ->
+                     Obj
+                       [ ("name", Str r.sr_name);
+                         ("events", Int r.sr_events);
+                         ("disk_bytes", Int r.sr_disk_bytes);
+                         ("marshal_bytes", Int r.sr_marshal_bytes);
+                         ( "compression",
+                           Float
+                             (float_of_int r.sr_marshal_bytes
+                             /. float_of_int (max 1 r.sr_disk_bytes)) );
+                         ("encode_mb_s", Float (mbs r.sr_disk_bytes r.sr_enc_s));
+                         ("decode_mb_s", Float (mbs r.sr_disk_bytes r.sr_dec_s));
+                         ("seq_seconds", Float r.sr_seq_s);
+                         ("par_seconds", Float r.sr_par_s);
+                         ("speedup", Float (r.sr_seq_s /. (r.sr_par_s +. 1e-9)));
+                         ("replay_seconds", Float r.sr_replay_s);
+                         ("merge_seconds", Float r.sr_merge_s);
+                         ("domain_events", ints r.sr_domain_events);
+                         ("peak_shadow", ints r.sr_peak_shadow);
+                         ("identical", Bool r.sr_identical) ])
+                   rows) ) ])
     in
-    Buffer.add_string buf
-      (Printf.sprintf
-         "{\n  \"domains\": %d,\n  \"host_cores\": %d,\n  \
-          \"time_sliced\": %b,\n  \"chunk_bytes\": %d,\n  \"workloads\": [\n"
-         domains cores (cores < domains) Stream.Sink.default_chunk_bytes);
-    List.iteri
-      (fun i r ->
-        Buffer.add_string buf
-          (Printf.sprintf
-             "    {\"name\": %S, \"events\": %d, \"disk_bytes\": %d, \
-              \"marshal_bytes\": %d, \"compression\": %.2f, \
-              \"encode_mb_s\": %.2f, \"decode_mb_s\": %.2f, \
-              \"seq_seconds\": %.4f, \"par_seconds\": %.4f, \
-              \"speedup\": %.3f, \"replay_seconds\": %.4f, \
-              \"merge_seconds\": %.4f, \"domain_events\": [%s], \
-              \"peak_shadow\": [%s], \"identical\": %b}%s\n"
-             r.sr_name r.sr_events r.sr_disk_bytes r.sr_marshal_bytes
-             (float_of_int r.sr_marshal_bytes
-             /. float_of_int (max 1 r.sr_disk_bytes))
-             (mbs r.sr_disk_bytes r.sr_enc_s)
-             (mbs r.sr_disk_bytes r.sr_dec_s)
-             r.sr_seq_s r.sr_par_s
-             (r.sr_seq_s /. (r.sr_par_s +. 1e-9))
-             r.sr_replay_s r.sr_merge_s (ints r.sr_domain_events)
-             (ints r.sr_peak_shadow) r.sr_identical
-             (if i = List.length rows - 1 then "" else ",")))
-      rows;
-    Buffer.add_string buf "  ]\n}\n";
-    let oc = open_out "BENCH_stream.json" in
-    Buffer.output_buffer oc buf;
-    close_out oc;
+    write_file ~pretty:true "BENCH_stream.json" doc;
     Format.printf "wrote BENCH_stream.json@."
   end
 
@@ -695,7 +693,7 @@ type staticdep_row = {
 let staticdep_bench () =
   section
     "lib/analysis: static polyhedral dependences + instrumentation pruning";
-  let now = Unix.gettimeofday in
+  let now = Obs.Clock.monotonic in
   let ws =
     Workloads.Rodinia.all
     @ [ Workloads.Gems_fdtd.workload ]
@@ -776,35 +774,104 @@ let staticdep_bench () =
     majority all_equal;
   if not all_equal then failwith "staticdep: pruned profile diverged";
   if !json_out then begin
-    let buf = Buffer.create 4096 in
-    Buffer.add_string buf
-      (Printf.sprintf
-         "{\n  \"suite_pruned_pct\": %.2f,\n  \
-          \"workloads_above_50pct\": %d,\n  \"all_identical\": %b,\n  \
-          \"workloads\": [\n"
-         (pct (tot (fun r -> r.dr_dyn_pruned)) (tot (fun r -> r.dr_dyn_mem)))
-         majority all_equal);
-    List.iteri
-      (fun i r ->
-        Buffer.add_string buf
-          (Printf.sprintf
-             "    {\"name\": %S, \"static_accesses\": %d, \"resolved\": %d, \
-              \"dyn_mem_ops\": %d, \"dyn_pruned\": %d, \"pruned_pct\": %.2f, \
-              \"pair_summaries\": %d, \"full_seconds\": %.4f, \
-              \"pruned_seconds\": %.4f, \"trace_bytes\": %d, \
-              \"elided_trace_bytes\": %d, \"identical\": %b}%s\n"
-             r.dr_name r.dr_acc_static r.dr_acc_resolved r.dr_dyn_mem
-             r.dr_dyn_pruned
-             (pct r.dr_dyn_pruned r.dr_dyn_mem)
-             r.dr_pairs r.dr_full_s r.dr_pruned_s r.dr_trace_full
-             r.dr_trace_elided r.dr_equal
-             (if i = List.length rows - 1 then "" else ",")))
-      rows;
-    Buffer.add_string buf "  ]\n}\n";
-    let oc = open_out "BENCH_staticdep.json" in
-    Buffer.output_buffer oc buf;
-    close_out oc;
+    let open Obs.Json_emit in
+    let doc =
+      Obj
+        (schema_header ~schema_version:1
+        @ [ ( "suite_pruned_pct",
+              Float
+                (pct
+                   (tot (fun r -> r.dr_dyn_pruned))
+                   (tot (fun r -> r.dr_dyn_mem))) );
+            ("workloads_above_50pct", Int majority);
+            ("all_identical", Bool all_equal);
+            ( "workloads",
+              List
+                (List.map
+                   (fun r ->
+                     Obj
+                       [ ("name", Str r.dr_name);
+                         ("static_accesses", Int r.dr_acc_static);
+                         ("resolved", Int r.dr_acc_resolved);
+                         ("dyn_mem_ops", Int r.dr_dyn_mem);
+                         ("dyn_pruned", Int r.dr_dyn_pruned);
+                         ("pruned_pct", Float (pct r.dr_dyn_pruned r.dr_dyn_mem));
+                         ("pair_summaries", Int r.dr_pairs);
+                         ("full_seconds", Float r.dr_full_s);
+                         ("pruned_seconds", Float r.dr_pruned_s);
+                         ("trace_bytes", Int r.dr_trace_full);
+                         ("elided_trace_bytes", Int r.dr_trace_elided);
+                         ("identical", Bool r.dr_equal) ])
+                   rows) ) ])
+    in
+    write_file ~pretty:true "BENCH_staticdep.json" doc;
     Format.printf "wrote BENCH_staticdep.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
+(* lib/obs: self-profiling telemetry over the whole workload suite      *)
+(* ------------------------------------------------------------------ *)
+
+let obs_bench () =
+  section "lib/obs: self-profiling telemetry (spans + metrics)";
+  let ws =
+    [ Workloads.Backprop.workload; Workloads.Gems_fdtd.workload ]
+    @ Workloads.Polybench.all
+  in
+  Obs.Registry.enable ();
+  Obs.Metrics.reset ();
+  Obs.Span.reset ();
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      ignore (Workloads.Runner.run w))
+    ws;
+  let roots = Obs.Span.roots () in
+  let metrics = Obs.Metrics.snapshot () in
+  Obs.Registry.disable ();
+  print_string (Report.Obs_report.summary ~metrics roots);
+  if !json_out then begin
+    let open Obs.Json_emit in
+    let rec span_json (s : Obs.Span.t) =
+      Obj
+        [ ("name", Str s.Obs.Span.sp_name);
+          ("cat", Str s.Obs.Span.sp_cat);
+          ("dom", Int s.Obs.Span.sp_tid);
+          ("dur_ns", Int s.Obs.Span.sp_dur_ns);
+          ("minor_words", Float s.Obs.Span.sp_minor_words);
+          ("major_words", Float s.Obs.Span.sp_major_words);
+          ("top_heap_words", Int s.Obs.Span.sp_top_heap_words);
+          ("children", List (List.map span_json s.Obs.Span.sp_children)) ]
+    in
+    let metric_json ((d : Obs.Metrics.desc), v) =
+      let value =
+        match v with
+        | Obs.Metrics.Vint i -> [ ("value", Int i) ]
+        | Obs.Metrics.Vhist h ->
+            [ ("count", Int h.Obs.Metrics.h_count);
+              ("sum", Int h.Obs.Metrics.h_sum);
+              ("min", Int h.Obs.Metrics.h_min);
+              ("max", Int h.Obs.Metrics.h_max) ]
+      in
+      Obj
+        (( "name", Str d.Obs.Metrics.d_name )
+        :: ( "kind",
+             Str
+               (match d.Obs.Metrics.d_kind with
+               | Obs.Metrics.Counter -> "counter"
+               | Obs.Metrics.Gauge -> "gauge"
+               | Obs.Metrics.Histogram -> "histogram") )
+        :: value)
+    in
+    let doc =
+      Obj
+        (schema_header ~schema_version:1
+        @ [ ("workloads", List (List.map (fun (w : Workloads.Workload.t) ->
+                 Str w.Workloads.Workload.w_name) ws));
+            ("spans", List (List.map span_json roots));
+            ("metrics", List (List.map metric_json metrics)) ])
+    in
+    write_file ~pretty:true "BENCH_obs.json" doc;
+    Format.printf "wrote BENCH_obs.json@."
   end
 
 let () =
@@ -813,7 +880,8 @@ let () =
       ("table5", table_5); ("casestudy-verify", casestudy_verify);
       ("fig5", fig_5); ("fig7", fig_7);
       ("ablation", ablation); ("perf", perf); ("overhead", overhead);
-      ("stream", stream_bench); ("staticdep", staticdep_bench) ]
+      ("stream", stream_bench); ("staticdep", staticdep_bench);
+      ("obs", obs_bench) ]
   in
   let argv = Array.to_list Sys.argv in
   json_out := List.mem "--json" argv;

@@ -15,6 +15,30 @@ let bench_arg =
   let doc = "Benchmark name (see $(b,polyprof list))." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
 
+(* --telemetry / POLYPROF_TELEMETRY: run the command with the
+   self-profiling subsystem on and print its span/metric summary on
+   stderr when the command finishes *)
+let telemetry_flag =
+  let env = Cmd.Env.info Obs.Registry.env_var in
+  Arg.(
+    value & flag
+    & info [ "telemetry" ] ~env
+        ~doc:
+          "Enable the self-profiling telemetry subsystem; on exit, print \
+           the span and metric summary on stderr.")
+
+let with_telemetry enabled f =
+  if not (enabled || Obs.Registry.enabled ()) then f ()
+  else begin
+    Obs.Registry.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        let roots = Obs.Span.roots () in
+        let metrics = Obs.Metrics.snapshot () in
+        prerr_string (Report.Obs_report.summary ~metrics roots))
+      f
+  end
+
 let polybench_names =
   List.map (fun (w : Workloads.Workload.t) -> w.w_name) Workloads.Polybench.all
 
@@ -47,7 +71,8 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name =
+  let run name telemetry =
+    with_telemetry telemetry @@ fun () ->
     match find_workload name with
     | Error e ->
         prerr_endline e;
@@ -74,7 +99,7 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Run the full POLY-PROF pipeline on a benchmark and print its \
              feedback")
-    Term.(const run $ bench_arg)
+    Term.(const run $ bench_arg $ telemetry_flag)
 
 let flamegraph_cmd =
   let out =
@@ -83,7 +108,8 @@ let flamegraph_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write an SVG flame graph.")
   in
-  let run name out =
+  let run name out telemetry =
+    with_telemetry telemetry @@ fun () ->
     match find_workload name with
     | Error e ->
         prerr_endline e;
@@ -105,7 +131,7 @@ let flamegraph_cmd =
   Cmd.v
     (Cmd.info "flamegraph"
        ~doc:"Render the dynamic schedule tree as a flame graph")
-    Term.(const run $ bench_arg $ out)
+    Term.(const run $ bench_arg $ out $ telemetry_flag)
 
 let table5_cmd =
   let paper =
@@ -113,7 +139,8 @@ let table5_cmd =
       value & flag
       & info [ "paper" ] ~doc:"Interleave the paper's reference rows.")
   in
-  let run paper =
+  let run paper telemetry =
+    with_telemetry telemetry @@ fun () ->
     let results = Workloads.Runner.run_all () in
     print_string
       (if paper then Workloads.Runner.table5_with_paper results
@@ -123,7 +150,7 @@ let table5_cmd =
   Cmd.v
     (Cmd.info "table5"
        ~doc:"Reproduce the paper's Table 5 over all 19 mini benchmarks")
-    Term.(const run $ paper)
+    Term.(const run $ paper $ telemetry_flag)
 
 let polly_cmd =
   let run name =
@@ -209,7 +236,8 @@ let trace_record_cmd =
       & info [ "chunk-bytes" ] ~docv:"BYTES"
           ~doc:"Chunk payload budget of the binary codec.")
   in
-  let run name out chunk =
+  let run name out chunk telemetry =
+    with_telemetry telemetry @@ fun () ->
     match find_workload name with
     | Error e ->
         prerr_endline e;
@@ -228,7 +256,7 @@ let trace_record_cmd =
     (Cmd.info "record"
        ~doc:"Execute a benchmark once, streaming its event trace to a \
              binary file (out-of-core: memory stays one chunk)")
-    Term.(const run $ bench_arg $ out $ chunk)
+    Term.(const run $ bench_arg $ out $ chunk $ telemetry_flag)
 
 let trace_stats_cmd =
   let domains =
@@ -238,13 +266,14 @@ let trace_stats_cmd =
       & info [ "domains"; "j" ] ~docv:"N"
           ~doc:"Worker domains for the sharded profiler.")
   in
-  let run name domains =
+  let run name domains telemetry =
+    with_telemetry telemetry @@ fun () ->
     match find_workload name with
     | Error e ->
         prerr_endline e;
         1
     | Ok w ->
-        let now = Unix.gettimeofday in
+        let now = Obs.Clock.monotonic in
         let prog = Vm.Hir.lower w.Workloads.Workload.hir in
         let trace, stats = Vm.Trace.record prog in
         let mem_bytes = String.length (Marshal.to_string trace []) in
@@ -311,7 +340,7 @@ let trace_stats_cmd =
        ~doc:"Record a benchmark's trace to disk, decode it back and \
              profile it with the domain-sharded profiler, printing codec \
              and scaling counters")
-    Term.(const run $ bench_arg $ domains)
+    Term.(const run $ bench_arg $ domains $ telemetry_flag)
 
 let trace_cmd =
   Cmd.group
@@ -320,7 +349,8 @@ let trace_cmd =
     [ trace_cmd; trace_record_cmd; trace_stats_cmd ]
 
 let deps_cmd =
-  let run name =
+  let run name telemetry =
+    with_telemetry telemetry @@ fun () ->
     match find_workload name with
     | Error e ->
         prerr_endline e;
@@ -357,28 +387,14 @@ let deps_cmd =
   Cmd.v
     (Cmd.info "deps"
        ~doc:"Print the folded polyhedral dependence relations of a benchmark")
-    Term.(const run $ bench_arg)
+    Term.(const run $ bench_arg $ telemetry_flag)
 
 let json_flag =
   Arg.(
     value & flag
     & info [ "json" ] ~doc:"Emit machine-readable JSON on stdout instead of text.")
 
-let json_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
+let json_string = Obs.Json_emit.escape_string
 
 let lint_entry_json (e : Analysis.Lint.entry) =
   let c sev = Analysis.Diag.count sev e.Analysis.Lint.e_diags in
@@ -435,7 +451,8 @@ let lint_cmd =
     let prog = Vm.Hir.lower w.Workloads.Workload.hir in
     (prog, Analysis.Lint.analyse_profiled ~name:w.Workloads.Workload.w_name prog)
   in
-  let run bench json =
+  let run bench json telemetry =
+    with_telemetry telemetry @@ fun () ->
     match bench with
     | Some name -> (
         match find_workload name with
@@ -477,7 +494,7 @@ let lint_cmd =
              dead-store, dead-code, redundant-load, affine classifier) and \
              cross-check the profiled DDG against statically-proven \
              independence")
-    Term.(const run $ bench $ json_flag)
+    Term.(const run $ bench $ json_flag $ telemetry_flag)
 
 let staticdep_cmd =
   let bench =
@@ -543,7 +560,8 @@ let staticdep_cmd =
       (List.length sd.Analysis.Statdep.pairs)
       possible prune_part
   in
-  let run bench prune json =
+  let run bench prune json telemetry =
+    with_telemetry telemetry @@ fun () ->
     match bench with
     | Some name -> (
         match find_workload name with
@@ -626,7 +644,7 @@ let staticdep_cmd =
              polyhedra, and the instrumentation-pruning plan (with \
              $(b,--prune), validate the pruned profile against the \
              unpruned one)")
-    Term.(const run $ bench $ prune $ json_flag)
+    Term.(const run $ bench $ prune $ json_flag $ telemetry_flag)
 
 let transform_cmd =
   let verify =
@@ -650,7 +668,8 @@ let transform_cmd =
       & info [ "eps" ] ~docv:"EPS"
           ~doc:"Relative tolerance for float memory cells.")
   in
-  let run name verify max_plans eps =
+  let run name verify max_plans eps telemetry =
+    with_telemetry telemetry @@ fun () ->
     match find_workload name with
     | Error e ->
         prerr_endline e;
@@ -702,7 +721,7 @@ let transform_cmd =
          "Apply the suggested transformation schedule of a benchmark to its \
           HIR source ($(b,--verify): prove it equivalent, legal and \
           profitable by differential re-profiling)")
-    Term.(const run $ bench_arg $ verify $ max_plans $ eps)
+    Term.(const run $ bench_arg $ verify $ max_plans $ eps $ telemetry_flag)
 
 let source_cmd =
   let run name =
@@ -719,6 +738,106 @@ let source_cmd =
        ~doc:"Print the C-like source listing of a benchmark (what the              static baseline analyses)")
     Term.(const run $ bench_arg)
 
+let telemetry_cmd =
+  let file_opt names docv doc =
+    Arg.(value & opt (some string) None & info names ~docv ~doc)
+  in
+  let trace_json =
+    file_opt [ "trace-json" ] "FILE"
+      "Write a Chrome trace-event JSON (loadable in Perfetto or \
+       chrome://tracing)."
+  in
+  let prom =
+    file_opt [ "prom" ] "FILE" "Write a Prometheus text exposition."
+  in
+  let svg =
+    file_opt [ "svg" ] "FILE" "Write a self-profile flame graph SVG."
+  in
+  let run name trace_json prom svg =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w ->
+        Obs.Registry.enable ();
+        Obs.Metrics.reset ();
+        Obs.Span.reset ();
+        let o = Workloads.Runner.run w in
+        Format.printf "== %s pipeline telemetry (sched %s) ==@." name
+          (if o.Workloads.Runner.sched_bailed then "bailed" else "ok");
+        let roots = Obs.Span.roots () in
+        let metrics = Obs.Metrics.snapshot () in
+        print_string (Report.Obs_report.summary ~metrics roots);
+        let wrote = ref 0 in
+        Option.iter
+          (fun path ->
+            Obs.Chrome.write_file ~path ~process_name:("polyprof " ^ name)
+              ~metrics roots;
+            match Obs.Chrome.validate_file path with
+            | Ok n ->
+                incr wrote;
+                Format.printf "wrote %s (%d trace events, validated)@." path n
+            | Error e ->
+                Format.eprintf "emitted Chrome trace failed validation: %s@." e)
+          trace_json;
+        Option.iter
+          (fun path ->
+            Obs.Prometheus.write_file ~path metrics;
+            incr wrote;
+            Format.printf "wrote %s@." path)
+          prom;
+        Option.iter
+          (fun path ->
+            Report.Obs_report.write_flamegraph_svg ~path roots;
+            incr wrote;
+            Format.printf "wrote %s@." path)
+          svg;
+        0
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Run the full pipeline on a benchmark with self-profiling on and \
+          report the telemetry: phase spans (wall time, GC words, heap \
+          watermark) and subsystem counters, with optional Chrome-trace \
+          JSON, Prometheus and flame-graph SVG exports")
+    Term.(const run $ bench_arg $ trace_json $ prom $ svg)
+
+let overhead_cmd =
+  let domains =
+    Arg.(
+      value
+      & opt int (Stream.Par_profile.default_domains ())
+      & info [ "domains"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the out-of-core configuration.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 3
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Repetitions per configuration (best wall time wins).")
+  in
+  let run name json domains repeat =
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w ->
+        let o = Workloads.Overhead.measure ~domains ~repeat w in
+        if json then
+          print_endline
+            (Obs.Json_emit.to_string ~pretty:true (Workloads.Overhead.json o))
+        else print_string (Workloads.Overhead.table o);
+        0
+  in
+  Cmd.v
+    (Cmd.info "overhead"
+       ~doc:
+         "Measure the profiling overhead of a benchmark (paper \u{00a7}8): \
+          native vs in-process instrumented vs out-of-core vs \
+          statically-pruned wall time, plus trace bytes per memory access")
+    Term.(const run $ bench_arg $ json_flag $ domains $ repeat)
+
 let () =
   let doc =
     "data-flow/dependence profiling for structured transformations \
@@ -729,4 +848,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; flamegraph_cmd; table5_cmd; polly_cmd; trace_cmd;
-            deps_cmd; lint_cmd; staticdep_cmd; transform_cmd; source_cmd ]))
+            deps_cmd; lint_cmd; staticdep_cmd; transform_cmd; source_cmd;
+            telemetry_cmd; overhead_cmd ]))

@@ -161,7 +161,9 @@ let static_entry name (prog : Vm.Prog.t) =
     e_ranged = !ranged;
     e_xcheck = None }
 
-let analyse ?(name = "<prog>") prog = static_entry name prog
+let analyse ?(name = "<prog>") prog =
+  Obs.Span.with_ ~cat:"analysis" "analysis.lint" @@ fun () ->
+  static_entry name prog
 
 let crosschecked e prog profile =
   { e with e_xcheck = Some (Crosscheck.check prog profile) }

@@ -644,6 +644,7 @@ let live_funcs (prog : Vm.Prog.t) (frs : AC.func_result array) =
   live
 
 let analyse (prog : Vm.Prog.t) =
+  Obs.Span.with_ ~cat:"analysis" "analysis.statdep" @@ fun () ->
   let pta = Points_to.analyse prog in
   let frs = AC.analyse_prog prog in
   let live = live_funcs prog frs in

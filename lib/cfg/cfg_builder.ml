@@ -70,6 +70,7 @@ let finalize t =
   { cfgs; cg = t.cg; recset; call_sites = List.sort compare call_sites }
 
 let run ?max_steps ?args prog =
+  Obs.Span.with_ ~cat:"cfg" "cfg.build" @@ fun () ->
   let t = create prog in
   let (_ : Vm.Interp.stats) =
     Vm.Interp.run ?max_steps ~callbacks:(callbacks t) ?args prog

@@ -8,10 +8,23 @@ type t = {
 }
 
 let run_internal ?config ?max_steps ?args ~hir prog =
-  let structure = Cfg.Cfg_builder.run ?max_steps ?args prog in
-  let profile = Ddg.Depprof.profile ?config ?max_steps ?args prog ~structure in
-  let analysis = Sched.Depanalysis.analyse prog profile in
-  let feedback = Sched.Feedback.make prog profile analysis in
+  Obs.Span.with_ ~cat:"pipeline" "pipeline.run" @@ fun () ->
+  let structure =
+    Obs.Span.with_ ~cat:"pipeline" "pipeline.cfg" @@ fun () ->
+    Cfg.Cfg_builder.run ?max_steps ?args prog
+  in
+  let profile =
+    Obs.Span.with_ ~cat:"pipeline" "pipeline.profile" @@ fun () ->
+    Ddg.Depprof.profile ?config ?max_steps ?args prog ~structure
+  in
+  let analysis =
+    Obs.Span.with_ ~cat:"pipeline" "pipeline.depanalysis" @@ fun () ->
+    Sched.Depanalysis.analyse prog profile
+  in
+  let feedback =
+    Obs.Span.with_ ~cat:"pipeline" "pipeline.feedback" @@ fun () ->
+    Sched.Feedback.make prog profile analysis
+  in
   { prog; hir; structure; profile; analysis; feedback }
 
 let run ?config ?max_steps ?args prog =
@@ -24,15 +37,26 @@ let run_hir ?config ?max_steps ?args hir =
 (* Out-of-core pipeline: both instrumentation stages replayed from a
    binary trace file, Instrumentation II sharded across domains. *)
 let run_trace_file ?config ?domains ~path prog =
-  let builder = Cfg.Cfg_builder.create prog in
-  Stream.Source.with_file path (fun src ->
-      Stream.Source.replay src (Cfg.Cfg_builder.callbacks builder));
-  let structure = Cfg.Cfg_builder.finalize builder in
+  Obs.Span.with_ ~cat:"pipeline" "pipeline.run_trace_file" @@ fun () ->
+  let structure =
+    Obs.Span.with_ ~cat:"pipeline" "pipeline.cfg" @@ fun () ->
+    let builder = Cfg.Cfg_builder.create prog in
+    Stream.Source.with_file path (fun src ->
+        Stream.Source.replay src (Cfg.Cfg_builder.callbacks builder));
+    Cfg.Cfg_builder.finalize builder
+  in
   let { Stream.Par_profile.result = profile; par_stats } =
+    Obs.Span.with_ ~cat:"pipeline" "pipeline.profile" @@ fun () ->
     Stream.Par_profile.profile_file ?config ?domains path prog ~structure
   in
-  let analysis = Sched.Depanalysis.analyse prog profile in
-  let feedback = Sched.Feedback.make prog profile analysis in
+  let analysis =
+    Obs.Span.with_ ~cat:"pipeline" "pipeline.depanalysis" @@ fun () ->
+    Sched.Depanalysis.analyse prog profile
+  in
+  let feedback =
+    Obs.Span.with_ ~cat:"pipeline" "pipeline.feedback" @@ fun () ->
+    Sched.Feedback.make prog profile analysis
+  in
   ({ prog; hir = None; structure; profile; analysis; feedback }, par_stats)
 
 let metrics ?ld_src ?fusion_strategy ~name t =

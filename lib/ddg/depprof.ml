@@ -567,7 +567,14 @@ let simulate_plan e (plan : static_plan) =
     dyn_count;
   (deps, !n_edges)
 
+let obs_events = Obs.Metrics.counter ~help:"exec events seen by the dependence profiler" "ddg.profile.events"
+let obs_peak_shadow = Obs.Metrics.gauge ~help:"peak shadow-table entries (live tracked addresses)" "ddg.profile.peak_shadow"
+let obs_pruned_accesses = Obs.Metrics.counter ~help:"memory accesses skipped by static pruning" "ddg.profile.pruned_accesses"
+let obs_dep_edges = Obs.Metrics.counter ~help:"dynamic dependence edges (before SCEV pruning)" "ddg.result.dep_edges"
+let obs_scev_pruned = Obs.Metrics.counter ~help:"dependence edges dropped by SCEV pruning" "ddg.result.scev_pruned_edges"
+
 let finalize e ~run_stats =
+  Obs.Span.with_ ~cat:"ddg" "ddg.finalize" @@ fun () ->
   let stmt_infos = stmt_infos_of e in
   let scev_set = scev_set_of stmt_infos in
   (* inject the dependences skipped by static pruning *)
@@ -606,6 +613,13 @@ let finalize e ~run_stats =
           :: acc)
       e.deps []
   in
+  if Obs.Registry.enabled () then begin
+    Obs.Metrics.add obs_events e.seq;
+    Obs.Metrics.set_max obs_peak_shadow e.peak_shadow;
+    Obs.Metrics.add obs_pruned_accesses e.n_pruned;
+    Obs.Metrics.add obs_dep_edges !total_dep_edges;
+    Obs.Metrics.add obs_scev_pruned !pruned
+  end;
   { stmts = List.sort (fun a b -> compare a.sk b.sk) stmt_infos;
     deps = List.sort (fun a b -> compare a.dk b.dk) dep_infos;
     pruned_dep_edges = !pruned;
@@ -617,6 +631,7 @@ let finalize e ~run_stats =
     structure = e.e_structure }
 
 let profile ?config ?max_steps ?args ?static_prune prog ~structure =
+  Obs.Span.with_ ~cat:"ddg" "ddg.profile" @@ fun () ->
   let e =
     make_engine ?config ?static_prune ~shard:0 ~nshards:1 prog ~structure
   in
@@ -628,6 +643,7 @@ let profile ?config ?max_steps ?args ?static_prune prog ~structure =
   finalize e ~run_stats
 
 let profile_replay ?config ?static_prune ~feed ~run_stats prog ~structure =
+  Obs.Span.with_ ~cat:"ddg" "ddg.profile_replay" @@ fun () ->
   let e =
     make_engine ?config ?static_prune ~shard:0 ~nshards:1 prog ~structure
   in

@@ -376,6 +376,10 @@ let fold_exact ?(boundary_splits = true) ~dim ~label_dim ~max_pieces points
 (* ------------------------------------------------------------------ *)
 
 module Collector = struct
+  let obs_points = Obs.Metrics.counter ~help:"dependence points folded into polyhedral pieces" "fold.points"
+  let obs_pieces = Obs.Metrics.counter ~help:"polyhedral pieces produced by folding" "fold.pieces"
+  let obs_approx = Obs.Metrics.counter ~help:"collectors that overflowed their cap into approx mode" "fold.approx_spills"
+
   type approx_state = {
     mutable lo : int array;
     mutable hi : int array;
@@ -502,6 +506,13 @@ module Collector = struct
               ps
         in
         t.finalized <- Some ps;
+        if Obs.Registry.enabled () then begin
+          Obs.Metrics.add obs_points t.n;
+          Obs.Metrics.add obs_pieces (List.length ps);
+          match t.mode with
+          | Approx _ -> Obs.Metrics.add obs_approx 1
+          | Buffering _ -> ()
+        end;
         ps
 
   let is_affine t =

@@ -1,0 +1,29 @@
+external stub_monotonic_ns : unit -> int = "polyprof_obs_monotonic_ns"
+  [@@noalloc]
+
+let stub_ok = stub_monotonic_ns () >= 0
+
+(* Fallback when CLOCK_MONOTONIC is unavailable: gettimeofday clamped to
+   never decrease.  The clamp is per-process best effort (a data race
+   between domains can at worst briefly re-observe an older clamp, never
+   produce a decreasing pair within one domain's reads). *)
+let fallback_last = Atomic.make 0
+
+let fallback_ns () =
+  let ns = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let last = Atomic.get fallback_last in
+    if ns <= last then last
+    else if Atomic.compare_and_set fallback_last last ns then ns
+    else clamp ()
+  in
+  clamp ()
+
+let now_ns () = if stub_ok then stub_monotonic_ns () else fallback_ns ()
+let monotonic () = float_of_int (now_ns ()) *. 1e-9
+
+let wall_iso8601 () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec

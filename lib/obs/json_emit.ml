@@ -1,0 +1,291 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let float_repr f =
+  match Float.classify_float f with
+  | Float.FP_nan | Float.FP_infinite ->
+      "null" (* NaN / infinities have no JSON representation *)
+  | _ ->
+      (* prefer the shortest representation that round-trips *)
+      let shorter = Printf.sprintf "%.12g" f in
+      if float_of_string shorter = f then shorter else Printf.sprintf "%.17g" f
+
+let rec emit ~pretty ~indent buf v =
+  let pad n = if pretty then Buffer.add_string buf (String.make n ' ') in
+  let sep = if pretty then "\n" else "" in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> Buffer.add_string buf (escape_string s)
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf ("[" ^ sep);
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ("," ^ sep);
+          pad (indent + 2);
+          emit ~pretty ~indent:(indent + 2) buf item)
+        items;
+      Buffer.add_string buf sep;
+      pad indent;
+      Buffer.add_string buf "]"
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf ("{" ^ sep);
+      List.iteri
+        (fun i (k, fv) ->
+          if i > 0 then Buffer.add_string buf ("," ^ sep);
+          pad (indent + 2);
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf (if pretty then ": " else ":");
+          emit ~pretty ~indent:(indent + 2) buf fv)
+        fields;
+      Buffer.add_string buf sep;
+      pad indent;
+      Buffer.add_string buf "}"
+
+let to_string ?(pretty = false) v =
+  let buf = Buffer.create 4096 in
+  emit ~pretty ~indent:0 buf v;
+  if pretty then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_channel ?pretty oc v = output_string oc (to_string ?pretty v)
+
+let write_file ?pretty path v =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      to_channel ?pretty oc v)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Bad (Printf.sprintf "%s at offset %d" m !pos))) fmt
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %C, found %C" c c'
+    | None -> fail "expected %C, found end of input" c
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let h = String.sub s !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some v -> v
+    | None -> fail "bad \\u escape %S" h
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if !pos >= n then fail "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+             let v = parse_hex4 () in
+             (* decode to UTF-8; we only emit \u for control chars, but
+                accept the general form *)
+             if v < 0x80 then Buffer.add_char buf (Char.chr v)
+             else if v < 0x800 then begin
+               Buffer.add_char buf (Char.chr (0xC0 lor (v lsr 6)));
+               Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3F)))
+             end
+             else begin
+               Buffer.add_char buf (Char.chr (0xE0 lor (v lsr 12)));
+               Buffer.add_char buf (Char.chr (0x80 lor ((v lsr 6) land 0x3F)));
+               Buffer.add_char buf (Char.chr (0x80 lor (v land 0x3F)))
+             end
+         | e -> fail "bad escape \\%C" e);
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' -> true
+      | '.' | 'e' | 'E' | '+' | '-' ->
+          is_float := true;
+          true
+      | _ -> false
+    do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad number %S" tok
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields_loop ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items_loop ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          items_loop ();
+          List (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail "unexpected character %C" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> parse s
+  | exception Sys_error m -> Error m
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let schema_header ~schema_version =
+  [ ("schema_version", Int schema_version);
+    ("host_cores", Int (Domain.recommended_domain_count ()));
+    ("generated_utc", Str (Clock.wall_iso8601 ())) ]

@@ -1,0 +1,96 @@
+(** Counters, gauges and histograms with per-domain sinks.
+
+    Metric {e descriptors} are process-global and registered once by
+    name; metric {e values} accumulate in a lock-free per-domain
+    {!Sink.t} (plain mutable state reached through [Domain.DLS] — no
+    atomics on the update path).  Worker domains call {!flush_domain}
+    before exiting; {!snapshot} merges all retired sinks plus the
+    calling domain's live one.
+
+    The merge is deterministic and order-insensitive by construction:
+    counters and histogram buckets add (integer sums commute), gauges
+    are high-watermarks (merge by [max]), histogram [min]/[max] merge by
+    [min]/[max].  Merging the same updates split across 1, 2 or 5 sinks
+    in any order yields bit-identical totals — property-tested in
+    [test_obs.ml]. *)
+
+type kind = Counter | Gauge | Histogram
+
+type desc = private {
+  d_id : int;
+  d_name : string;  (** dotted, e.g. ["stream.encode.bytes"] *)
+  d_kind : kind;
+  d_help : string;
+}
+
+type counter
+type gauge
+type histogram
+
+val counter : ?help:string -> string -> counter
+val gauge : ?help:string -> string -> gauge
+val histogram : ?help:string -> string -> histogram
+(** Register (or look up) a metric descriptor.  Re-registering the same
+    name returns the existing descriptor; re-registering it with a
+    different kind raises [Invalid_argument]. *)
+
+val add : counter -> int -> unit
+(** Add to the calling domain's sink.  No-op while telemetry is
+    disabled. *)
+
+val set_max : gauge -> int -> unit
+(** Raise the gauge high-watermark.  No-op while disabled. *)
+
+val observe : histogram -> int -> unit
+(** Record a sample (clamped to [0] if negative) into power-of-two
+    buckets.  No-op while disabled. *)
+
+(** {2 Snapshots} *)
+
+type hist_summary = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;  (** meaningless when [h_count = 0] *)
+  h_max : int;
+  h_buckets : int array;  (** bucket [k] counts samples with at most
+                              [k] significant bits, i.e. values in
+                              [(2{^k-1}, 2{^k}-1]]; bucket [0] counts
+                              zeros *)
+}
+
+type value = Vint of int | Vhist of hist_summary
+
+type snapshot = (desc * value) list
+(** Sorted by metric name; metrics never updated are omitted. *)
+
+val n_buckets : int
+val bucket_le : int -> int
+(** [bucket_le k] is the inclusive upper bound of bucket [k]
+    ([2{^k} - 1]), the Prometheus [le] label. *)
+
+val snapshot : unit -> snapshot
+(** Merge every retired sink and the calling domain's live sink. *)
+
+val flush_domain : unit -> unit
+(** Retire the calling domain's sink into the global pool (call before
+    a worker domain exits; its DLS state is unreachable afterwards). *)
+
+val reset : unit -> unit
+(** Drop all accumulated values (descriptors survive) — test isolation
+    and the start of an explicitly-scoped telemetry run. *)
+
+(** {2 Explicit sinks}
+
+    The deterministic-merge core, usable directly (and property-tested)
+    without the domain-local plumbing. *)
+
+module Sink : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> counter -> int -> unit
+  val set_max : t -> gauge -> int -> unit
+  val observe : t -> histogram -> int -> unit
+  val merge_into : dst:t -> t -> unit
+  val snapshot_of : t list -> snapshot
+end

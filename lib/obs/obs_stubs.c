@@ -1,0 +1,35 @@
+/* Monotonic wall-clock stub for Obs.Clock: CLOCK_MONOTONIC via
+   clock_gettime, returned as untagged nanoseconds (63-bit OCaml ints
+   hold ~146 years of nanoseconds, so no boxing and no allocation).
+   Returns -1 where the POSIX clock is unavailable; the ML side then
+   falls back to a clamped gettimeofday. */
+
+#include <caml/mlvalues.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+#else
+#include <time.h>
+#endif
+
+CAMLprim value polyprof_obs_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(_WIN32)
+  {
+    static LARGE_INTEGER freq;
+    LARGE_INTEGER now;
+    if (freq.QuadPart == 0) QueryPerformanceFrequency(&freq);
+    if (freq.QuadPart != 0 && QueryPerformanceCounter(&now))
+      return Val_long((intnat)((double)now.QuadPart * 1e9
+                               / (double)freq.QuadPart));
+  }
+#elif defined(CLOCK_MONOTONIC)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+  }
+#endif
+  return Val_long(-1);
+}

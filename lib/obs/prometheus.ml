@@ -1,0 +1,51 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    ("polyprof_" ^ name)
+
+let exposition (snap : Metrics.snapshot) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ((d : Metrics.desc), v) ->
+      let name = sanitize d.Metrics.d_name in
+      if d.Metrics.d_help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name d.Metrics.d_help);
+      let ty =
+        match d.Metrics.d_kind with
+        | Metrics.Counter -> "counter"
+        | Metrics.Gauge -> "gauge"
+        | Metrics.Histogram -> "histogram"
+      in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name ty);
+      match v with
+      | Metrics.Vint n -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name n)
+      | Metrics.Vhist h ->
+          let cum = ref 0 in
+          Array.iteri
+            (fun k c ->
+              if c > 0 || k = 0 then begin
+                cum := !cum + c;
+                let le = Metrics.bucket_le k in
+                let le_s =
+                  if le = max_int then "+Inf" else string_of_int le
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le_s !cum)
+              end
+              else cum := !cum + c)
+            h.Metrics.h_buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.h_count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %d\n%s_count %d\n" name h.Metrics.h_sum name
+               h.Metrics.h_count))
+    snap;
+  Buffer.contents buf
+
+let write_file ~path snap =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (exposition snap))

@@ -1,0 +1,10 @@
+(** Prometheus text exposition (version 0.0.4) of a metric snapshot.
+
+    Metric names are prefixed with [polyprof_] and dots become
+    underscores; histograms expose the cumulative power-of-two buckets
+    with [le] labels plus [_sum]/[_count], exactly as a scrape endpoint
+    would serve them. *)
+
+val exposition : Metrics.snapshot -> string
+
+val write_file : path:string -> Metrics.snapshot -> unit

@@ -91,15 +91,26 @@ let escape s =
          | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let to_svg ?(width = 1200) ?(annot = no_annot) ?(name = default_name) tree =
+(* ------------------------------------------------------------------ *)
+(* Generic frame-tree renderer: anything tree-shaped with a weight can
+   be drawn as a flame graph (the schedule tree below, the telemetry
+   span tree in Obs_report). *)
+(* ------------------------------------------------------------------ *)
+
+type frame = {
+  fr_label : string;  (** text drawn inside the rectangle *)
+  fr_title : string;  (** tooltip prefix, e.g. ["gemm: 123 ops"] *)
+  fr_weight : int;  (** total weight, children included *)
+  fr_color : string;  (** CSS fill *)
+  fr_children : frame list;
+}
+
+let frames_to_svg ?(width = 1200) ?(title = "flame graph") root =
   let buf = Buffer.create 16384 in
-  let root = ST.root tree in
-  let total = max 1 (ST.total_weight root) in
+  let total = max 1 root.fr_weight in
   let row_h = 18 in
-  let rec depth_of (n : ST.node) =
-    List.fold_left
-      (fun acc c -> max acc (1 + depth_of c))
-      0 (ST.children_in_order n)
+  let rec depth_of f =
+    List.fold_left (fun acc c -> max acc (1 + depth_of c)) 0 f.fr_children
   in
   let height = ((depth_of root + 2) * row_h) + 30 in
   Buffer.add_string buf
@@ -108,73 +119,98 @@ let to_svg ?(width = 1200) ?(annot = no_annot) ?(name = default_name) tree =
         font-family=\"monospace\" font-size=\"11\">\n"
        width height);
   Buffer.add_string buf
-    (Printf.sprintf
-       "<text x=\"4\" y=\"14\">poly-prof dynamic schedule tree flame graph \
-        (total %d ops)</text>\n"
-       total);
+    (Printf.sprintf "<text x=\"4\" y=\"14\">%s</text>\n" (escape title));
   (* root at the bottom: y decreases with depth *)
-  let rec render (n : ST.node) x w depth =
+  let rec render f x w depth =
     if w >= 0.5 then begin
       let y = height - ((depth + 1) * row_h) in
-      let label =
-        match n.ST.elt with
-        | None -> "all"
-        | Some elt ->
-            let k = node_kind n in
-            Printf.sprintf "%s %s" k (name elt)
-      in
       Buffer.add_string buf
         (Printf.sprintf
-           "<g><title>%s: %d ops (%.1f%%)</title><rect x=\"%.1f\" y=\"%d\" \
+           "<g><title>%s (%.1f%%)</title><rect x=\"%.1f\" y=\"%d\" \
             width=\"%.1f\" height=\"%d\" fill=\"%s\" stroke=\"white\"/>"
-           (escape label) (ST.total_weight n)
-           (100.0 *. float_of_int (ST.total_weight n) /. float_of_int total)
-           x y w (row_h - 1) (color annot n));
+           (escape f.fr_title)
+           (100.0 *. float_of_int f.fr_weight /. float_of_int total)
+           x y w (row_h - 1) f.fr_color);
       if w > 40.0 then
         Buffer.add_string buf
           (Printf.sprintf "<text x=\"%.1f\" y=\"%d\">%s</text>" (x +. 3.0)
              (y + 13)
              (escape
-                (if String.length label > int_of_float (w /. 7.0) then
-                   String.sub label 0 (max 1 (int_of_float (w /. 7.0)))
-                 else label)));
+                (if String.length f.fr_label > int_of_float (w /. 7.0) then
+                   String.sub f.fr_label 0 (max 1 (int_of_float (w /. 7.0)))
+                 else f.fr_label)));
       Buffer.add_string buf "</g>\n";
       (* children: self weight first, then children proportionally *)
-      let tw = max 1 (ST.total_weight n) in
+      let tw = max 1 f.fr_weight in
       let cx = ref x in
       List.iter
         (fun c ->
-          let cw = w *. float_of_int (ST.total_weight c) /. float_of_int tw in
+          let cw = w *. float_of_int c.fr_weight /. float_of_int tw in
           render c !cx cw (depth + 1);
           cx := !cx +. cw)
-        (ST.children_in_order n)
+        f.fr_children
     end
   in
   render root 0.0 (float_of_int width) 0;
   Buffer.add_string buf "</svg>\n";
   Buffer.contents buf
 
+let frames_to_ascii ?(width = 60) root =
+  let buf = Buffer.create 4096 in
+  let total = max 1 root.fr_weight in
+  let rec go indent f =
+    let frac = float_of_int f.fr_weight /. float_of_int total in
+    let bar = int_of_float (frac *. float_of_int width) in
+    Buffer.add_string buf
+      (Printf.sprintf "%-40s %7d %5.1f%% %s\n"
+         (indent ^ f.fr_label) f.fr_weight (100.0 *. frac)
+         (String.make (max 0 bar) '#'));
+    List.iter (go (indent ^ "  ")) f.fr_children
+  in
+  go "" root;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Schedule-tree flame graph on top of the generic renderer             *)
+(* ------------------------------------------------------------------ *)
+
+let rec frame_of_node annot name (n : ST.node) =
+  let label =
+    match n.ST.elt with
+    | None -> "all"
+    | Some elt -> Printf.sprintf "%s %s" (node_kind n) (name elt)
+  in
+  { fr_label = label;
+    fr_title = Printf.sprintf "%s: %d ops" label (ST.total_weight n);
+    fr_weight = ST.total_weight n;
+    fr_color = color annot n;
+    fr_children =
+      List.map (frame_of_node annot name) (ST.children_in_order n) }
+
+let to_svg ?width ?(annot = no_annot) ?(name = default_name) tree =
+  let root = frame_of_node annot name (ST.root tree) in
+  let title =
+    Printf.sprintf
+      "poly-prof dynamic schedule tree flame graph (total %d ops)"
+      (max 1 root.fr_weight)
+  in
+  frames_to_svg ?width ~title root
+
 let write_svg ~path ?width ?annot ?name tree =
   let oc = open_out path in
   output_string oc (to_svg ?width ?annot ?name tree);
   close_out oc
 
-let to_ascii ?(width = 60) ?(name = default_name) tree =
-  let buf = Buffer.create 4096 in
-  let root = ST.root tree in
-  let total = max 1 (ST.total_weight root) in
-  let rec go indent (n : ST.node) =
-    let w = ST.total_weight n in
-    let frac = float_of_int w /. float_of_int total in
-    let bar = int_of_float (frac *. float_of_int width) in
-    let label =
-      match n.ST.elt with None -> "all" | Some elt -> name elt
+let to_ascii ?width ?(name = default_name) tree =
+  let root =
+    let rec strip (n : ST.node) =
+      { fr_label =
+          (match n.ST.elt with None -> "all" | Some elt -> name elt);
+        fr_title = "";
+        fr_weight = ST.total_weight n;
+        fr_color = "";
+        fr_children = List.map strip (ST.children_in_order n) }
     in
-    Buffer.add_string buf
-      (Printf.sprintf "%-40s %7d %5.1f%% %s\n"
-         (indent ^ label) w (100.0 *. frac)
-         (String.make (max 0 bar) '#'));
-    List.iter (go (indent ^ "  ")) (ST.children_in_order n)
+    strip (ST.root tree)
   in
-  go "" root;
-  Buffer.contents buf
+  frames_to_ascii ?width root

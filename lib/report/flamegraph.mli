@@ -15,6 +15,30 @@ val no_annot : annot
 val annot_of_analysis : Vm.Prog.t -> Sched.Depanalysis.t -> annot
 (** Gray out blacklisted functions; colour loops by parallelism. *)
 
+(** {2 Generic frame-tree renderer}
+
+    Anything tree-shaped with an integer weight can be drawn as a flame
+    graph; the schedule-tree renderers below and the telemetry span
+    flame graph ({!Obs_report}) both go through it. *)
+
+type frame = {
+  fr_label : string;  (** text drawn inside the rectangle *)
+  fr_title : string;  (** tooltip prefix, e.g. ["gemm: 123 ops"] *)
+  fr_weight : int;  (** total weight, children included *)
+  fr_color : string;  (** CSS fill *)
+  fr_children : frame list;
+}
+
+val frames_to_svg : ?width:int -> ?title:string -> frame -> string
+(** Self-contained SVG document; root at the bottom, width proportional
+    to [fr_weight], tooltip [fr_title] plus the percentage of the
+    root. *)
+
+val frames_to_ascii : ?width:int -> frame -> string
+
+val escape : string -> string
+(** XML-escape for SVG text/attribute content. *)
+
 val to_svg :
   ?width:int -> ?annot:annot -> ?name:(Ddg.Iiv.ctx_id -> string)
   -> Ddg.Sched_tree.t -> string

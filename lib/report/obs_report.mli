@@ -1,0 +1,17 @@
+(** Human-readable views of [Obs] telemetry: a {!Texttable} summary of
+    the span tree and metric snapshot, and a self-flamegraph of the
+    spans on the generic {!Flamegraph.frame} renderer (the profiler
+    profiling itself). *)
+
+val summary : ?metrics:Obs.Metrics.snapshot -> Obs.Span.t list -> string
+(** Text report: one indented row per span (duration, domain, GC words,
+    heap watermark), then one row per metric. *)
+
+val spans_table : Obs.Span.t list -> string
+val metrics_table : Obs.Metrics.snapshot -> string
+
+val flamegraph_svg : ?width:int -> Obs.Span.t list -> string
+(** SVG flame graph of the span tree, weighted by duration (ns),
+    coloured by span category. *)
+
+val write_flamegraph_svg : path:string -> ?width:int -> Obs.Span.t list -> unit

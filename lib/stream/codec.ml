@@ -73,6 +73,12 @@ type delta = {
   f_enc : (int64, int) Hashtbl.t;  (* encoder: float bits -> dict index *)
   mutable f_dec : float array;  (* decoder: dict index -> float *)
   mutable n_floats : int;
+  (* cumulative encoder dictionary telemetry: survives [reset_delta] so
+     a sink can report whole-stream hit rates *)
+  mutable op_hits : int;
+  mutable op_misses : int;
+  mutable f_hits : int;
+  mutable f_misses : int;
 }
 
 let delta () =
@@ -84,7 +90,13 @@ let delta () =
     sid_ops = Hashtbl.create 256;
     f_enc = Hashtbl.create 256;
     f_dec = Array.make 256 0.0;
-    n_floats = 0 }
+    n_floats = 0;
+    op_hits = 0;
+    op_misses = 0;
+    f_hits = 0;
+    f_misses = 0 }
+
+let dict_stats d = (d.op_hits, d.op_misses, d.f_hits, d.f_misses)
 
 let reset_delta d =
   d.prev_fid <- 0;
@@ -151,8 +163,11 @@ let encode_control d b (c : Vm.Event.control) =
 let encode_float d b f =
   let bits = Int64.bits_of_float f in
   match Hashtbl.find_opt d.f_enc bits with
-  | Some i -> Varint.put_u b (i + 1)
+  | Some i ->
+      d.f_hits <- d.f_hits + 1;
+      Varint.put_u b (i + 1)
   | None ->
+      d.f_misses <- d.f_misses + 1;
       Varint.put_u b 0;
       Varint.put_f64 b f;
       if d.n_floats < max_float_dict then begin
@@ -167,6 +182,8 @@ let encode_exec d b (e : Vm.Event.exec) =
     | Some o -> o.o_reads = e.reads && o.o_writes = e.writes
     | None -> false
   in
+  if ops_known then d.op_hits <- d.op_hits + 1
+  else d.op_misses <- d.op_misses + 1;
   let flags = ref (cls_to_int e.cls lsl 5) in
   (match e.value with
   | Some (Vm.Event.I _) -> flags := !flags lor 0x01

@@ -27,6 +27,13 @@ val max_chunk_payload : int
 type delta
 
 val delta : unit -> delta
+
+val dict_stats : delta -> int * int * int * int
+(** Cumulative encoder dictionary telemetry
+    [(operand hits, operand misses, float hits, float misses)]; unlike
+    the dictionaries themselves these survive {!reset_delta}, so a sink
+    can report whole-stream hit rates. *)
+
 val reset_delta : delta -> unit
 (** Reset the per-chunk parts (predictors and dictionaries); the
     derived call depth survives, since the call stack spans chunks. *)

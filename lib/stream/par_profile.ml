@@ -21,6 +21,12 @@ let default_domains () =
   let n = Domain.recommended_domain_count () in
   max 1 (min 4 n)
 
+let obs_steals = Obs.Metrics.counter ~help:"merge tasks drained from the work-stealing pool" "stream.par.steal_tasks"
+let obs_workers = Obs.Metrics.counter ~help:"shard replay workers spawned" "stream.par.workers"
+let obs_shard_events = Obs.Metrics.histogram ~help:"events replayed per shard worker" "stream.par.shard_events"
+let obs_shard_edges = Obs.Metrics.histogram ~help:"dependence edges found per shard worker" "stream.par.shard_dep_edges"
+let obs_peak_shadow = Obs.Metrics.gauge ~help:"peak shadow-table entries over all shard workers" "stream.par.peak_shadow"
+
 (* Work-stealing map over independent pure thunks: an atomic cursor
    hands out indices, [domains - 1] helper domains plus the caller drain
    it.  Results land in distinct array slots; Domain.join publishes
@@ -35,12 +41,16 @@ let pool_map ~domains thunks =
     let rec drain () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
+        Obs.Metrics.add obs_steals 1;
         results.(i) <- Some (arr.(i) ());
         drain ()
       end
     in
     let helpers =
-      List.init (min domains n - 1) (fun _ -> Domain.spawn drain)
+      List.init (min domains n - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              drain ();
+              Obs.Metrics.flush_domain ()))
     in
     drain ();
     List.iter Domain.join helpers;
@@ -51,9 +61,17 @@ let pool_map ~domains thunks =
 let finish ?config ~t0 ~t1 ~partials ~run_stats ~structure ~domains () =
   let pmap = pool_map ~domains in
   let result =
+    Obs.Span.with_ ~cat:"stream" "par.merge" @@ fun () ->
     Ddg.Depprof.Sharded.merge ?config ~pmap ~partials ~run_stats ~structure ()
   in
-  let t2 = Unix.gettimeofday () in
+  let t2 = Obs.Clock.monotonic () in
+  if Obs.Registry.enabled () then
+    List.iter
+      (fun p ->
+        Obs.Metrics.observe obs_shard_events p.Ddg.Depprof.Sharded.pt_events;
+        Obs.Metrics.observe obs_shard_edges p.Ddg.Depprof.Sharded.pt_dep_edges;
+        Obs.Metrics.set_max obs_peak_shadow p.Ddg.Depprof.Sharded.pt_peak_shadow)
+      partials;
   let per f = Array.of_list (List.map f partials) in
   { result;
     par_stats =
@@ -66,27 +84,30 @@ let finish ?config ~t0 ~t1 ~partials ~run_stats ~structure ~domains () =
         merge_seconds = t2 -. t1 } }
 
 let run_workers ?config ~domains ~feed prog ~structure =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.monotonic () in
+  let shard_worker ~shard ~nshards =
+    Obs.Metrics.add obs_workers 1;
+    Obs.Span.with_ ~cat:"stream" (Printf.sprintf "par.shard%d" shard)
+    @@ fun () ->
+    Ddg.Depprof.Sharded.worker ?config ~shard ~nshards ~feed:(feed shard) prog
+      ~structure
+  in
   let partials =
-    if domains = 1 then
-      [ Ddg.Depprof.Sharded.worker ?config ~shard:0 ~nshards:1
-          ~feed:(feed 0) prog ~structure ]
+    if domains = 1 then [ shard_worker ~shard:0 ~nshards:1 ]
     else begin
       let spawned =
         List.init (domains - 1) (fun i ->
             let shard = i + 1 in
             Domain.spawn (fun () ->
-                Ddg.Depprof.Sharded.worker ?config ~shard ~nshards:domains
-                  ~feed:(feed shard) prog ~structure))
+                let p = shard_worker ~shard ~nshards:domains in
+                Obs.Metrics.flush_domain ();
+                p))
       in
-      let lead =
-        Ddg.Depprof.Sharded.worker ?config ~shard:0 ~nshards:domains
-          ~feed:(feed 0) prog ~structure
-      in
+      let lead = shard_worker ~shard:0 ~nshards:domains in
       lead :: List.map Domain.join spawned
     end
   in
-  (t0, Unix.gettimeofday (), partials)
+  (t0, Obs.Clock.monotonic (), partials)
 
 let profile_trace ?config ?domains trace ~run_stats prog ~structure =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in

@@ -19,6 +19,14 @@ type t = {
 
 let default_chunk_bytes = 64 * 1024
 
+let obs_events = Obs.Metrics.counter ~help:"events encoded to binary trace sinks" "stream.encode.events"
+let obs_chunks = Obs.Metrics.counter ~help:"chunks written to binary trace sinks" "stream.encode.chunks"
+let obs_bytes = Obs.Metrics.counter ~help:"bytes written to binary trace sinks" "stream.encode.bytes"
+let obs_op_hits = Obs.Metrics.counter ~help:"operand-dictionary hits while encoding" "stream.encode.dict_op_hits"
+let obs_op_misses = Obs.Metrics.counter ~help:"operand-dictionary misses while encoding" "stream.encode.dict_op_misses"
+let obs_f_hits = Obs.Metrics.counter ~help:"float-dictionary hits while encoding" "stream.encode.dict_float_hits"
+let obs_f_misses = Obs.Metrics.counter ~help:"float-dictionary misses while encoding" "stream.encode.dict_float_misses"
+
 let to_channel ?(chunk_bytes = default_chunk_bytes) oc =
   output_string oc Codec.magic;
   output_char oc (Char.chr Codec.version);
@@ -89,7 +97,17 @@ let close ?stats t =
     | None -> ());
     flush t.oc;
     if t.owned then close_out t.oc;
-    t.closed <- true
+    t.closed <- true;
+    if Obs.Registry.enabled () then begin
+      Obs.Metrics.add obs_events t.n_events;
+      Obs.Metrics.add obs_chunks t.n_chunks;
+      Obs.Metrics.add obs_bytes t.bytes_written;
+      let oh, om, fh, fm = Codec.dict_stats t.d in
+      Obs.Metrics.add obs_op_hits oh;
+      Obs.Metrics.add obs_op_misses om;
+      Obs.Metrics.add obs_f_hits fh;
+      Obs.Metrics.add obs_f_misses fm
+    end
   end
 
 let n_events t = t.n_events

@@ -14,6 +14,9 @@ type t = {
   mutable consumed : bool;
 }
 
+let obs_events = Obs.Metrics.counter ~help:"events decoded from binary trace sources" "stream.decode.events"
+let obs_chunks = Obs.Metrics.counter ~help:"chunks decoded from binary trace sources" "stream.decode.chunks"
+
 let read_exact ic n what =
   try really_input_string ic n
   with End_of_file -> Error.fail "trace: truncated file (%s)" what
@@ -91,7 +94,11 @@ let iter t f =
         else if kind = Codec.kind_stats then t.stats <- Some (Codec.decode_stats payload)
         else
           Error.fail "trace: %s: unknown chunk kind %C" t.path kind
-  done
+  done;
+  if Obs.Registry.enabled () then begin
+    Obs.Metrics.add obs_events t.n_events;
+    Obs.Metrics.add obs_chunks t.n_chunks
+  end
 
 let replay t (cb : Vm.Interp.callbacks) =
   iter t (function

@@ -16,7 +16,8 @@ let save ?chunk_bytes ?stats trace path =
   Sink.bytes_written sink
 
 let record_to_file ?max_steps ?args ?chunk_bytes ?elide prog path =
-  let t0 = Unix.gettimeofday () in
+  Obs.Span.with_ ~cat:"stream" "stream.record_to_file" @@ fun () ->
+  let t0 = Obs.Clock.monotonic () in
   let sink = Sink.create ?chunk_bytes path in
   let callbacks =
     let cb = Sink.callbacks sink in
@@ -52,9 +53,10 @@ let record_to_file ?max_steps ?args ?chunk_bytes ?elide prog path =
     wi_chunks = Sink.n_chunks sink;
     wi_bytes = Sink.bytes_written sink;
     wi_stats = stats;
-    wi_seconds = Unix.gettimeofday () -. t0 }
+    wi_seconds = Obs.Clock.monotonic () -. t0 }
 
 let load path =
+  Obs.Span.with_ ~cat:"stream" "stream.load" @@ fun () ->
   Source.with_file path (fun src ->
       let buf = ref [] in
       let n = ref 0 in

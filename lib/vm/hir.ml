@@ -308,7 +308,13 @@ and compile_stmt env cur ~in_main = function
       cur := exit_b;
       true
 
+let obs_lowered_funcs = Obs.Metrics.counter ~help:"functions lowered to bytecode" "vm.lower.funcs"
+let obs_lowered_globals = Obs.Metrics.counter ~help:"global arrays allocated by lowering" "vm.lower.globals"
+
 let lower (p : program) : Prog.t =
+  Obs.Span.with_ ~cat:"vm" "hir.lower" @@ fun () ->
+  Obs.Metrics.add obs_lowered_funcs (List.length p.funs);
+  Obs.Metrics.add obs_lowered_globals (List.length p.arrays);
   let pb = Prog.Builder.create () in
   let bases = Hashtbl.create 16 in
   List.iter

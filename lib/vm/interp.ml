@@ -254,11 +254,28 @@ let run_internal ?(max_steps = 200_000_000) ?(callbacks = no_instrumentation)
       max_depth = !max_depth },
     memory )
 
+let obs_instrs = Obs.Metrics.counter ~help:"dynamic instructions interpreted" "vm.run.instrs"
+let obs_mem_ops = Obs.Metrics.counter ~help:"dynamic memory operations" "vm.run.mem_ops"
+let obs_runs = Obs.Metrics.counter ~help:"interpreter executions" "vm.run.count"
+let obs_depth = Obs.Metrics.gauge ~help:"peak dynamic call depth" "vm.run.max_depth"
+
+let record_run_stats stats =
+  if Obs.Registry.enabled () then begin
+    Obs.Metrics.add obs_runs 1;
+    Obs.Metrics.add obs_instrs stats.dyn_instrs;
+    Obs.Metrics.add obs_mem_ops stats.dyn_mem_ops;
+    Obs.Metrics.set_max obs_depth stats.max_depth
+  end
+
 let run ?max_steps ?callbacks ?args prog =
-  fst (run_internal ?max_steps ?callbacks ?args prog)
+  Obs.Span.with_ ~cat:"vm" "vm.interp.run" @@ fun () ->
+  let stats = fst (run_internal ?max_steps ?callbacks ?args prog) in
+  record_run_stats stats;
+  stats
 
 let run_with_memory ?max_steps ?callbacks ?args prog =
   let stats, memory = run_internal ?max_steps ?callbacks ?args prog in
+  record_run_stats stats;
   (stats, fun addr -> Hashtbl.find_opt memory addr)
 
 (* Like [run_with_memory] but exposes the whole final memory table, so a

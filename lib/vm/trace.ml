@@ -1,6 +1,9 @@
 type t = { events : Event.t array }
 
+let obs_recorded_events = Obs.Metrics.counter ~help:"events captured by in-memory trace recording" "vm.trace.events"
+
 let record ?max_steps ?args prog =
+  Obs.Span.with_ ~cat:"vm" "vm.trace.record" @@ fun () ->
   let buf = ref [] in
   let n = ref 0 in
   let callbacks =
@@ -16,6 +19,7 @@ let record ?max_steps ?args prog =
   let stats = Interp.run ?max_steps ?args ~callbacks prog in
   let events = Array.make !n (Event.Control (Event.Jump { fid = 0; src = 0; dst = 0 })) in
   List.iteri (fun i e -> events.(!n - 1 - i) <- e) !buf;
+  Obs.Metrics.add obs_recorded_events !n;
   ({ events }, stats)
 
 let of_events events = { events }

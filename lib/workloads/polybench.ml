@@ -174,4 +174,33 @@ let seidel_1d =
       arrays = [ ("As", n) ];
       main = "main" }
 
-let all = [ gemm; jacobi_2d; atax; mvt; seidel_1d ]
+(* ------------------------------------------------------------------ *)
+(* trisolv: forward substitution x := L^-1 b (triangular bounds)        *)
+(* ------------------------------------------------------------------ *)
+
+let trisolv =
+  let n = 24 in
+  let at r c = (r *! i n) +! c in
+  let kernel =
+    H.fundef "trisolv_kernel" []
+      [ H.for_ ~loc:(loc "trisolv.c" 8) "r" (i 0) (i n)
+          [ H.Let ("acc", "bt".%[v "r"]);
+            H.for_ ~loc:(loc "trisolv.c" 10) "c" (i 0) (v "r")
+              [ H.Let ("l", "Lt".%[at (v "r") (v "c")]);
+                H.Let ("x", "xt".%[v "c"]);
+                H.Let ("acc", v "acc" -? (v "l" *? v "x")) ];
+            H.Let ("d", "Lt".%[at (v "r") (v "r")]);
+            store "xt" (v "r") (v "acc" /? (v "d" +? f 1.0)) ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "Lt" (n * n)
+      @ Workload.init_float_array "bt" n
+      @ [ H.CallS (None, "trisolv_kernel", []) ])
+  in
+  Workload.make ~name:"trisolv" ~kernel:"trisolv_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("Lt", n * n); ("bt", n); ("xt", n) ];
+      main = "main" }
+
+let all = [ gemm; jacobi_2d; atax; mvt; seidel_1d; trisolv ]

@@ -12,6 +12,7 @@ let sched_budget = 1200
 
 let run ?(budget = sched_budget) ?(crosscheck = false) ?(xverify = false)
     ?out_of_core ?(static_prune = false) (w : Workload.t) =
+  Obs.Span.with_ ~cat:"workload" ("workload." ^ w.Workload.w_name) @@ fun () ->
   let prog = Vm.Hir.lower w.Workload.hir in
   let plan =
     if static_prune then Some (Analysis.Statdep.analyse prog).Analysis.Statdep.plan

@@ -1,0 +1,191 @@
+(* Tests for the lib/obs telemetry subsystem:
+
+   - the per-domain sink merge is deterministic, associative and
+     order-insensitive: replaying the same update stream split across
+     1, 2 or 5 sinks (with the partial sinks merged in any order)
+     yields a bit-identical snapshot (qcheck property);
+   - span nesting is enforced ([Unbalanced] on mismatched exits);
+   - the Chrome trace exporter escapes hostile span names and survives
+     a round-trip through the self-hosted JSON parser;
+   - [Json_emit] escaping round-trips control characters and quotes. *)
+
+module M = Obs.Metrics
+module J = Obs.Json_emit
+
+(* --- deterministic merge (property) -------------------------------- *)
+
+(* three metrics of each kind, registered once for the whole binary *)
+let counters = Array.init 3 (fun i -> M.counter (Printf.sprintf "t.c%d" i))
+let gauges = Array.init 3 (fun i -> M.gauge (Printf.sprintf "t.g%d" i))
+let hists = Array.init 3 (fun i -> M.histogram (Printf.sprintf "t.h%d" i))
+
+type update = Add of int * int | SetMax of int * int | Observe of int * int
+
+let apply sink = function
+  | Add (i, n) -> M.Sink.add sink counters.(i) n
+  | SetMax (i, n) -> M.Sink.set_max sink gauges.(i) n
+  | Observe (i, n) -> M.Sink.observe sink hists.(i) n
+
+let update_gen =
+  QCheck.Gen.(
+    let idx = int_range 0 2 in
+    let v = int_range 0 100_000 in
+    oneof
+      [ map2 (fun i n -> Add (i, n)) idx v;
+        map2 (fun i n -> SetMax (i, n)) idx v;
+        map2 (fun i n -> Observe (i, n)) idx v ])
+
+let update_print = function
+  | Add (i, n) -> Printf.sprintf "Add(c%d, %d)" i n
+  | SetMax (i, n) -> Printf.sprintf "SetMax(g%d, %d)" i n
+  | Observe (i, n) -> Printf.sprintf "Observe(h%d, %d)" i n
+
+let updates_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map update_print l))
+    QCheck.Gen.(list_size (int_range 0 200) update_gen)
+
+(* split the update stream round-robin across [k] sinks and snapshot;
+   [rev] merges the partial sinks in reverse order *)
+let snapshot_split ~k ~rev updates =
+  let sinks = Array.init k (fun _ -> M.Sink.create ()) in
+  List.iteri (fun i u -> apply sinks.(i mod k) u) updates;
+  let l = Array.to_list sinks in
+  M.Sink.snapshot_of (if rev then List.rev l else l)
+
+let prop_merge_deterministic updates =
+  let reference = snapshot_split ~k:1 ~rev:false updates in
+  List.for_all
+    (fun (k, rev) -> snapshot_split ~k ~rev updates = reference)
+    [ (2, false); (2, true); (5, false); (5, true) ]
+
+let merge_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"sink merge is order-insensitive and split-invariant"
+       updates_arb prop_merge_deterministic)
+
+let test_merge_semantics () =
+  (* counters add, gauges take max, histogram min/max/buckets merge *)
+  let a = M.Sink.create () and b = M.Sink.create () in
+  M.Sink.add a counters.(0) 3;
+  M.Sink.add b counters.(0) 4;
+  M.Sink.set_max a gauges.(0) 10;
+  M.Sink.set_max b gauges.(0) 7;
+  M.Sink.observe a hists.(0) 0;
+  M.Sink.observe b hists.(0) 1000;
+  let snap = M.Sink.snapshot_of [ a; b ] in
+  let find name =
+    List.find_map
+      (fun ((d : M.desc), v) -> if d.M.d_name = name then Some v else None)
+      snap
+  in
+  (match find "t.c0" with
+  | Some (M.Vint 7) -> ()
+  | _ -> Alcotest.fail "counter merge should sum to 7");
+  (match find "t.g0" with
+  | Some (M.Vint 10) -> ()
+  | _ -> Alcotest.fail "gauge merge should take max 10");
+  match find "t.h0" with
+  | Some (M.Vhist h) ->
+      Alcotest.(check int) "count" 2 h.M.h_count;
+      Alcotest.(check int) "sum" 1000 h.M.h_sum;
+      Alcotest.(check int) "min" 0 h.M.h_min;
+      Alcotest.(check int) "max" 1000 h.M.h_max
+  | _ -> Alcotest.fail "histogram summary missing"
+
+(* --- spans --------------------------------------------------------- *)
+
+let with_telemetry f =
+  Obs.Registry.enable ();
+  Obs.Metrics.reset ();
+  Obs.Span.reset ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Span.reset ();
+      Obs.Registry.disable ())
+    f
+
+let test_span_unbalanced () =
+  with_telemetry @@ fun () ->
+  Obs.Span.enter "outer";
+  Alcotest.check_raises "mismatched exit"
+    (Obs.Span.Unbalanced "exit \"inner\": innermost open span is \"outer\"")
+    (fun () -> Obs.Span.exit_ "inner");
+  Obs.Span.exit_ "outer";
+  Alcotest.check_raises "exit on empty stack"
+    (Obs.Span.Unbalanced "exit \"outer\": no open span")
+    (fun () -> Obs.Span.exit_ "outer")
+
+let test_span_nesting () =
+  with_telemetry @@ fun () ->
+  Obs.Span.with_ ~cat:"test" "parent" (fun () ->
+      Obs.Span.with_ "child1" (fun () -> ());
+      Obs.Span.with_ "child2" (fun () -> ()));
+  match Obs.Span.roots () with
+  | [ p ] ->
+      Alcotest.(check string) "root name" "parent" p.Obs.Span.sp_name;
+      Alcotest.(check (list string))
+        "children in start order" [ "child1"; "child2" ]
+        (List.map (fun c -> c.Obs.Span.sp_name) p.Obs.Span.sp_children);
+      Alcotest.(check bool) "duration non-negative" true
+        (p.Obs.Span.sp_dur_ns >= 0)
+  | l -> Alcotest.failf "expected one root span, got %d" (List.length l)
+
+let test_span_disabled_noop () =
+  Obs.Registry.disable ();
+  Obs.Span.reset ();
+  (* none of these may raise or record anything while disabled *)
+  Obs.Span.enter "ghost";
+  Obs.Span.exit_ "mismatched-and-ignored";
+  Obs.Span.with_ "ghost2" (fun () -> ());
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.Span.roots ()))
+
+(* --- Chrome trace escaping ----------------------------------------- *)
+
+let hostile = "we\"ird\nname\twith \\ control\x01chars"
+
+let test_chrome_escaping () =
+  with_telemetry @@ fun () ->
+  Obs.Span.with_ ~cat:"test" hostile (fun () -> ());
+  let s = Obs.Chrome.to_string ~process_name:hostile (Obs.Span.roots ()) in
+  match J.parse s with
+  | Error e -> Alcotest.failf "emitted trace does not parse: %s" e
+  | Ok doc -> (
+      match J.member "traceEvents" doc with
+      | Some (J.List events) ->
+          let names =
+            List.filter_map
+              (fun ev ->
+                match J.member "name" ev with
+                | Some (J.Str n) -> Some n
+                | _ -> None)
+              events
+          in
+          Alcotest.(check bool)
+            "hostile span name survives the round-trip" true
+            (List.mem hostile names)
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let test_json_escape_roundtrip () =
+  List.iter
+    (fun s ->
+      match J.parse (J.to_string (J.Str s)) with
+      | Ok (J.Str s') -> Alcotest.(check string) "round-trip" s s'
+      | Ok _ -> Alcotest.fail "parsed to a non-string"
+      | Error e -> Alcotest.failf "parse error on %S: %s" s e)
+    [ ""; hostile; "plain"; "\\"; "\""; "\x00\x1f"; "caf\xc3\xa9 \xe2\x82\xac" ]
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ merge_qcheck;
+          Alcotest.test_case "merge semantics" `Quick test_merge_semantics ] );
+      ( "spans",
+        [ Alcotest.test_case "unbalanced raises" `Quick test_span_unbalanced;
+          Alcotest.test_case "nesting order" `Quick test_span_nesting;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_span_disabled_noop ] );
+      ( "export",
+        [ Alcotest.test_case "chrome escaping" `Quick test_chrome_escaping;
+          Alcotest.test_case "json string round-trip" `Quick
+            test_json_escape_roundtrip ] ) ]

@@ -23,9 +23,19 @@ stream-smoke:
 
 # static dependence engine over the whole suite, validating every
 # pruned profile against its unpruned twin (exits nonzero on any
-# divergence)
+# divergence), then one triangular and one witness-checked workload
+# verbosely, and finally the bench JSON gated on the suite-wide pruned
+# fraction staying at or above 50%
 staticdep-smoke:
 	dune exec bin/polyprof_cli.exe -- staticdep --prune
+	dune exec bin/polyprof_cli.exe -- staticdep trisolv --prune
+	dune exec bin/polyprof_cli.exe -- staticdep seidel_wd --prune
+	dune exec bench/main.exe -- staticdep --json
+	@pct=$$(sed -n 's/.*"suite_pruned_pct": \([0-9.]*\).*/\1/p' \
+	  BENCH_staticdep.json); \
+	echo "suite_pruned_pct = $$pct (gate: >= 50)"; \
+	awk "BEGIN { exit !($$pct >= 50) }" \
+	  || { echo "FAIL: suite pruned fraction below 50%"; exit 1; }
 
 # self-profiling telemetry end to end: run one benchmark with spans and
 # metrics on, export + validate the Chrome trace, then reproduce the

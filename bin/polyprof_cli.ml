@@ -449,7 +449,11 @@ let lint_cmd =
   in
   let lint_one (w : Workloads.Workload.t) =
     let prog = Vm.Hir.lower w.Workloads.Workload.hir in
-    (prog, Analysis.Lint.analyse_profiled ~name:w.Workloads.Workload.w_name prog)
+    let e =
+      Analysis.Lint.analyse_profiled ~name:w.Workloads.Workload.w_name prog
+    in
+    (* the opt-in near-miss advisory of the static dependence engine *)
+    (prog, Analysis.Lint.with_almost_affine e prog)
   in
   let run bench json telemetry =
     with_telemetry telemetry @@ fun () ->
@@ -520,16 +524,23 @@ let staticdep_cmd =
   (* a diverging pruned profile turns into a nonzero exit code, so
      `staticdep --prune` doubles as a self-validation smoke test *)
   let prune_failures = ref 0 in
-  let prune_stats prog (sd : Analysis.Statdep.t) =
+  (* the hybrid driver: speculative plan first, witness-failure reruns
+     handled by [fallback_profile] *)
+  let prune_stats prog =
     let structure = Cfg.Cfg_builder.run prog in
     let base = Ddg.Depprof.profile prog ~structure in
-    let pruned =
-      Ddg.Depprof.profile prog ~structure ~static_prune:sd.Analysis.Statdep.plan
+    let _sd, pruned, reruns =
+      Analysis.Statdep.fallback_profile prog ~profile:(fun plan ->
+          Ddg.Depprof.profile prog ~structure ~static_prune:plan)
     in
     let mem = base.Ddg.Depprof.run_stats.Vm.Interp.dyn_mem_ops in
     let equal = Ddg.Depprof.equal_result base pruned in
     if not equal then incr prune_failures;
-    (pruned.Ddg.Depprof.statically_pruned, mem, equal)
+    ( pruned.Ddg.Depprof.statically_pruned,
+      mem,
+      equal,
+      List.length pruned.Ddg.Depprof.witnesses,
+      reruns )
   in
   let sd_json name (prog : Vm.Prog.t) (sd : Analysis.Statdep.t) prune =
     let possible =
@@ -541,13 +552,14 @@ let staticdep_cmd =
     let prune_part =
       if not prune then ""
       else
-        let pruned_dyn, mem, equal = prune_stats prog sd in
+        let pruned_dyn, mem, equal, witnesses, reruns = prune_stats prog in
         Printf.sprintf
           ", \"pruned_dynamic\": %d, \"dyn_mem_ops\": %d, \
-           \"pruned_fraction\": %.4f, \"profiles_equal\": %b"
+           \"pruned_fraction\": %.4f, \"profiles_equal\": %b, \
+           \"speculative_witnesses\": %d, \"witness_reruns\": %d"
           pruned_dyn mem
           (float_of_int pruned_dyn /. float_of_int (max 1 mem))
-          equal
+          equal witnesses reruns
     in
     Printf.sprintf
       "{\"name\": %s, \"accesses\": %d, \"resolved\": %d, \"pruned\": %d, \
@@ -574,13 +586,20 @@ let staticdep_cmd =
             else begin
               Format.printf "%a@." Analysis.Statdep.pp sd;
               if prune then begin
-                let pruned_dyn, mem, equal = prune_stats prog sd in
+                let pruned_dyn, mem, equal, witnesses, reruns =
+                  prune_stats prog
+                in
                 Format.printf
                   "pruning: %d/%d dynamic accesses skipped shadow tracking \
-                   (%.1f%%), pruned profile %s the unpruned one@."
+                   (%.1f%%), %d witness probe%s, %d witness-failure rerun%s, \
+                   pruned profile %s the unpruned one@."
                   pruned_dyn mem
                   (100.0 *. float_of_int pruned_dyn
                   /. float_of_int (max 1 mem))
+                  witnesses
+                  (if witnesses = 1 then "" else "s")
+                  reruns
+                  (if reruns = 1 then "" else "s")
                   (if equal then "IDENTICAL to" else "DIFFERS from")
               end
             end;
@@ -602,7 +621,7 @@ let staticdep_cmd =
         else begin
           let header =
             [ "Workload"; "Acc"; "Res"; "Pruned"; "Regions"; "Pairs"; "Dep" ]
-            @ if prune then [ "DynPruned"; "Equal" ] else []
+            @ if prune then [ "DynPruned"; "Wit"; "Fail"; "Equal" ] else []
           in
           let rows =
             List.map
@@ -624,10 +643,14 @@ let staticdep_cmd =
                   string_of_int possible ]
                 @
                 if prune then begin
-                  let pruned_dyn, mem, equal = prune_stats prog sd in
+                  let pruned_dyn, mem, equal, witnesses, reruns =
+                    prune_stats prog
+                  in
                   [ Printf.sprintf "%d/%d (%.0f%%)" pruned_dyn mem
                       (100.0 *. float_of_int pruned_dyn
                       /. float_of_int (max 1 mem));
+                    string_of_int witnesses;
+                    string_of_int reruns;
                     (if equal then "Y" else "N!") ]
                 end
                 else [])

@@ -22,6 +22,7 @@ type loop_info = {
   li_id : int;
   li_header : int;
   li_trip : int option;
+  li_trip_lin : lin option;
   li_counters : (Vm.Isa.reg * lin option * int) list;
 }
 
@@ -121,6 +122,10 @@ type loop_ctx = {
       (** per bounded induction register: lo, tight hi, wide hi *)
   mutable lc_trip : int option;
       (** constant body-execution count, from the branching counter *)
+  mutable lc_trip_lin : lin option;
+      (** body-execution count as a linear expression over enclosing
+          induction symbols (a constant when [lc_trip] is set); the
+          consumer clamps it at 0 *)
 }
 
 let member lc bid = Hashtbl.mem lc.lc_members bid
@@ -285,14 +290,18 @@ let solve fs =
       order
   done
 
-(* constant loop bounds from the lowered for-loop idiom: the header
-   computes [t := cmp.lt r, hi] and branches [br t, body, exit] *)
+(* loop bounds from the lowered for-loop idiom: the header computes
+   [t := cmp.lt r, hi] and branches [br t, body, exit].  When both the
+   initial counter value and [hi] are compile-time constants the trip
+   count is constant ([lc_trip]); when they are merely affine in
+   enclosing induction symbols (triangular/trapezoidal nests) the trip
+   count is kept symbolically in [lc_trip_lin]. *)
 let extract_bounds fs lc =
   let header = lc.lc_loop.Cfg.Loopnest.header in
   if fs.reach.(header) then begin
     let state = in_state fs header in
     let b = fs.func.blocks.(header) in
-    let cmps : (Vm.Isa.reg, Vm.Isa.reg * int) Hashtbl.t = Hashtbl.create 4 in
+    let cmps : (Vm.Isa.reg, Vm.Isa.reg * lin) Hashtbl.t = Hashtbl.create 4 in
     let set r v = if r < Array.length state then state.(r) <- v in
     Array.iter
       (fun i ->
@@ -300,10 +309,7 @@ let extract_bounds fs lc =
         | Vm.Isa.Cmp (Vm.Isa.Clt, t, Vm.Isa.Reg r, o) -> (
             if List.mem_assoc r lc.lc_inds then
               match eval state o with
-              | Lin l -> (
-                  match lin_const l with
-                  | Some hi -> Hashtbl.replace cmps t (r, hi)
-                  | None -> ())
+              | Lin l -> Hashtbl.replace cmps t (r, l)
               | _ -> ())
         | _ -> ());
         match i with
@@ -322,7 +328,7 @@ let extract_bounds fs lc =
     | Vm.Isa.Br (Vm.Isa.Reg c, bt, be) when member lc bt && not (member lc be)
       -> (
         match Hashtbl.find_opt cmps c with
-        | Some (r, hi) -> (
+        | Some (r, hi_lin) -> (
             (* initial value: join of the counter over entries from
                outside the loop *)
             let init =
@@ -340,17 +346,36 @@ let extract_bounds fs lc =
                 (Cfg.Digraph.preds fs.graph header)
             in
             match init with
-            | Some (Lin l) -> (
-                match lin_const l with
-                | Some lo ->
-                    let step = List.assoc r lc.lc_inds in
+            | Some (Lin lo_lin) -> (
+                let step = List.assoc r lc.lc_inds in
+                match (lin_const hi_lin, lin_const lo_lin) with
+                | Some hi, Some lo ->
                     let tight = max lo (hi - 1) in
                     let wide = max lo (hi - 1 + step) in
                     lc.lc_bounds <- (r, (lo, tight, wide)) :: lc.lc_bounds;
-                    lc.lc_trip <-
-                      Some
-                        (if hi <= lo then 0 else (hi - lo + step - 1) / step)
-                | None -> ())
+                    let trip =
+                      if hi <= lo then 0 else (hi - lo + step - 1) / step
+                    in
+                    lc.lc_trip <- Some trip;
+                    lc.lc_trip_lin <- Some (lconst trip)
+                | _ ->
+                    (* affine bounds in enclosing counters: trip is
+                       [hi - lo] for unit step, provided neither bound
+                       depends on this loop's own counters (the symbols
+                       must be loop-invariant) *)
+                    if step = 1 then begin
+                      let t = lsub hi_lin lo_lin in
+                      let self_ref =
+                        List.exists
+                          (fun (s, _) ->
+                            match s with
+                            | Ind { loop; _ } ->
+                                loop = lc.lc_loop.Cfg.Loopnest.loop_id
+                            | Par _ -> false)
+                          t.lterms
+                      in
+                      if not self_ref then lc.lc_trip_lin <- Some t
+                    end)
             | _ -> ())
         | None -> ())
     | _ -> ()
@@ -411,7 +436,7 @@ let analyse_func ?(param_value = fun _ -> None) (prog : Vm.Prog.t) fid =
         List.iter (fun b -> Hashtbl.replace members b ()) l.members;
         let inds = induction_candidates func members in
         { lc_loop = l; lc_members = members; lc_inds = inds; lc_bounds = [];
-          lc_trip = None })
+          lc_trip = None; lc_trip_lin = None })
       (Cfg.Loopnest.all_loops forest)
   in
   let header_of = Hashtbl.create 8 in
@@ -507,6 +532,7 @@ let analyse_func ?(param_value = fun _ -> None) (prog : Vm.Prog.t) fid =
         { li_id = lc.lc_loop.Cfg.Loopnest.loop_id;
           li_header = lc.lc_loop.Cfg.Loopnest.header;
           li_trip = lc.lc_trip;
+          li_trip_lin = lc.lc_trip_lin;
           li_counters =
             List.map (fun (r, step) -> (r, entry_lin lc r, step)) lc.lc_inds })
       fs.loops

@@ -70,6 +70,12 @@ type loop_info = {
       (** compile-time body-execution count, from the branching counter
           of the lowered for-loop idiom; [None] when bounds are not
           constant *)
+  li_trip_lin : lin option;
+      (** body-execution count as a linear expression over enclosing
+          induction symbols, clamped at 0 by consumers: a constant when
+          [li_trip] is set, affine in outer counters for unit-step
+          triangular/trapezoidal nests, [None] when bounds are not
+          affine *)
   li_counters : (Vm.Isa.reg * lin option * int) list;
       (** every induction register with its entry value (joined over
           loop entries from outside the region, [None] when not affine)

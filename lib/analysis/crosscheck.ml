@@ -11,6 +11,8 @@ type report = {
   sim_must : int;
   sim_may : int;
   sim_skipped : bool;
+  sim_skip_reason : string option;
+  sim_witnesses : int;
   violations : Diag.t list;
 }
 
@@ -30,8 +32,10 @@ let simulate_keys (plan : Ddg.Depprof.static_plan) =
   let coords = ref [] in
   let rec item (it : Ddg.Depprof.static_item) =
     match it with
-    | Ddg.Depprof.Sloop { sl_trip; sl_body } ->
-        for k = 0 to sl_trip - 1 do
+    | Ddg.Depprof.Sloop { sl_base; sl_coefs; sl_body } ->
+        let outer = Array.of_list (List.rev !coords) in
+        let trip = Ddg.Depprof.loop_trip ~base:sl_base ~coefs:sl_coefs outer in
+        for k = 0 to trip - 1 do
           coords := k :: !coords;
           List.iter item sl_body;
           coords := List.tl !coords
@@ -114,13 +118,18 @@ let check (prog : Vm.Prog.t) (res : Ddg.Depprof.result) =
   (* the simulation predicts dependences of a complete run; on a
      truncated or diverging profile the must/may comparison is
      meaningless, so it is skipped (and reported as skipped) *)
-  let sim_applicable =
-    Hashtbl.length sd.Statdep.pruned > 0
-    && Hashtbl.fold
-         (fun sid n ok ->
-           ok && Hashtbl.find_opt dyn_count sid = Some n)
-         sim_counts true
+  let sim_skip_reason =
+    if Hashtbl.length sd.Statdep.pruned = 0 then
+      Some "nothing statically pruned"
+    else if
+      not
+        (Hashtbl.fold
+           (fun sid n ok -> ok && Hashtbl.find_opt dyn_count sid = Some n)
+           sim_counts true)
+    then Some "simulated execution counts diverge from the dynamic run"
+    else None
   in
+  let sim_applicable = sim_skip_reason = None in
   let checked = ref 0
   and skip_norange = ref 0
   and skip_crossfn = ref 0
@@ -268,6 +277,8 @@ let check (prog : Vm.Prog.t) (res : Ddg.Depprof.result) =
     sim_must = !sim_must;
     sim_may = !sim_may;
     sim_skipped = not sim_applicable;
+    sim_skip_reason;
+    sim_witnesses = List.length sd.Statdep.plan.Ddg.Depprof.sp_witnesses;
     violations = List.sort Diag.compare !violations;
   }
 
@@ -285,10 +296,13 @@ let pp_report fmt r =
     "@\n  polyhedral: %d pair summaries, %d edges checked exactly; \
      simulation: %s"
     r.poly_pairs r.poly_checked
-    (if r.sim_skipped then "skipped (no pruned accesses or diverging run)"
-     else
-       Printf.sprintf "%d must-edges, %d may-edges verified" r.sim_must
-         r.sim_may);
+    (match r.sim_skip_reason with
+    | Some why -> Printf.sprintf "skipped (%s)" why
+    | None ->
+        Printf.sprintf "%d must-edges, %d may-edges verified" r.sim_must
+          r.sim_may);
+  if r.sim_witnesses > 0 then
+    Format.fprintf fmt "@\n  witnesses in plan: %d" r.sim_witnesses;
   List.iter
     (fun d -> Format.fprintf fmt "@\n  %a" (Diag.pp ()) d)
     r.violations

@@ -55,6 +55,11 @@ type report = {
   sim_skipped : bool;
       (** the simulation comparison did not apply (nothing pruned, or
           the dynamic execution counts diverge from the plan) *)
+  sim_skip_reason : string option;
+      (** why, when [sim_skipped]; [None] when the comparison ran *)
+  sim_witnesses : int;
+      (** witness probes carried by the (non-speculative) plan the
+          checker analysed — expected 0; reported for visibility *)
   violations : Diag.t list;
       (** one [Error] per contradicting dependence ([E-crosscheck],
           [E-crosscheck-poly] or [E-crosscheck-sim]) *)

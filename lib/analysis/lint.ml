@@ -135,6 +135,58 @@ let redundant_load (prog : Vm.Prog.t) =
     prog.funcs;
   List.rev !diags
 
+(* W-almost-affine: a memory region that just misses the static
+   dependence engine's prunable set — every unresolved access that may
+   touch it (per points-to) is blocked for one and the same reason.
+   Fixing that single class of blocker would make the whole region
+   statically prunable.  Opt-in (the CLI lint command): the static
+   engine run is not free, and the warning is advisory, so it is not
+   part of {!static_entry} (whose warnings the sweep test pins at 0). *)
+let almost_affine (prog : Vm.Prog.t) =
+  let sd = Statdep.analyse prog in
+  let unres = Hashtbl.create 16 in
+  List.iter
+    (fun (sid, _store, reason) -> Hashtbl.replace unres sid reason)
+    sd.Statdep.unresolved;
+  let nreg = Array.length sd.Statdep.prunable in
+  let blockers = Array.make nreg [] in
+  List.iter
+    (fun (sid, _store, mask) ->
+      match Hashtbl.find_opt unres sid with
+      | Some reason ->
+          for r = 1 to nreg - 1 do
+            if mask land (1 lsl r) <> 0 then
+              blockers.(r) <- (sid, reason) :: blockers.(r)
+          done
+      | None -> ())
+    (Points_to.accesses sd.Statdep.pta);
+  let diags = ref [] in
+  Array.iteri
+    (fun r bs ->
+      if r > 0 && (not sd.Statdep.prunable.(r)) && bs <> [] then begin
+        match List.sort_uniq compare (List.map snd bs) with
+        | [ reason ] ->
+            let sids = List.sort_uniq compare (List.map fst bs) in
+            let sid = List.hd sids in
+            diags :=
+              Diag.warning ~sid ~code:"W-almost-affine"
+                ~fid:(Vm.Isa.Sid.fid sid)
+                (Printf.sprintf
+                   "region %s is almost statically prunable: %d blocking \
+                    access%s, all for the same reason (%s)"
+                   (Points_to.region_name sd.Statdep.pta r)
+                   (List.length sids)
+                   (if List.length sids = 1 then "" else "es")
+                   (Statdep.reason_code reason))
+              :: !diags
+        | _ -> ()
+      end)
+    blockers;
+  List.sort Diag.compare !diags
+
+let with_almost_affine e prog =
+  { e with e_diags = List.sort Diag.compare (e.e_diags @ almost_affine prog) }
+
 let static_entry name (prog : Vm.Prog.t) =
   let diags =
     List.sort Diag.compare

@@ -29,6 +29,17 @@ val redundant_load : Vm.Prog.t -> Diag.t list
     block with no intervening store and no redefinition of the address
     register — the second load can reuse the first one's value. *)
 
+val almost_affine : Vm.Prog.t -> Diag.t list
+(** [W-almost-affine]: a memory region that just misses the static
+    dependence engine's prunable set — every unresolved access that may
+    touch it is blocked for one and the same {!Statdep.reason}, named in
+    the message.  Opt-in (not part of {!analyse}): runs {!Statdep} and
+    is advisory. *)
+
+val with_almost_affine : entry -> Vm.Prog.t -> entry
+(** Append the {!almost_affine} diagnostics to an entry (for the CLI
+    lint command). *)
+
 val analyse : ?name:string -> Vm.Prog.t -> entry
 (** Static passes only (no execution, no cross-check), including
     {!deadcode} and {!redundant_load}. *)

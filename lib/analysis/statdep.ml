@@ -24,11 +24,14 @@ type resolved = {
   r_region : int;
   r_base : int;
   r_coefs : int array;
-  r_trips : int array;
+  r_bounds : (int * int array) array;
   r_sched : int array;
   r_lo : int;
   r_hi : int;
+  r_spec : (int * int * int) option;
 }
+
+type spec_decision = Spec_always of int | Spec_off
 
 type pair_dep = {
   pd_src : Vm.Isa.Sid.t;
@@ -51,6 +54,8 @@ type t = {
   pairs : pair_dep list;
   plan : Dp.static_plan;
   n_accesses : int;
+  speculated : ((int * int) * spec_decision) list;
+  skip_spec : (Vm.Isa.Sid.t, int * int * int) Hashtbl.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -158,7 +163,18 @@ let make_finfo prog frs fid =
 (* Address expansion over the chain's iteration space                  *)
 (* ------------------------------------------------------------------ *)
 
-type dim = { dm_fid : int; dm_loop_id : int; dm_li : AC.loop_info; dm_trip : int }
+(* One chain dimension: a modelable loop whose body-execution count is
+   an affine function of the enclosing chain coordinates,
+   [max 0 (dm_base + dm_coefs . outer)] ([dm_coefs] has one entry per
+   strictly-outer dimension; constant-trip boxes have all-zero
+   coefficients). *)
+type dim = {
+  dm_fid : int;
+  dm_loop_id : int;
+  dm_li : AC.loop_info;
+  dm_base : int;
+  dm_coefs : int array;
+}
 
 let counter_of (li : AC.loop_info) r =
   List.find_map
@@ -247,6 +263,14 @@ type builder = {
   b_live : bool array;
   b_resolved : (Vm.Isa.Sid.t, resolved) Hashtbl.t;
   b_reason : (Vm.Isa.Sid.t, reason) Hashtbl.t;
+  b_speculate : bool;
+  b_directions : ((int * int) * spec_decision) list;
+      (* (fid, guard) -> decision override, from witness refinement *)
+  b_spec_used : (int * int, spec_decision) Hashtbl.t;
+      (* decisions materialised during the walk (defaults included) *)
+  b_skipspec : (Vm.Isa.Sid.t, int * int * int) Hashtbl.t;
+      (* accesses excluded as speculatively never-executed:
+         sid -> (fid, guard, block) *)
 }
 
 let finfo b fid =
@@ -293,46 +317,84 @@ let taint_block b fi bid reason =
       taint b callee R_call
   | _ -> ()
 
-let resolve_access b fi dims ~bid (a : AC.access) out =
+let unit_vec n i = Array.init n (fun k -> if k = i then 1 else 0)
+
+let bounds_of dims =
+  Array.of_list (List.map (fun d -> (d.dm_base, d.dm_coefs)) dims)
+
+(* Iteration-domain constraint rows for [bounds] occupying variable
+   positions [offset .. offset + nd - 1] of an [n]-variable polyhedron:
+   [x_i >= 0] and [x_i <= trip_i - 1] with
+   [trip_i = base_i + coefs_i . (x_offset, .., x_{offset+i-1})] —
+   non-rectangular (triangular, trapezoidal) domains are exactly these
+   rows with non-zero outer coefficients.  Where the affine trip is <= 0
+   the rows are contradictory, matching the runtime clamp at 0. *)
+let domain_rows n ~offset (bounds : (int * int array) array) =
+  let rows = ref [] in
+  Array.iteri
+    (fun i (base, coefs) ->
+      rows := Cs.make Cs.Ge (unit_vec n (offset + i)) 0 :: !rows;
+      let v = Array.make n 0 in
+      v.(offset + i) <- -1;
+      Array.iteri (fun k c -> v.(offset + k) <- v.(offset + k) + c) coefs;
+      rows := Cs.make Cs.Ge v (base - 1) :: !rows)
+    bounds;
+  !rows
+
+(* exact inclusive address range of [base + coefs . x] over the
+   iteration domain, by rational LP (floor/ceil keeps the integer hull
+   inside) *)
+let addr_range bounds base coefs =
+  let nd = Array.length bounds in
+  if nd = 0 then Some (base, base)
+  else
+    let dom = P.make nd (domain_rows nd ~offset:0 bounds) in
+    let obj = Af.of_int_coeffs coefs 0 in
+    match (Minisl.Lp.minimize dom obj, Minisl.Lp.maximize dom obj) with
+    | Minisl.Lp.Opt mn, Minisl.Lp.Opt mx ->
+        Some (base + Rat.floor mn, base + Rat.ceil mx)
+    | Minisl.Lp.Infeasible, _ | _, Minisl.Lp.Infeasible ->
+        (* empty iteration domain: the access never executes *)
+        Some (base, base)
+    | _ -> None
+
+let resolve_access b fi dims ~bid ?spec (a : AC.access) out =
   match a.AC.acc_addr with
   | AC.Lin l -> (
       match expand fi l dims ~bid ~fuel:16 with
-      | Some (base, coefs) ->
-          let trips = List.map (fun d -> d.dm_trip) dims in
-          let lo = ref base and hi = ref base in
-          List.iteri
-            (fun i trip ->
-              let top = max 0 (trip - 1) in
-              if coefs.(i) >= 0 then hi := !hi + (coefs.(i) * top)
-              else lo := !lo + (coefs.(i) * top))
-            trips;
-          let region = Points_to.region_of_addr b.b_pta !lo in
-          let in_region =
-            match Points_to.region_range b.b_pta region with
-            | Some (rbase, rsize) -> !lo >= rbase && !hi < rbase + rsize
-            | None -> false
-          in
-          if in_region then begin
-            Hashtbl.replace b.b_resolved a.AC.acc_sid
-              { r_sid = a.AC.acc_sid;
-                r_store = a.AC.acc_store;
-                r_fid = fi.fi_fid;
-                r_region = region;
-                r_base = base;
-                r_coefs = coefs;
-                r_trips = Array.of_list trips;
-                r_sched = [||];  (* filled by the post-construction walk *)
-                r_lo = !lo;
-                r_hi = !hi };
-            out :=
-              Dp.Sacc
-                { Dp.sa_sid = a.AC.acc_sid;
-                  sa_store = a.AC.acc_store;
-                  sa_base = base;
-                  sa_coefs = coefs }
-              :: !out
-          end
-          else set_reason b a.AC.acc_sid R_range
+      | Some (base, coefs) -> (
+          let bounds = bounds_of dims in
+          match addr_range bounds base coefs with
+          | None -> set_reason b a.AC.acc_sid R_range
+          | Some (lo, hi) ->
+              let region = Points_to.region_of_addr b.b_pta lo in
+              let in_region =
+                match Points_to.region_range b.b_pta region with
+                | Some (rbase, rsize) -> lo >= rbase && hi < rbase + rsize
+                | None -> false
+              in
+              if in_region then begin
+                Hashtbl.replace b.b_resolved a.AC.acc_sid
+                  { r_sid = a.AC.acc_sid;
+                    r_store = a.AC.acc_store;
+                    r_fid = fi.fi_fid;
+                    r_region = region;
+                    r_base = base;
+                    r_coefs = coefs;
+                    r_bounds = bounds;
+                    r_sched = [||];  (* filled by the post-construction walk *)
+                    r_lo = lo;
+                    r_hi = hi;
+                    r_spec = spec };
+                out :=
+                  Dp.Sacc
+                    { Dp.sa_sid = a.AC.acc_sid;
+                      sa_store = a.AC.acc_store;
+                      sa_base = base;
+                      sa_coefs = coefs }
+                  :: !out
+              end
+              else set_reason b a.AC.acc_sid R_range)
       | None -> set_reason b a.AC.acc_sid R_nonaffine)
   | AC.Loaded | AC.Mixed | AC.Opaque -> set_reason b a.AC.acc_sid R_nonaffine
 
@@ -345,6 +407,57 @@ let exits_only_from_header fi (lp : L.loop) =
            (fun s -> List.mem s lp.L.members)
            (Cfg.Digraph.succs fi.fi_graph m))
     lp.L.members
+
+(* Speculation candidate: [bid] is conditionally executed only because
+   of a single data-dependent branch in a triangle/diamond shape — its
+   unique predecessor [g] is always executed, branches to [bid] and at
+   most one other simple block, and both arms rejoin at [bid]'s unique
+   successor.  Returns [(guard, then_succ, else_succ, join)]. *)
+let spec_candidate b fi ~always bid =
+  if not b.b_speculate then None
+  else
+    match fi.fi_func.blocks.(bid).term with
+    | Vm.Isa.Jump join -> (
+        match Cfg.Digraph.preds fi.fi_graph bid with
+        | [ g ] when always g -> (
+            match fi.fi_func.blocks.(g).term with
+            | Vm.Isa.Br (_, bt, be) when bt <> be && (bid = bt || bid = be) ->
+                let other = if bid = bt then be else bt in
+                let other_ok =
+                  other = join
+                  || (Cfg.Digraph.preds fi.fi_graph other = [ g ]
+                     &&
+                     match fi.fi_func.blocks.(other).term with
+                     | Vm.Isa.Jump j -> j = join
+                     | _ -> false)
+                in
+                if other_ok then Some (g, bt, be, join) else None
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+
+(* One decision per guard, shared by both arms and stable across the
+   walk: an explicit [directions] override wins, otherwise speculate
+   that the first arm carrying accesses always executes. *)
+let spec_decision b fi (guard, bt, be, join) =
+  let key = (fi.fi_fid, guard) in
+  match Hashtbl.find_opt b.b_spec_used key with
+  | Some d -> d
+  | None ->
+      let d =
+        match List.assoc_opt key b.b_directions with
+        | Some d -> d
+        | None -> (
+            let sides = List.filter (fun s -> s <> join) [ bt; be ] in
+            let with_acc =
+              List.filter (fun s -> Hashtbl.mem fi.fi_acc s) sides
+            in
+            match (with_acc, sides) with
+            | s :: _, _ | [], s :: _ -> Spec_always s
+            | [], [] -> Spec_off)
+      in
+      Hashtbl.replace b.b_spec_used key d;
+      d
 
 let rec emit_func b fid dims out ~visiting =
   let fi = finfo b fid in
@@ -403,7 +516,34 @@ and emit_region b fi dims out ~parent ~visiting =
                     emit_call b callee dims out ~visiting
                 | _ -> ()
               end
-              else taint_block b fi bid R_cond
+              else begin
+                match spec_candidate b fi ~always bid with
+                | Some ((guard, _, _, _) as cand) -> (
+                    match spec_decision b fi cand with
+                    | Spec_always t when t = bid -> (
+                        match Hashtbl.find_opt fi.fi_acc bid with
+                        | Some accs ->
+                            List.iter
+                              (fun a ->
+                                resolve_access b fi dims ~bid
+                                  ~spec:(fi.fi_fid, guard, bid) a out)
+                              accs
+                        | None -> ())
+                    | Spec_always _ -> (
+                        (* the arm speculated never to execute: exclude
+                           its accesses under an [Expect_skip] witness *)
+                        match Hashtbl.find_opt fi.fi_acc bid with
+                        | Some accs ->
+                            List.iter
+                              (fun (a : AC.access) ->
+                                set_reason b a.AC.acc_sid R_cond;
+                                Hashtbl.replace b.b_skipspec a.AC.acc_sid
+                                  (fi.fi_fid, guard, bid))
+                              accs
+                        | None -> ())
+                    | Spec_off -> taint_block b fi bid R_cond)
+                | None -> taint_block b fi bid R_cond
+              end
             end
       end)
     fi.fi_rpo
@@ -418,28 +558,37 @@ and emit_call b callee dims out ~visiting =
 and emit_loop b fi dims out ~always ~visiting (lc : L.loop) =
   let header = lc.L.header in
   let info = Hashtbl.find_opt fi.fi_li lc.L.loop_id in
-  let modelable =
+  (* the body-execution count as [base + coefs . outer chain coords]:
+     constant boxes and unit-step triangular/trapezoidal nests alike *)
+  let trip_affine =
     match info with
-    | Some (li, _) ->
-        li.AC.li_trip <> None
-        && List.length lc.L.back_edges = 1
-        && exits_only_from_header fi lc
-        && always header
-    | None -> false
+    | Some (li, _) -> (
+        match li.AC.li_trip_lin with
+        | Some tl -> expand fi tl dims ~bid:header ~fuel:16
+        | None -> None)
+    | None -> None
   in
-  match (modelable, info) with
-  | true, Some (li, _) ->
-      let trip = Option.get li.AC.li_trip in
+  let modelable =
+    trip_affine <> None
+    && List.length lc.L.back_edges = 1
+    && exits_only_from_header fi lc
+    && always header
+  in
+  match (modelable, info, trip_affine) with
+  | true, Some (li, _), Some (tbase, tcoefs) ->
       let latch = fst (List.hd lc.L.back_edges) in
       let d =
         { dm_fid = fi.fi_fid;
           dm_loop_id = lc.L.loop_id;
           dm_li = li;
-          dm_trip = trip }
+          dm_base = tbase;
+          dm_coefs = tcoefs }
       in
       let body = ref [] in
       emit_region b fi (dims @ [ d ]) body ~parent:(Some (lc, latch)) ~visiting;
-      out := Dp.Sloop { sl_trip = trip; sl_body = List.rev !body } :: !out
+      out :=
+        Dp.Sloop { sl_base = tbase; sl_coefs = tcoefs; sl_body = List.rev !body }
+        :: !out
   | _ ->
       (* the whole region (including nested loops and calls) falls back
          to dynamic tracking *)
@@ -449,7 +598,7 @@ and emit_loop b fi dims out ~always ~visiting (lc : L.loop) =
             taint_block b fi m R_loop)
         lc.L.members
 
-(* fill r_trips/r_sched from the finished chain *)
+(* fill r_sched from the finished chain *)
 let rec assign_sched b ~sched_rev items =
   List.iteri
     (fun i item ->
@@ -469,9 +618,6 @@ let rec assign_sched b ~sched_rev items =
 (* Dependence polyhedra                                                *)
 (* ------------------------------------------------------------------ *)
 
-let unit_vec n i = Array.init n (fun k -> if k = i then 1 else 0)
-let neg_unit n i = Array.init n (fun k -> if k = i then -1 else 0)
-
 let common_prefix (s : resolved) (d : resolved) =
   let lim = min (Array.length s.r_coefs) (Array.length d.r_coefs) in
   let rec go i =
@@ -484,19 +630,13 @@ let pair_dep (s : resolved) (d : resolved) kind =
   let n = ds + dd in
   let c = common_prefix s d in
   let base_cons =
-    let doms = ref [] in
-    for i = 0 to ds - 1 do
-      doms := Cs.make Cs.Ge (unit_vec n i) 0 :: !doms;
-      doms := Cs.make Cs.Ge (neg_unit n i) (s.r_trips.(i) - 1) :: !doms
-    done;
-    for j = 0 to dd - 1 do
-      doms := Cs.make Cs.Ge (unit_vec n (ds + j)) 0 :: !doms;
-      doms := Cs.make Cs.Ge (neg_unit n (ds + j)) (d.r_trips.(j) - 1) :: !doms
-    done;
+    let doms =
+      domain_rows n ~offset:0 s.r_bounds @ domain_rows n ~offset:ds d.r_bounds
+    in
     let addr = Array.make n 0 in
     Array.iteri (fun i v -> addr.(i) <- v) s.r_coefs;
     Array.iteri (fun j v -> addr.(ds + j) <- -v) d.r_coefs;
-    Cs.make Cs.Eq addr (s.r_base - d.r_base) :: !doms
+    Cs.make Cs.Eq addr (s.r_base - d.r_base) :: doms
   in
   let eq_dim i =
     let v = Array.make n 0 in
@@ -591,17 +731,19 @@ let pair_dep (s : resolved) (d : resolved) kind =
       && Array.for_all Option.is_some (Array.sub dists 0 ds)
     then begin
       let delta = Array.init ds (fun k -> Option.get dists.(k)) in
-      let cons = ref [] in
-      for j = 0 to dd - 1 do
-        cons := Cs.make Cs.Ge (unit_vec dd j) 0 :: !cons;
-        cons := Cs.make Cs.Ge (neg_unit dd j) (d.r_trips.(j) - 1) :: !cons
-      done;
+      let cons = ref (domain_rows dd ~offset:0 d.r_bounds) in
       for k = 0 to ds - 1 do
-        (* the producer instance y_k - delta_k must exist *)
+        (* the producer instance y_k - delta_k must exist: in
+           particular it must respect the producer's (possibly outer-
+           dependent) trip bound evaluated at the producer coordinates *)
         cons := Cs.make Cs.Ge (unit_vec dd k) (-delta.(k)) :: !cons;
-        cons :=
-          Cs.make Cs.Ge (neg_unit dd k) (s.r_trips.(k) - 1 + delta.(k))
-          :: !cons
+        let sb, sc = s.r_bounds.(k) in
+        let v = Array.make dd 0 in
+        v.(k) <- -1;
+        Array.iteri (fun j cj -> v.(j) <- v.(j) + cj) sc;
+        let const = ref (sb - 1 + delta.(k)) in
+        Array.iteri (fun j cj -> const := !const - (cj * delta.(j))) sc;
+        cons := Cs.make Cs.Ge v !const :: !cons
       done;
       let dom = P.make dd !cons in
       if Minisl.Lp.feasible dom then
@@ -643,7 +785,7 @@ let live_funcs (prog : Vm.Prog.t) (frs : AC.func_result array) =
   visit prog.main;
   live
 
-let analyse (prog : Vm.Prog.t) =
+let analyse ?(speculate = false) ?(directions = []) (prog : Vm.Prog.t) =
   Obs.Span.with_ ~cat:"analysis" "analysis.statdep" @@ fun () ->
   let pta = Points_to.analyse prog in
   let frs = AC.analyse_prog prog in
@@ -667,7 +809,11 @@ let analyse (prog : Vm.Prog.t) =
       b_sites = sites;
       b_live = live;
       b_resolved = Hashtbl.create 64;
-      b_reason = Hashtbl.create 64 }
+      b_reason = Hashtbl.create 64;
+      b_speculate = speculate;
+      b_directions = directions;
+      b_spec_used = Hashtbl.create 4;
+      b_skipspec = Hashtbl.create 4 }
   in
   let out = ref [] in
   emit_func b prog.main [] out ~visiting:[ prog.main ];
@@ -713,7 +859,13 @@ let analyse (prog : Vm.Prog.t) =
         let fi = finfo b fid in
         bid >= 0 && bid < Array.length fi.fi_reach && fi.fi_reach.(bid)
       in
-      if live_acc && not (Hashtbl.mem b.b_resolved sid) then
+      if
+        live_acc
+        && not (Hashtbl.mem b.b_resolved sid)
+        && not (Hashtbl.mem b.b_skipspec sid)
+        (* speculatively never-executed: guarded by an Expect_skip
+           witness below instead of blocking prunability *)
+      then
         for r = 1 to nreg - 1 do
           if mask land (1 lsl r) <> 0 then prunable.(r) <- false
         done)
@@ -731,10 +883,10 @@ let analyse (prog : Vm.Prog.t) =
       (fun item ->
         match item with
         | Dp.Sacc a -> if Hashtbl.mem pruned a.Dp.sa_sid then Some item else None
-        | Dp.Sloop { sl_trip; sl_body } -> (
+        | Dp.Sloop { sl_base; sl_coefs; sl_body } -> (
             match filter_items sl_body with
             | [] -> None
-            | body -> Some (Dp.Sloop { sl_trip; sl_body = body })))
+            | body -> Some (Dp.Sloop { sl_base; sl_coefs; sl_body = body })))
       items
   in
   let sp_resolved = Hashtbl.create 64 in
@@ -747,9 +899,58 @@ let analyse (prog : Vm.Prog.t) =
             sa_base = r.r_base;
             sa_coefs = r.r_coefs })
     b.b_resolved;
+  (* witnesses: every speculation that is load-bearing for the pruned
+     set ships as a runtime probe.  [Expect_taken] when a pruned access
+     was resolved under the speculation; [Expect_skip] when an excluded
+     arm's accesses may touch a prunable region (unknown masks are
+     probed conservatively). *)
+  let acc_mask = Hashtbl.create 16 in
+  List.iter
+    (fun (sid, _store, mask) ->
+      let m = Option.value ~default:0 (Hashtbl.find_opt acc_mask sid) in
+      Hashtbl.replace acc_mask sid (m lor mask))
+    (Points_to.accesses pta);
+  let wit = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun sid (r : resolved) ->
+      if Hashtbl.mem pruned sid then
+        match r.r_spec with
+        | Some (fid, guard, blk) ->
+            Hashtbl.replace wit
+              { Dp.w_fid = fid;
+                w_guard = guard;
+                w_block = blk;
+                w_expect = Dp.Expect_taken }
+              ()
+        | None -> ())
+    b.b_resolved;
+  Hashtbl.iter
+    (fun sid (fid, guard, blk) ->
+      let mask = Option.value ~default:0 (Hashtbl.find_opt acc_mask sid) in
+      let touches_prunable =
+        mask = 0
+        ||
+        let t = ref false in
+        for r = 1 to nreg - 1 do
+          if prunable.(r) && mask land (1 lsl r) <> 0 then t := true
+        done;
+        !t
+      in
+      if touches_prunable then
+        Hashtbl.replace wit
+          { Dp.w_fid = fid;
+            w_guard = guard;
+            w_block = blk;
+            w_expect = Dp.Expect_skip }
+          ())
+    b.b_skipspec;
+  let sp_witnesses =
+    List.sort compare (Hashtbl.fold (fun w () acc -> w :: acc) wit [])
+  in
   let plan =
     { Dp.sp_items = filter_items items;
       sp_resolved;
+      sp_witnesses;
       sp_mem_size = prog.mem_size }
   in
   (* static dependence summaries over resolved same-region pairs *)
@@ -788,7 +989,59 @@ let analyse (prog : Vm.Prog.t) =
     pruned;
     pairs;
     plan;
-    n_accesses = !n_accesses }
+    n_accesses = !n_accesses;
+    speculated =
+      List.sort compare
+        (Hashtbl.fold (fun k d acc -> (k, d) :: acc) b.b_spec_used []);
+    skip_spec = b.b_skipspec }
+
+(* ------------------------------------------------------------------ *)
+(* Witness refinement and hybrid fallback                              *)
+(* ------------------------------------------------------------------ *)
+
+let refine t ~directions (outcomes : Dp.witness_outcome list) =
+  let dirs = ref directions in
+  List.iter
+    (fun (o : Dp.witness_outcome) ->
+      if o.Dp.wo_misses > 0 then begin
+        let w = o.Dp.wo_witness in
+        let key = (w.Dp.w_fid, w.Dp.w_guard) in
+        let d =
+          if o.Dp.wo_hits > 0 || List.mem_assoc key directions then
+            (* branch goes both ways (or a flipped speculation failed
+               again): give up on this guard *)
+            Spec_off
+          else
+            (* monotone miss: the branch is one-sided, just not the
+               side we guessed — flip deterministically *)
+            match t.prog.funcs.(w.Dp.w_fid).blocks.(w.Dp.w_guard).term with
+            | Vm.Isa.Br (_, bt, be) -> (
+                match w.Dp.w_expect with
+                | Dp.Expect_taken ->
+                    Spec_always (if w.Dp.w_block = bt then be else bt)
+                | Dp.Expect_skip -> Spec_always w.Dp.w_block)
+            | _ -> Spec_off
+        in
+        dirs := (key, d) :: List.remove_assoc key !dirs
+      end)
+    outcomes;
+  List.sort compare !dirs
+
+let fallback_profile ?(speculate = true) prog ~profile =
+  let rec go directions reruns =
+    let t = analyse ~speculate ~directions prog in
+    match profile t.plan with
+    | r -> (t, r, reruns)
+    | exception Dp.Witness_failure outcomes ->
+        if reruns >= 4 then begin
+          (* refinement did not converge: demote everything speculative
+             to full shadow tracking *)
+          let t = analyse ~speculate:false prog in
+          (t, profile t.plan, reruns + 1)
+        end
+        else go (refine t ~directions outcomes) (reruns + 1)
+  in
+  go [] 0
 
 (* ------------------------------------------------------------------ *)
 (* Queries and pretty-printing                                         *)

@@ -3,21 +3,24 @@
     Klimov's exact polyhedral models for the affine parts of a
     program).
 
-    For loop nests that {!Affine_class} proves fully affine with
-    compile-time bounds and {!Points_to} proves alias-free, the engine
+    For loop nests that {!Affine_class} proves fully affine and
+    {!Points_to} proves alias-free, the engine
 
     - reconstructs the program's {e once-executed chain}: per function,
       the blocks that execute exactly once per region entry (they
       dominate the region's latch, or every function exit), with
-      constant-trip loops as nested items and single-call-site callees
+      affine-trip loops as nested items and single-call-site callees
       inlined at their call position;
     - {e resolves} every access in the chain whose address is affine in
       the enclosing induction registers: the address becomes
-      [base + coefs . iteration-vector] with a concrete per-dimension
-      trip count, and its exact address range must lie within a single
-      named memory region;
+      [base + coefs . iteration-vector] over a (possibly
+      non-rectangular) iteration domain whose per-dimension bound is
+      itself affine in the outer coordinates — triangular and
+      trapezoidal nests included — and its exact address range (by
+      rational LP over the domain) must lie within a single named
+      memory region;
     - builds {e dependence polyhedra} for every resolved pair sharing a
-      region: iteration-domain bounds, address equality and
+      region: iteration-domain constraint rows, address equality and
       lexicographic-precedence disjuncts over [src ++ dst] iteration
       space, decided exactly by {!Minisl.Lp.feasible} (rational
       infeasibility implies integer independence), yielding
@@ -28,7 +31,15 @@
       prunable when every access that may touch it (per points-to) is
       resolved; accesses assigned to prunable regions can skip dynamic
       shadow tracking ({!Ddg.Depprof} [~static_prune]) because the
-      plan's simulation re-derives their dependences exactly. *)
+      plan's simulation re-derives their dependences exactly;
+    - optionally ([~speculate]) treats a block guarded only by a
+      data-dependent branch in a triangle/diamond as {e speculatively}
+      once-executed (Klimov's weakly dynamic affine programs): the
+      model stays polyhedral, the speculation ships in the plan as a
+      {!Ddg.Depprof.witness} probe, and a refuted witness makes the
+      profiler raise before producing a result so {!fallback_profile}
+      can refine the speculation ({!refine}) and rerun, ultimately
+      demoting the region to full shadow tracking. *)
 
 type reason =
   | R_nonaffine  (** address not affine / symbolic parameter *)
@@ -47,7 +58,11 @@ type resolved = {
   r_region : int;  (** {!Points_to} region index *)
   r_base : int;
   r_coefs : int array;  (** address = base + coefs . coords *)
-  r_trips : int array;  (** per-dimension constant trip counts *)
+  r_bounds : (int * int array) array;
+      (** per-dimension trip bound [base + coefs . outer coords]
+          (clamped at 0 at runtime): dimension [i]'s coefficient array
+          has [i] entries, one per strictly-outer dimension; constant
+          boxes have all-zero coefficients *)
   r_sched : int array;
       (** static schedule: position of each ancestor chain item within
           its parent, plus the access's own position (length
@@ -55,7 +70,14 @@ type resolved = {
           (position, coordinate) vectors is the execution order *)
   r_lo : int;
   r_hi : int;  (** inclusive exact address range *)
+  r_spec : (int * int * int) option;
+      (** [(fid, guard, block)] when resolution relied on speculating
+          that [guard] always branches to [block] *)
 }
+
+type spec_decision =
+  | Spec_always of int  (** speculate this branch successor always runs *)
+  | Spec_off  (** do not speculate this guard *)
 
 type pair_dep = {
   pd_src : Vm.Isa.Sid.t;  (** the (earlier) store *)
@@ -81,9 +103,41 @@ type t = {
   pairs : pair_dep list;
   plan : Ddg.Depprof.static_plan;  (** pruned accesses only *)
   n_accesses : int;  (** reachable accesses in live functions *)
+  speculated : ((int * int) * spec_decision) list;
+      (** decision taken per [(fid, guard)] candidate; sorted *)
+  skip_spec : (Vm.Isa.Sid.t, int * int * int) Hashtbl.t;
+      (** accesses excluded as speculatively never-executed,
+          [sid -> (fid, guard, block)] *)
 }
 
-val analyse : Vm.Prog.t -> t
+val analyse : ?speculate:bool -> ?directions:((int * int) * spec_decision) list
+  -> Vm.Prog.t -> t
+(** [speculate] (default [false]) enables witness-checked speculation
+    on data-dependent guards; [directions] overrides the per-guard
+    decision (from {!refine}).  With [speculate:false] the result —
+    including the plan's pruned set and trace-elision behaviour — is
+    deterministic and witness-free. *)
+
+val refine :
+  t ->
+  directions:((int * int) * spec_decision) list ->
+  Ddg.Depprof.witness_outcome list ->
+  ((int * int) * spec_decision) list
+(** Updated [directions] after a {!Ddg.Depprof.Witness_failure}: a
+    guard observed one-sided against the speculation is flipped once; a
+    guard observed both ways (or failing after a flip) is turned off. *)
+
+val fallback_profile :
+  ?speculate:bool ->
+  Vm.Prog.t ->
+  profile:(Ddg.Depprof.static_plan -> 'a) ->
+  t * 'a * int
+(** Hybrid driver: analyse (speculatively by default), run [profile]
+    on the plan, and on {!Ddg.Depprof.Witness_failure} refine the
+    speculation directions and deterministically rerun, falling back
+    to a non-speculative plan if refinement does not converge.
+    Returns the final analysis, the profile result and the number of
+    reruns (0 when every witness held first try). *)
 
 val pair_of :
   t -> src:Vm.Isa.Sid.t -> dst:Vm.Isa.Sid.t -> Ddg.Depprof.dep_kind ->

@@ -52,12 +52,35 @@ type dep_info = {
   dst_depth : int;
 }
 
+(* Witness checks (speculative pruning): the static engine may prune a
+   region whose model holds only under an assumption about a
+   data-dependent branch.  Each assumption is a [witness]; the engine
+   probes the guard's branch events at run time, and a run whose
+   behaviour contradicts a witness raises {!Witness_failure} before any
+   result is materialised (the caller re-analyses with the speculation
+   refined and reruns). *)
+type witness_expect =
+  | Expect_taken  (* the guard always branches to [w_block] *)
+  | Expect_skip  (* the guard never branches to [w_block] *)
+
+type witness = {
+  w_fid : int;
+  w_guard : int;  (* block whose terminator is the speculated branch *)
+  w_block : int;  (* the branch successor the speculation is about *)
+  w_expect : witness_expect;
+}
+
+type witness_outcome = { wo_witness : witness; wo_hits : int; wo_misses : int }
+
+exception Witness_failure of witness_outcome list
+
 type result = {
   stmts : stmt_info list;
   deps : dep_info list;
   pruned_dep_edges : int;
   total_dep_edges : int;
   statically_pruned : int;
+  witnesses : witness_outcome list;
   stree : Sched_tree.t;
   cct : Cct.t;
   run_stats : Vm.Interp.stats;
@@ -77,17 +100,25 @@ type static_access = {
 
 type static_item =
   | Sacc of static_access
-  | Sloop of { sl_trip : int; sl_body : static_item list }
+  | Sloop of { sl_base : int; sl_coefs : int array; sl_body : static_item list }
 
 type static_plan = {
   sp_items : static_item list;
       (** the program's once-executed chain restricted to pruned
-          accesses: straight-line items and constant-trip loops, in
+          accesses: straight-line items and affine-trip loops (runtime
+          trip = [max 0 (sl_base + sl_coefs . outer coords)]), in
           execution order *)
   sp_resolved : (Vm.Isa.Sid.t, static_access) Hashtbl.t;
       (** the pruned accesses, keyed by statement id *)
+  sp_witnesses : witness list;
+      (** speculation assumptions the plan depends on *)
   sp_mem_size : int;
 }
+
+let loop_trip ~base ~coefs (coords : int array) =
+  let t = ref base in
+  Array.iteri (fun i c -> t := !t + (c * coords.(i))) coefs;
+  max 0 !t
 
 type stmt_rec = {
   collector : Fold.Collector.t;
@@ -119,6 +150,12 @@ type dep_point = {
 }
 
 type rec_buf = { mutable pts : dep_point list (* reversed *); mutable rn : int }
+
+type witness_state = {
+  ws_w : witness;
+  mutable ws_hits : int;
+  mutable ws_misses : int;
+}
 
 let label_kind_of prog sid =
   match Vm.Prog.instr_at prog sid with
@@ -167,6 +204,8 @@ type engine = {
   deps : (dep_key, dep_rec) Hashtbl.t;  (* direct folding *)
   recs : (dep_key, rec_buf) Hashtbl.t;  (* buffered edges *)
   e_prune : static_plan option;
+  e_witness : (int * int, witness_state list) Hashtbl.t;
+      (* (fid, guard block) -> probes on that guard's branch *)
   mutable n_pruned : int;  (* accesses whose shadow tracking was skipped *)
   mutable seq : int;  (* exec events seen *)
   mutable peak_shadow : int;
@@ -194,6 +233,17 @@ let make_engine ?(config = default_config) ?(buffer_deps = false)
   | Some _ when nshards > 1 ->
       invalid_arg "Depprof: static pruning is sequential-only"
   | _ -> ());
+  let e_witness = Hashtbl.create 8 in
+  (match static_prune with
+  | Some p ->
+      List.iter
+        (fun w ->
+          let key = (w.w_fid, w.w_guard) in
+          Hashtbl.replace e_witness key
+            ({ ws_w = w; ws_hits = 0; ws_misses = 0 }
+            :: Option.value ~default:[] (Hashtbl.find_opt e_witness key)))
+        p.sp_witnesses
+  | None -> ());
   { e_config = config;
     e_prog = prog;
     e_structure = structure;
@@ -210,6 +260,7 @@ let make_engine ?(config = default_config) ?(buffer_deps = false)
     deps = Hashtbl.create 512;
     recs = Hashtbl.create 512;
     e_prune = static_prune;
+    e_witness;
     n_pruned = 0;
     seq = 0;
     peak_shadow = 0 }
@@ -232,7 +283,23 @@ let on_control e ev =
   (match ev with
   | Vm.Event.Call _ -> Shadow.push_frame e.shadow
   | Vm.Event.Return _ -> Shadow.pop_frame e.shadow
-  | Vm.Event.Jump _ -> ());
+  | Vm.Event.Jump { fid; src; dst } -> (
+      (* witness probe: every branch of a speculated guard either
+         confirms or refutes the speculation *)
+      match Hashtbl.find_opt e.e_witness (fid, src) with
+      | Some wss ->
+          List.iter
+            (fun ws ->
+              let taken = dst = ws.ws_w.w_block in
+              let ok =
+                match ws.ws_w.w_expect with
+                | Expect_taken -> taken
+                | Expect_skip -> not taken
+              in
+              if ok then ws.ws_hits <- ws.ws_hits + 1
+              else ws.ws_misses <- ws.ws_misses + 1)
+            wss
+      | None -> ()));
   List.iter (apply_levent e) (Loop_events.feed e.levents ev)
 
 let stmt_rec_of e ctx sid depth first_value =
@@ -413,6 +480,24 @@ let callbacks e =
 let start e = List.iter (apply_levent e) (Loop_events.start e.levents)
 let finish e = List.iter (apply_levent e) (Loop_events.finish e.levents)
 
+let witness_outcomes e =
+  Hashtbl.fold
+    (fun _ wss acc ->
+      List.map
+        (fun ws ->
+          { wo_witness = ws.ws_w; wo_hits = ws.ws_hits; wo_misses = ws.ws_misses })
+        wss
+      @ acc)
+    e.e_witness []
+  |> List.sort compare
+
+(* Must run after [finish] and before [finalize]: a refuted witness
+   means the pruned run skipped shadow tracking it actually needed, so
+   no result may be materialised from this engine. *)
+let check_witnesses e =
+  let os = witness_outcomes e in
+  if List.exists (fun o -> o.wo_misses > 0) os then raise (Witness_failure os)
+
 (* ------------------------------------------------------------------ *)
 (* Finalisation                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -531,15 +616,18 @@ let simulate_plan e (plan : static_plan) =
               | Some origin -> emit Mem_dep origin a.sa_sid coords
               | None -> ()
             end
-        | Sloop { sl_trip; sl_body } ->
+        | Sloop { sl_base; sl_coefs; sl_body } ->
             let d = !depth in
+            if Array.length sl_coefs <> d then
+              failwith "Depprof: static plan loop depth mismatch";
             if d >= Array.length !coords_buf then begin
               let grown = Array.make (2 * Array.length !coords_buf) 0 in
               Array.blit !coords_buf 0 grown 0 (Array.length !coords_buf);
               coords_buf := grown
             end;
+            let trip = loop_trip ~base:sl_base ~coefs:sl_coefs !coords_buf in
             depth := d + 1;
-            for k = 0 to sl_trip - 1 do
+            for k = 0 to trip - 1 do
               !coords_buf.(d) <- k;
               go sl_body
             done;
@@ -625,6 +713,7 @@ let finalize e ~run_stats =
     pruned_dep_edges = !pruned;
     total_dep_edges = !total_dep_edges;
     statically_pruned = e.n_pruned;
+    witnesses = witness_outcomes e;
     stree = e.e_stree;
     cct = e.e_cct;
     run_stats;
@@ -640,6 +729,7 @@ let profile ?config ?max_steps ?args ?static_prune prog ~structure =
     Vm.Interp.run ?max_steps ?args ~callbacks:(callbacks e) prog
   in
   finish e;
+  check_witnesses e;
   finalize e ~run_stats
 
 let profile_replay ?config ?static_prune ~feed ~run_stats prog ~structure =
@@ -650,6 +740,7 @@ let profile_replay ?config ?static_prune ~feed ~run_stats prog ~structure =
   start e;
   feed (callbacks e);
   finish e;
+  check_witnesses e;
   finalize e ~run_stats
 
 (* The invariant behind [~static_prune]: modulo the schedule tree and
@@ -795,6 +886,7 @@ module Sharded = struct
       pruned_dep_edges = !pruned;
       total_dep_edges = !total_dep_edges;
       statically_pruned = 0;
+      witnesses = [];
       stree = lead.pt_stree;
       cct = lead.pt_cct;
       run_stats;

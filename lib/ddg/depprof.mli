@@ -56,6 +56,34 @@ type dep_info = {
   dst_depth : int;
 }
 
+(** {2 Witness checks (speculative pruning)}
+
+    The static engine may prune a region whose polyhedral model holds
+    only under a speculation about a data-dependent branch (Klimov's
+    weakly dynamic affine programs).  Each speculation ships in the plan
+    as a {!witness}: a probe on one branch successor of a guard block.
+    The profiling engine counts confirming ([wo_hits]) and refuting
+    ([wo_misses]) branch events; a run that refutes any witness raises
+    {!Witness_failure} {e before} materialising a result, so a caller
+    (see [Analysis.Statdep.fallback_profile]) can refine the speculation
+    and rerun deterministically with the affected region demoted to full
+    shadow tracking. *)
+
+type witness_expect =
+  | Expect_taken  (** the guard always branches to [w_block] *)
+  | Expect_skip  (** the guard never branches to [w_block] *)
+
+type witness = {
+  w_fid : int;
+  w_guard : int;  (** block whose terminator is the speculated branch *)
+  w_block : int;  (** the branch successor the speculation is about *)
+  w_expect : witness_expect;
+}
+
+type witness_outcome = { wo_witness : witness; wo_hits : int; wo_misses : int }
+
+exception Witness_failure of witness_outcome list
+
 type result = {
   stmts : stmt_info list;
   deps : dep_info list;  (** with SCEV-producer/consumer edges pruned *)
@@ -64,6 +92,9 @@ type result = {
   statically_pruned : int;
       (** dynamic accesses whose shadow tracking was skipped under
           [~static_prune] (0 otherwise) *)
+  witnesses : witness_outcome list;
+      (** outcome of every witness probe of the plan (all confirming,
+          or the run would have raised {!Witness_failure}) *)
   stree : Sched_tree.t;
   cct : Cct.t;
   run_stats : Vm.Interp.stats;
@@ -94,13 +125,24 @@ type static_access = {
 
 type static_item =
   | Sacc of static_access
-  | Sloop of { sl_trip : int; sl_body : static_item list }
+  | Sloop of { sl_base : int; sl_coefs : int array; sl_body : static_item list }
+      (** affine-trip loop: at runtime the body executes
+          [max 0 (sl_base + sl_coefs . outer coords)] times, where
+          [sl_coefs] has one entry per enclosing loop dimension
+          (constant-trip boxes have [sl_coefs = [||]] at top level or
+          all-zero coefficients) *)
 
 type static_plan = {
   sp_items : static_item list;
   sp_resolved : (Vm.Isa.Sid.t, static_access) Hashtbl.t;
+  sp_witnesses : witness list;
   sp_mem_size : int;
 }
+
+val loop_trip : base:int -> coefs:int array -> int array -> int
+(** Runtime trip count of an {!Sloop} at the given outer coordinates
+    (only the first [Array.length coefs] entries are read), clamped at
+    0. *)
 
 val profile :
   ?config:config ->
@@ -114,7 +156,9 @@ val profile :
     previous Instrumentation-I run ({!Cfg.Cfg_builder.run}).
     [static_prune] requires a complete (non-truncated) run; the
     injection asserts its simulated execution counts against the run's
-    and raises [Failure] on mismatch. *)
+    and raises [Failure] on mismatch.
+    @raise Witness_failure when the run refutes a plan witness (checked
+    before any injection or finalisation). *)
 
 val profile_replay :
   ?config:config ->

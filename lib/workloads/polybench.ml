@@ -203,4 +203,148 @@ let trisolv =
       arrays = [ ("Lt", n * n); ("bt", n); ("xt", n) ];
       main = "main" }
 
-let all = [ gemm; jacobi_2d; atax; mvt; seidel_1d; trisolv ]
+(* ------------------------------------------------------------------ *)
+(* cholesky: in-place lower-triangular factorisation (no sqrt: the     *)
+(* diagonal is regularised instead, which keeps the access pattern)    *)
+(* ------------------------------------------------------------------ *)
+
+let cholesky =
+  let n = 32 in
+  let at r c = (r *! i n) +! c in
+  let kernel =
+    H.fundef "cholesky_kernel" []
+      [ H.for_ ~loc:(loc "cholesky.c" 8) "r" (i 0) (i n)
+          [ H.for_ ~loc:(loc "cholesky.c" 9) "c" (i 0) (v "r")
+              [ H.for_ ~loc:(loc "cholesky.c" 11) "k" (i 0) (v "c")
+                  [ H.Let ("a", "Ach".%[at (v "r") (v "k")]);
+                    H.Let ("b", "Ach".%[at (v "c") (v "k")]);
+                    H.Let ("acc", "Ach".%[at (v "r") (v "c")]);
+                    store "Ach" (at (v "r") (v "c"))
+                      (v "acc" -? (v "a" *? v "b")) ];
+                H.Let ("d", "Ach".%[at (v "c") (v "c")]);
+                H.Let ("acc2", "Ach".%[at (v "r") (v "c")]);
+                store "Ach" (at (v "r") (v "c"))
+                  (v "acc2" /? (v "d" +? f 1.0)) ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "Ach" (n * n)
+      @ [ H.CallS (None, "cholesky_kernel", []) ])
+  in
+  Workload.make ~name:"cholesky" ~kernel:"cholesky_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("Ach", n * n) ];
+      main = "main" }
+
+(* ------------------------------------------------------------------ *)
+(* trmm: B := A^T B with unit-diagonal triangular A (affine lower       *)
+(* bound k = r+1 in an outer IV)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let trmm =
+  let m = 24 in
+  let at r c = (r *! i m) +! c in
+  let kernel =
+    H.fundef "trmm_kernel" []
+      [ H.for_ ~loc:(loc "trmm.c" 8) "r" (i 0) (i m)
+          [ H.for_ ~loc:(loc "trmm.c" 9) "c" (i 0) (i m)
+              [ H.for_ ~loc:(loc "trmm.c" 11) "k" (v "r" +! i 1) (i m)
+                  [ H.Let ("a", "Atm".%[at (v "k") (v "r")]);
+                    H.Let ("b", "Btm".%[at (v "k") (v "c")]);
+                    H.Let ("acc", "Btm".%[at (v "r") (v "c")]);
+                    store "Btm" (at (v "r") (v "c"))
+                      (v "acc" +? (v "a" *? v "b")) ];
+                H.Let ("acc2", "Btm".%[at (v "r") (v "c")]);
+                store "Btm" (at (v "r") (v "c")) (f 1.5 *? v "acc2") ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "Atm" (m * m)
+      @ Workload.init_float_array "Btm" (m * m)
+      @ [ H.CallS (None, "trmm_kernel", []) ])
+  in
+  Workload.make ~name:"trmm" ~kernel:"trmm_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("Atm", m * m); ("Btm", m * m) ];
+      main = "main" }
+
+(* ------------------------------------------------------------------ *)
+(* lu: in-place LU factorisation (trapezoidal: both inner loops start   *)
+(* at k+1)                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lu =
+  let n = 28 in
+  let at r c = (r *! i n) +! c in
+  let kernel =
+    H.fundef "lu_kernel" []
+      [ H.for_ ~loc:(loc "lu.c" 8) "k" (i 0) (i n)
+          [ H.for_ ~loc:(loc "lu.c" 9) "c" (v "k" +! i 1) (i n)
+              [ H.Let ("p", "Alu".%[at (v "k") (v "k")]);
+                H.Let ("u", "Alu".%[at (v "k") (v "c")]);
+                store "Alu" (at (v "k") (v "c"))
+                  (v "u" /? (v "p" +? f 1.0)) ];
+            H.for_ ~loc:(loc "lu.c" 12) "r" (v "k" +! i 1) (i n)
+              [ H.for_ ~loc:(loc "lu.c" 13) "c2" (v "k" +! i 1) (i n)
+                  [ H.Let ("l", "Alu".%[at (v "r") (v "k")]);
+                    H.Let ("u2", "Alu".%[at (v "k") (v "c2")]);
+                    H.Let ("acc", "Alu".%[at (v "r") (v "c2")]);
+                    store "Alu" (at (v "r") (v "c2"))
+                      (v "acc" -? (v "l" *? v "u2")) ] ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "Alu" (n * n)
+      @ [ H.CallS (None, "lu_kernel", []) ])
+  in
+  Workload.make ~name:"lu" ~kernel:"lu_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("Alu", n * n) ];
+      main = "main" }
+
+(* ------------------------------------------------------------------ *)
+(* seidel_wd: "weakly dynamic" thresholded Gauss-Seidel — the store is  *)
+(* guarded by a data-dependent branch that in fact always fires (the    *)
+(* initial values are non-negative), so the speculative static engine   *)
+(* keeps the polyhedral model under an Expect_taken witness             *)
+(* ------------------------------------------------------------------ *)
+
+let seidel_wd_kernel ~name ~threshold ~flip =
+  let n = 96 and steps = 14 in
+  let guard s = if flip then s <? f threshold else s >? f threshold in
+  let kernel =
+    H.fundef (name ^ "_kernel") []
+      [ H.for_ ~loc:(loc "seidel-wd.c" 8) "t" (i 0) (i steps)
+          [ H.for_ ~loc:(loc "seidel-wd.c" 9) "j" (i 1) (i (n - 1))
+              [ H.Let ("w", "Aw".%[v "j" -! i 1]);
+                H.Let ("m", "Aw".%[v "j"]);
+                H.Let ("e", "Aw".%[v "j" +! i 1]);
+                H.Let ("s", f 0.33333 *? (v "w" +? (v "m" +? v "e")));
+                H.If (guard (v "s"), [ store "Aw" (v "j") (v "s") ], []) ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "Aw" n
+      @ [ H.CallS (None, name ^ "_kernel", []) ])
+  in
+  Workload.make ~name ~kernel:(name ^ "_kernel")
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("Aw", n) ];
+      main = "main" }
+
+let seidel_wd = seidel_wd_kernel ~name:"seidel_wd" ~threshold:(-1.0) ~flip:false
+
+(* witness-failure seeds (not in [all]): [seidel_wd_mixed]'s guard goes
+   both ways at runtime (speculation must be turned off for the guard),
+   [seidel_wd_skip]'s guard never fires (the speculation flips to an
+   Expect_skip witness) — both recover exact results via
+   [Analysis.Statdep.fallback_profile] *)
+let seidel_wd_mixed =
+  seidel_wd_kernel ~name:"seidel_wd_mixed" ~threshold:1.0 ~flip:false
+
+let seidel_wd_skip =
+  seidel_wd_kernel ~name:"seidel_wd_skip" ~threshold:(-1.0) ~flip:true
+
+let all =
+  [ gemm; jacobi_2d; atax; mvt; seidel_1d; trisolv; cholesky; trmm; lu;
+    seidel_wd ]

@@ -14,15 +14,22 @@ let run ?(budget = sched_budget) ?(crosscheck = false) ?(xverify = false)
     ?out_of_core ?(static_prune = false) (w : Workload.t) =
   Obs.Span.with_ ~cat:"workload" ("workload." ^ w.Workload.w_name) @@ fun () ->
   let prog = Vm.Hir.lower w.Workload.hir in
-  let plan =
-    if static_prune then Some (Analysis.Statdep.analyse prog).Analysis.Statdep.plan
-    else None
-  in
   let structure, profile =
     match out_of_core with
     | None ->
         let structure = Cfg.Cfg_builder.run prog in
-        (structure, Ddg.Depprof.profile ?static_prune:plan prog ~structure)
+        let result =
+          if static_prune then
+            (* hybrid driver: speculate on weakly-dynamic guards, with
+               witness-failure fallback to full shadow tracking *)
+            let _sd, result, _reruns =
+              Analysis.Statdep.fallback_profile prog ~profile:(fun plan ->
+                  Ddg.Depprof.profile ~static_prune:plan prog ~structure)
+            in
+            result
+          else Ddg.Depprof.profile prog ~structure
+        in
+        (structure, result)
     | Some domains ->
         (* record once to disk, then replay both instrumentation stages
            from the file, Instrumentation II sharded across domains
@@ -33,10 +40,18 @@ let run ?(budget = sched_budget) ?(crosscheck = false) ?(xverify = false)
         Fun.protect
           ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
         @@ fun () ->
+        (* elision follows the *non-speculative* pruned set so the
+           recorded trace stays valid across witness-failure reruns:
+           speculative plans only ever prune a superset of it *)
+        let stable_plan =
+          if static_prune then
+            Some (Analysis.Statdep.analyse prog).Analysis.Statdep.plan
+          else None
+        in
         let elide =
           Option.map
             (fun p sid -> Hashtbl.mem p.Ddg.Depprof.sp_resolved sid)
-            plan
+            stable_plan
         in
         let wi = Stream.Trace_file.record_to_file ?elide prog path in
         let builder = Cfg.Cfg_builder.create prog in
@@ -44,17 +59,21 @@ let run ?(budget = sched_budget) ?(crosscheck = false) ?(xverify = false)
             Stream.Source.replay src (Cfg.Cfg_builder.callbacks builder));
         let structure = Cfg.Cfg_builder.finalize builder in
         let result =
-          match plan with
-          | None ->
-              let o =
-                Stream.Par_profile.profile_file ~domains path prog ~structure
-              in
-              o.Stream.Par_profile.result
-          | Some p ->
-              Stream.Source.with_file path (fun src ->
-                  Ddg.Depprof.profile_replay ~static_prune:p
-                    ~feed:(fun cb -> Stream.Source.replay src cb)
-                    ~run_stats:wi.Stream.Trace_file.wi_stats prog ~structure)
+          if static_prune then
+            let _sd, result, _reruns =
+              Analysis.Statdep.fallback_profile prog ~profile:(fun p ->
+                  Stream.Source.with_file path (fun src ->
+                      Ddg.Depprof.profile_replay ~static_prune:p
+                        ~feed:(fun cb -> Stream.Source.replay src cb)
+                        ~run_stats:wi.Stream.Trace_file.wi_stats prog
+                        ~structure))
+            in
+            result
+          else
+            let o =
+              Stream.Par_profile.profile_file ~domains path prog ~structure
+            in
+            o.Stream.Par_profile.result
         in
         (structure, result)
   in

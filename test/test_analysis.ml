@@ -473,6 +473,89 @@ let test_statdep_gemm () =
          && p.pd_dists = [| Some 0; Some 0; None |])
        sd.Analysis.Statdep.pairs)
 
+let test_statdep_trisolv () =
+  (* triangular nest: the non-rectangular domain encoding must make the
+     forward-substitution kernel (inner trip = r) fully prunable — the
+     rectangular engine managed under 5% here *)
+  let w = Workloads.Polybench.trisolv in
+  let prog = H.lower w.Workloads.Workload.hir in
+  let _, full, pruned = profile_both prog in
+  let dyn = full.Ddg.Depprof.run_stats.Vm.Interp.dyn_mem_ops in
+  let cut = pruned.Ddg.Depprof.statically_pruned in
+  Alcotest.(check bool)
+    (Printf.sprintf "trisolv >= 90%% pruned (%d/%d)" cut dyn)
+    true
+    (float_of_int cut >= 0.9 *. float_of_int dyn);
+  Alcotest.(check bool) "pruned profile identical" true
+    (Ddg.Depprof.equal_result full pruned)
+
+let test_statdep_cholesky () =
+  (* triangular 3-D nest (c <= r, k <= c): every access resolves over a
+     non-rectangular domain, and the k-loop reduction on Ach[r,c]
+     carries the same (=, =, <) anchor as gemm's C-reduction *)
+  let w = Workloads.Polybench.cholesky in
+  let prog = H.lower w.Workloads.Workload.hir in
+  let sd, full, pruned = profile_both prog in
+  Alcotest.(check (list string)) "Ach prunable" [ "Ach" ]
+    (Analysis.Statdep.prunable_regions sd);
+  Alcotest.(check bool) "every dynamic access skipped shadow tracking" true
+    (pruned.Ddg.Depprof.statically_pruned
+    = full.Ddg.Depprof.run_stats.Vm.Interp.dyn_mem_ops);
+  Alcotest.(check bool) "pruned profile identical" true
+    (Ddg.Depprof.equal_result full pruned);
+  let module D = Sched.Depanalysis in
+  Alcotest.(check bool) "found the (=, =, <) flow dependence" true
+    (List.exists
+       (fun (p : Analysis.Statdep.pair_dep) ->
+         p.pd_kind = Ddg.Depprof.Mem_dep && p.pd_possible
+         && p.pd_dirs = [| D.Dzero; D.Dzero; D.Dpos |]
+         && p.pd_dists = [| Some 0; Some 0; None |])
+       sd.Analysis.Statdep.pairs)
+
+(* ---------------- speculation + witness checks ---------------- *)
+
+let profile_speculative w =
+  let prog = H.lower w.Workloads.Workload.hir in
+  let structure = Cfg.Cfg_builder.run prog in
+  let full = Ddg.Depprof.profile prog ~structure in
+  let sd, pruned, reruns =
+    Analysis.Statdep.fallback_profile prog ~profile:(fun plan ->
+        Ddg.Depprof.profile ~static_prune:plan prog ~structure)
+  in
+  (sd, full, pruned, reruns)
+
+let test_witness_holds () =
+  (* the guard in seidel_wd always fires, so the speculative plan prunes
+     everything, its single witness probe holds and no rerun happens *)
+  let sd, full, pruned, reruns =
+    profile_speculative Workloads.Polybench.seidel_wd
+  in
+  Alcotest.(check int) "no witness-failure rerun" 0 reruns;
+  Alcotest.(check bool) "plan carries a witness probe" true
+    (sd.Analysis.Statdep.plan.Ddg.Depprof.sp_witnesses <> []);
+  Alcotest.(check bool) "every dynamic access skipped shadow tracking" true
+    (pruned.Ddg.Depprof.statically_pruned
+    = full.Ddg.Depprof.run_stats.Vm.Interp.dyn_mem_ops);
+  Alcotest.(check bool) "speculatively pruned profile identical" true
+    (Ddg.Depprof.equal_result full pruned)
+
+let test_witness_failure_fallback () =
+  (* seeded witness failures: the mixed guard goes both ways (refined to
+     Spec_off), the flipped guard never fires (refined to the other
+     side); both must rerun deterministically and still match the
+     unpruned profile bit for bit *)
+  List.iter
+    (fun w ->
+      let _, full, pruned, reruns = profile_speculative w in
+      Alcotest.(check bool)
+        (w.Workloads.Workload.w_name ^ ": witness failed, fallback reran")
+        true (reruns >= 1);
+      Alcotest.(check bool)
+        (w.Workloads.Workload.w_name ^ ": fallback profile identical")
+        true
+        (Ddg.Depprof.equal_result full pruned))
+    [ Workloads.Polybench.seidel_wd_mixed; Workloads.Polybench.seidel_wd_skip ]
+
 let alias_hir : H.program =
   (* the middle loop stores through a loaded index: the whole [data]
      region must fall back to dynamic tracking, while [idx] (all-affine
@@ -562,6 +645,68 @@ let test_affine_fixed_seeds () =
         (Printf.sprintf "seed %d" seed)
         true (check_affine_seed seed))
     [ 1; 7; 42; 1234; 99991 ]
+
+(* random triangular nests: inner loop bounds affine in the outer IVs
+   (lower or upper), sometimes empty at runtime (lo >= hi); the
+   non-rectangular engine must keep its verdicts a sound
+   over-approximation of the dynamic DDG and pruning must never change
+   the profile *)
+let gen_triangular_program seed : H.program =
+  let st = Random.State.make [| seed; 0x3a |] in
+  let rand n = Random.State.int st (max 1 n) in
+  let idx vars =
+    List.fold_left
+      (fun acc name ->
+        if rand 3 = 0 then acc else acc +! (v name *! i (1 + rand 2)))
+      (i (rand 8)) vars
+  in
+  let arr () = if rand 4 = 0 then "aux" else "data" in
+  let store_stmt vars =
+    if rand 2 = 0 then store (arr ()) (idx vars) (i (rand 9))
+    else
+      let a = arr () in
+      store a (idx vars) (a.%[idx vars] +! i (1 + rand 4))
+  in
+  let rec nest vars depth =
+    let name = Printf.sprintf "k%d" depth in
+    let lo, hi =
+      match vars with
+      | outer :: _ when rand 2 = 0 ->
+          if rand 2 = 0 then (i 0, v outer +! i (1 + rand 3))
+          else (v outer, i (5 + rand 3))
+      | _ -> (i 0, i (2 + rand 4))
+    in
+    let vars' = name :: vars in
+    let body =
+      store_stmt vars'
+      :: (if depth < 2 && rand 2 = 0 then [ nest vars' (depth + 1) ] else [])
+    in
+    H.for_ name lo hi body
+  in
+  { H.funs = [ H.fundef "main" [] [ nest [] 0; store "data" (i 0) (i 1) ] ];
+    arrays = [ ("data", 96); ("aux", 96) ];
+    main = "main" }
+
+let check_triangular_seed seed =
+  let prog = H.lower (gen_triangular_program seed) in
+  let _, full, pruned = profile_both prog in
+  Analysis.Crosscheck.ok (Analysis.Crosscheck.check prog full)
+  && Ddg.Depprof.equal_result full pruned
+
+let prop_triangular_static_sound =
+  QCheck.Test.make
+    ~name:"triangular static may-deps over-approximate dynamic DDG" ~count:40
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    check_triangular_seed
+
+let test_triangular_fixed_seeds () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d" seed)
+        true
+        (check_triangular_seed seed))
+    [ 2; 11; 42; 777; 31337 ]
 
 let test_prune_equal_all_workloads () =
   let ws =
@@ -658,9 +803,20 @@ let () =
             test_statdep_gemm;
           Alcotest.test_case "seeded alias forces dynamic fallback" `Quick
             test_statdep_alias_fallback;
+          Alcotest.test_case "trisolv triangular nest >= 90% pruned" `Quick
+            test_statdep_trisolv;
+          Alcotest.test_case "cholesky fully resolved + (=,=,<)" `Quick
+            test_statdep_cholesky;
+          Alcotest.test_case "witness holds on seidel_wd" `Quick
+            test_witness_holds;
+          Alcotest.test_case "witness failure falls back bit-exact" `Quick
+            test_witness_failure_fallback;
           Alcotest.test_case "affine fixed seeds" `Quick
             test_affine_fixed_seeds;
+          Alcotest.test_case "triangular fixed seeds" `Quick
+            test_triangular_fixed_seeds;
           QCheck_alcotest.to_alcotest prop_affine_static_sound;
+          QCheck_alcotest.to_alcotest prop_triangular_static_sound;
           Alcotest.test_case "pruned == unpruned on every workload" `Slow
             test_prune_equal_all_workloads ] );
       ( "polly-agreement",

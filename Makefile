@@ -1,5 +1,5 @@
 .PHONY: all check test bench bench-json stream-smoke staticdep-smoke \
-  obs-smoke clean
+  obs-smoke autotune-smoke clean
 
 all:
 	dune build @all
@@ -12,9 +12,10 @@ test: check
 bench:
 	dune exec bench/main.exe
 
-# codec + sharded-profiling scaling numbers -> BENCH_stream.json
+# codec + sharded-profiling scaling numbers -> BENCH_stream.json,
+# autotuning search results -> BENCH_autotune.json
 bench-json:
-	dune exec bench/main.exe -- stream --json
+	dune exec bench/main.exe -- stream autotune --json
 
 # quick end-to-end check of the out-of-core path: record, decode,
 # profile with 2 domains
@@ -36,6 +37,23 @@ staticdep-smoke:
 	echo "suite_pruned_pct = $$pct (gate: >= 50)"; \
 	awk "BEGIN { exit !($$pct >= 50) }" \
 	  || { echo "FAIL: suite pruned fraction below 50%"; exit 1; }
+
+# autotuning beam search end to end: a tiny search on three workloads
+# (the gemm interchange anchor plus the two fusion-chain winners), then
+# the full-suite bench JSON gated on every shipped best schedule having
+# passed the differential oracle
+autotune-smoke:
+	dune exec bin/polyprof_cli.exe -- autotune gemm --beam 2 --depth 1 --repeat 1
+	dune exec bin/polyprof_cli.exe -- autotune mvt --beam 2 --depth 2 --repeat 1
+	dune exec bin/polyprof_cli.exe -- autotune bicg --beam 2 --depth 2 --repeat 1
+	dune exec bench/main.exe -- autotune --json
+	@ok=$$(sed -n 's/.*"all_best_verified": \(true\|false\).*/\1/p' \
+	  BENCH_autotune.json); \
+	n=$$(sed -n 's/.*"workloads_improved": \([0-9]*\).*/\1/p' \
+	  BENCH_autotune.json); \
+	echo "workloads_improved = $$n, all_best_verified = $$ok (gate: true)"; \
+	test "$$ok" = true \
+	  || { echo "FAIL: an unverified schedule was shipped as best"; exit 1; }
 
 # self-profiling telemetry end to end: run one benchmark with spans and
 # metrics on, export + validate the Chrome trace, then reproduce the

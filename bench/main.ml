@@ -314,7 +314,9 @@ let casestudy_verify () =
 let fig_7 () =
   section "Fig. 7: annotated flame graph for backprop";
   let t = Polyprof.run_hir Workloads.Backprop.workload.Workloads.Workload.hir in
-  let path = "fig7_backprop.svg" in
+  let path = "docs/fig7_backprop.svg" in
+  (if not (Sys.file_exists "docs") then
+     try Sys.mkdir "docs" 0o755 with Sys_error _ -> ());
   let annot = Report.Flamegraph.annot_of_analysis t.Polyprof.prog t.Polyprof.analysis in
   Report.Flamegraph.write_svg ~path ~annot
     ~name:(Polyprof.ctx_name t) t.Polyprof.profile.Ddg.Depprof.stree;
@@ -533,7 +535,11 @@ let stream_bench () =
     (Printf.sprintf
        "lib/stream: binary trace codec + %d-domain sharded profiling" domains);
   let now = Obs.Clock.monotonic in
-  let ws = Workloads.Rodinia.all @ [ Workloads.Gems_fdtd.workload ] in
+  let ws =
+    Workloads.Rodinia.all
+    @ [ Workloads.Gems_fdtd.workload ]
+    @ Workloads.Polybench.all
+  in
   let rows =
     List.map
       (fun (w : Workloads.Workload.t) ->
@@ -885,6 +891,27 @@ let obs_bench () =
     Format.printf "wrote BENCH_obs.json@."
   end
 
+(* ------------------------------------------------------------------ *)
+(* lib/tune: autotuning beam search over the suite                      *)
+(* ------------------------------------------------------------------ *)
+
+let autotune_bench () =
+  section "lib/tune: verified beam search over the schedule space";
+  let config = Tune.Search.default in
+  let results = Workloads.Runner.autotune_all ~config () in
+  print_string (Workloads.Runner.autotune_table results);
+  let improved = Tune.Tune_report.improved results in
+  Format.printf
+    "@.%d of %d workloads got a verified non-identity schedule beating \
+     identity by >= %.0f%%@."
+    improved (List.length results)
+    ((config.Tune.Search.margin -. 1.0) *. 100.);
+  if !json_out then begin
+    Obs.Json_emit.write_file ~pretty:true "BENCH_autotune.json"
+      (Tune.Tune_report.suite_json ~config results);
+    Format.printf "wrote BENCH_autotune.json@."
+  end
+
 let () =
   let sections =
     [ ("table1-2", tables_1_and_2); ("table3", table_3); ("table4", table_4);
@@ -892,7 +919,7 @@ let () =
       ("fig5", fig_5); ("fig7", fig_7);
       ("ablation", ablation); ("perf", perf); ("overhead", overhead);
       ("stream", stream_bench); ("staticdep", staticdep_bench);
-      ("obs", obs_bench) ]
+      ("obs", obs_bench); ("autotune", autotune_bench) ]
   in
   let argv = Array.to_list Sys.argv in
   json_out := List.mem "--json" argv;

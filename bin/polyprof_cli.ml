@@ -861,6 +861,86 @@ let overhead_cmd =
           statically-pruned wall time, plus trace bytes per memory access")
     Term.(const run $ bench_arg $ json_flag $ domains $ repeat)
 
+let autotune_cmd =
+  let beam =
+    Arg.(
+      value & opt int Tune.Search.default.Tune.Search.beam
+      & info [ "beam" ] ~docv:"N" ~doc:"Beam width (measured candidates per level).")
+  in
+  let depth =
+    Arg.(
+      value & opt int Tune.Search.default.Tune.Search.depth
+      & info [ "depth" ] ~docv:"N" ~doc:"Maximum number of composed steps.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int Tune.Search.default.Tune.Search.repeat
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Timed runs per measured candidate (median wins).")
+  in
+  let seed =
+    Arg.(
+      value & opt int Tune.Search.default.Tune.Search.seed
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Tie-break seed of the deterministic ranking.")
+  in
+  let svg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE"
+          ~doc:"Write the search tree as a flame-graph SVG to $(docv).")
+  in
+  let run name beam depth repeat seed json svg telemetry =
+    with_telemetry telemetry @@ fun () ->
+    match find_workload name with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok w -> (
+        let config =
+          { Tune.Search.default with
+            Tune.Search.beam;
+            depth;
+            repeat;
+            seed }
+        in
+        let result =
+          Polyprof.autotune ~config ~name:w.Workloads.Workload.w_name
+            w.Workloads.Workload.hir
+        in
+        (match (svg, result) with
+        | Some path, Ok r ->
+            let oc = open_out path in
+            output_string oc (Tune.Tune_report.svg_of r);
+            close_out oc
+        | _ -> ());
+        if json then begin
+          print_endline
+            (Obs.Json_emit.to_string ~pretty:true
+               (Tune.Tune_report.workload_json ~name result));
+          match result with Ok _ -> 0 | Error _ -> 1
+        end
+        else
+          match result with
+          | Error e ->
+              Format.printf "autotune %s: %s@." name e;
+              1
+          | Ok r ->
+              Format.printf "%a@." Tune.Tune_report.render r;
+              0)
+  in
+  Cmd.v
+    (Cmd.info "autotune"
+       ~doc:
+         "Close the PGO loop: beam-search the legal schedule space of a \
+          benchmark (interchange/skew/tile/fuse/distribute, gated by the \
+          profiled direction vectors), rank candidates with the two-stage \
+          cost model, measure the beam survivors and differentially verify \
+          every one; report the best verified schedule")
+    Term.(
+      const run $ bench_arg $ beam $ depth $ repeat $ seed $ json_flag $ svg
+      $ telemetry_flag)
+
 let () =
   let doc =
     "data-flow/dependence profiling for structured transformations \
@@ -871,5 +951,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; flamegraph_cmd; table5_cmd; polly_cmd; trace_cmd;
-            deps_cmd; lint_cmd; staticdep_cmd; transform_cmd; source_cmd;
-            telemetry_cmd; overhead_cmd ]))
+            deps_cmd; lint_cmd; staticdep_cmd; transform_cmd; autotune_cmd;
+            source_cmd; telemetry_cmd; overhead_cmd ]))

@@ -95,3 +95,8 @@ let n_dynamic_ops t = t.profile.Ddg.Depprof.run_stats.Vm.Interp.dyn_instrs
    the profiler, folder and scheduler are telling the truth. *)
 let apply_and_verify ?eps ?max_steps ?max_plans ~name hir =
   Xform.Driver.apply_and_verify ?eps ?max_steps ?max_plans ~name hir
+
+(* Close the PGO loop: walk the legal schedule space of the program with
+   the verified beam search (Tune.Search) and report the best measured,
+   differentially verified schedule. *)
+let autotune ?config ~name hir = Tune.Search.run ?config ~name hir

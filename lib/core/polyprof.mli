@@ -82,3 +82,12 @@ val apply_and_verify :
     each one differentially (see {!Xform.Driver.apply_and_verify}): the
     end-to-end oracle that profiler, folder and scheduler agree with an
     actual execution of the transformed program. *)
+
+val autotune :
+  ?config:Tune.Search.config ->
+  name:string ->
+  Vm.Hir.program ->
+  (Tune.Search.t, string) result
+(** Close the PGO loop: beam search over the legal schedule space
+    ({!Tune.Search.run}) — every candidate is gated by the profiled
+    direction vectors, measured, and differentially verified. *)

@@ -17,6 +17,15 @@ val monotonic : unit -> float
     [Unix.gettimeofday] delta idiom: [let t0 = monotonic () in ...;
     monotonic () -. t0] is immune to wall-clock steps. *)
 
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f ()] and returns its result with the elapsed
+    monotonic seconds. *)
+
+val median : float list -> float
+(** Median of a sample (mean of the middle pair when even; [0.] when
+    empty) — the robust aggregate every repeated timing in the tree
+    reports. *)
+
 val wall_iso8601 : unit -> string
 (** The current wall-clock time as ["YYYY-MM-DDThh:mm:ssZ"] (UTC) — for
     report metadata only, never for durations. *)

@@ -39,19 +39,30 @@ let components (t : Depanalysis.t) ~prefix ~threshold =
       t.loops
   in
   let min_w = int_of_float (threshold *. float_of_int region_weight) in
+  (* Execution order of a component: the smallest statement id under the
+     loop.  Sids are packed (fid, bid, idx) in lowering order, so this is
+     program order — [t.loops] itself is sorted on interned context
+     paths, which is NOT execution order across sibling loops. *)
+  let exec_key (l : Depanalysis.loop_info) =
+    List.fold_left
+      (fun acc (s : Depanalysis.stmt_ext) ->
+        if is_prefix l.lpath s.spath then
+          min acc s.si.Ddg.Depprof.sk.Ddg.Depprof.s_sid
+        else acc)
+      max_int t.stmts
+  in
   cands
   |> List.filter (fun (l : Depanalysis.loop_info) -> l.lweight >= min_w)
-  |> List.mapi (fun i (l : Depanalysis.loop_info) ->
+  |> List.map (fun l -> (exec_key l, l))
+  |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+  |> List.mapi (fun i (_, (l : Depanalysis.loop_info)) ->
          { c_path = l.lpath; c_weight = l.lweight; c_order = i })
 
-(* Endpoint paths of a dependence. *)
-let dep_paths (d : Depanalysis.dep_ext) =
-  let p c =
-    match List.rev (Ddg.Iiv.context_of_id c) with
-    | [] -> []
-    | _ :: dims_rev -> List.rev dims_rev
-  in
-  (p d.di.Ddg.Depprof.dk.src_ctx, p d.di.Ddg.Depprof.dk.dst_ctx)
+(* Endpoint paths of a dependence: the resolved copies cached on
+   [dep_ext], never the raw ctx ids — those dangle as soon as any later
+   re-profile (a transformation verifier, the autotuner's oracle) resets
+   the intern table. *)
+let dep_paths (d : Depanalysis.dep_ext) = (d.dsrc_path, d.ddst_path)
 
 (* Is fusing components [a] (earlier) and [b] (later) legal?  Every
    dependence crossing them must be non-negative along the fused
@@ -156,3 +167,50 @@ let fuse (t : Depanalysis.t) strategy ~prefix ?(threshold = 0.05) () =
     components_after = after;
     strategy;
     merged_groups = merged }
+
+(* Adjacent legal fusion pairs for a schedule-search enumerator.  For
+   every loop region prefix (the root plus each profiled loop), cluster
+   the components under [Maxfuse] and emit every consecutive pair of
+   every merged group, resolved to the two loops' header locations; the
+   profiled-dependence legality gate is [fusion_legal] inside the
+   clustering.  Only located pairs survive — the source rewriter cannot
+   address a loop without a source location. *)
+let candidate_pairs ?(threshold = 0.02) (t : Depanalysis.t) =
+  let prefixes =
+    [] :: List.map (fun (l : Depanalysis.loop_info) -> l.Depanalysis.lpath)
+           t.Depanalysis.loops
+  in
+  let loc_of c =
+    match Depanalysis.loop_at t c.c_path with
+    | Some l -> l.Depanalysis.header_loc
+    | None -> None
+  in
+  let pairs = ref [] in
+  List.iter
+    (fun prefix ->
+      let r = fuse t Maxfuse ~prefix ~threshold () in
+      List.iter
+        (fun group ->
+          let rec adj = function
+            | a :: (b :: _ as rest) ->
+                (match (loc_of a, loc_of b) with
+                | Some la, Some lb ->
+                    pairs := ((la, lb), (a.c_path, b.c_path)) :: !pairs
+                | _ -> ());
+                adj rest
+            | _ -> ()
+          in
+          adj group)
+        r.merged_groups)
+    prefixes;
+  (* two dynamic prefixes (a kernel called twice) can map to the same
+     static pair *)
+  let seen = Hashtbl.create 16 in
+  List.rev !pairs
+  |> List.filter (fun ((la, lb), _) ->
+         let k = (la, lb) in
+         if Hashtbl.mem seen k then false
+         else begin
+           Hashtbl.add seen k ();
+           true
+         end)

@@ -34,3 +34,12 @@ val components :
 val fuse :
   Depanalysis.t -> strategy -> prefix:Depanalysis.path -> ?threshold:float
   -> unit -> result
+
+val candidate_pairs :
+  ?threshold:float ->
+  Depanalysis.t ->
+  ((Vm.Prog.loc * Vm.Prog.loc) * (Depanalysis.path * Depanalysis.path)) list
+(** Adjacent fusion pairs [(first, second)] (header locations, execution
+    order) that the profiled dependences allow under [Maxfuse], over
+    every region prefix — the fuse-step generator of the autotuner.
+    Also returns the two component paths for reporting. *)

@@ -1,0 +1,161 @@
+module D = Sched.Depanalysis
+module T = Sched.Transform
+
+type action =
+  | Nest_step of Sched.Plan.t
+  | Fuse of Vm.Prog.loc * Vm.Prog.loc
+  | Distribute of Vm.Prog.loc * int
+
+let loc_string (l : Vm.Prog.loc) =
+  Printf.sprintf "%s:%d" l.Vm.Prog.file l.Vm.Prog.line
+
+let describe = function
+  | Nest_step plan ->
+      let step =
+        match plan.Sched.Plan.p_steps with
+        | [ s ] -> Format.asprintf "%a" T.pp_step s
+        | ss ->
+            String.concat "; "
+              (List.map (Format.asprintf "%a" T.pp_step) ss)
+      in
+      Printf.sprintf "%s @ %s" step (Sched.Plan.describe plan)
+  | Fuse (a, b) -> Printf.sprintf "fuse(%s + %s)" (loc_string a) (loc_string b)
+  | Distribute (l, at) ->
+      Printf.sprintf "distribute(%s @ stmt %d)" (loc_string l) at
+
+(* A single-step plan over a profiled nest: same targets a suggestion
+   plan would carry, so [Xform.Apply] replays it unchanged. *)
+let plan_of_step (t : D.t) (n : D.nest_info) step =
+  let locs = Sched.Plan.nest_dim_locs t n in
+  let targets =
+    Array.init n.D.ndepth (fun d ->
+        { Sched.Plan.t_loc = locs.(d);
+          t_fid = Sched.Plan.dim_fid n.D.npath d })
+  in
+  { Sched.Plan.p_nest = n;
+    p_targets = targets;
+    p_steps = [ step ];
+    p_stride01 = T.stride01_profile n;
+    p_interchange =
+      (match step with T.Interchange (a, b) -> Some (a, b) | _ -> None);
+    p_weight = n.D.nweight }
+
+(* Direct-statement count of the loop body at [l], for distribution
+   points.  The first located match wins (rewrites keep locations
+   unique enough for the suite; ambiguity only costs a skipped
+   candidate). *)
+let body_length (hir : Vm.Hir.program) (l : Vm.Prog.loc) =
+  let found = ref None in
+  let rec stmts ss = List.iter stmt ss
+  and stmt = function
+    | Vm.Hir.For fl ->
+        (match fl.Vm.Hir.floc with
+        | Some fl_loc when !found = None && Vm.Hir_rewrite.same_loc fl_loc l ->
+            found := Some (List.length fl.Vm.Hir.body)
+        | _ -> ());
+        stmts fl.Vm.Hir.body
+    | Vm.Hir.While { wbody; _ } -> stmts wbody
+    | Vm.Hir.If (_, a, b) ->
+        stmts a;
+        stmts b
+    | Vm.Hir.Let _ | Vm.Hir.Store _ | Vm.Hir.CallS _ | Vm.Hir.Return _
+    | Vm.Hir.Break ->
+        ()
+  in
+  List.iter (fun (f : Vm.Hir.fundef) -> stmts f.Vm.Hir.body) hir.Vm.Hir.funs;
+  !found
+
+let enumerate ?(max_nests = 2) ?(tile_sizes = [ 4; 8; 16; 32 ])
+    ?(fusion_threshold = 0.02) (hir : Vm.Hir.program) (t : D.t) =
+  let rejected = ref [] in
+  let nests =
+    List.filter (fun (n : D.nest_info) -> n.D.ndepth >= 2) t.D.nests
+    |> List.stable_sort (fun (a : D.nest_info) b ->
+           compare b.D.nweight a.D.nweight)
+    |> List.filteri (fun i _ -> i < max_nests)
+  in
+  let nest_actions (n : D.nest_info) =
+    let locs = Sched.Plan.nest_dim_locs t n in
+    let fid d = Sched.Plan.dim_fid n.D.npath (d - 1) in
+    let located d = d >= 1 && d <= n.D.ndepth && locs.(d - 1) <> None in
+    let same_fun a b = located a && located b && fid a = fid b && fid a <> None in
+    let steps = ref [] in
+    for a = 1 to n.D.ndepth - 1 do
+      for b = a + 1 to n.D.ndepth do
+        if same_fun a b then steps := T.Interchange (a, b) :: !steps
+      done
+    done;
+    List.iter
+      (fun (band : D.band) ->
+        List.iter
+          (fun (o, i, f) ->
+            if same_fun o i then steps := T.Skew (o, i, f) :: !steps)
+          band.D.b_skews;
+        if band.D.b_to > band.D.b_from then begin
+          let ok = ref true in
+          for d = band.D.b_from to band.D.b_to do
+            if not (same_fun band.D.b_from d) then ok := false
+          done;
+          if !ok then
+            List.iter
+              (fun s -> steps := T.Tile (band.D.b_from, band.D.b_to, s) :: !steps)
+              tile_sizes
+        end)
+      n.D.bands;
+    List.rev !steps
+    |> List.filter_map (fun step ->
+           let plan = plan_of_step t n step in
+           let lg = Sched.Plan.legal t plan in
+           if lg.Sched.Plan.lg_ok then Some (Nest_step plan)
+           else begin
+             rejected :=
+               ( describe (Nest_step plan),
+                 "static legality: the profiled direction vectors forbid \
+                  the step" )
+               :: !rejected;
+             None
+           end)
+  in
+  let nest_acts = List.concat_map nest_actions nests in
+  let fuse_acts =
+    Sched.Fusion.candidate_pairs ~threshold:fusion_threshold t
+    |> List.map (fun ((a, b), _) -> Fuse (a, b))
+  in
+  let dist_acts =
+    let min_w = max 1 (t.D.total_ops / 50) in
+    List.filter_map
+      (fun (l : D.loop_info) ->
+        match l.D.header_loc with
+        | Some hl when l.D.lweight >= min_w -> (
+            match body_length hir hl with
+            | Some len when len >= 2 -> Some (hl, len)
+            | _ -> None)
+        | _ -> None)
+      t.D.loops
+    |> List.concat_map (fun (hl, len) ->
+           List.init (min (len - 1) 3) (fun i -> Distribute (hl, i + 1)))
+  in
+  (nest_acts @ fuse_acts @ dist_acts, List.rev !rejected)
+
+let apply hir = function
+  | Nest_step plan -> (
+      match Xform.Apply.apply_plan hir plan with
+      | Error e -> Error e
+      | Ok o when not o.Xform.Apply.o_structural -> (
+          match o.Xform.Apply.o_skipped with
+          | (_, reason) :: _ -> Error reason
+          | [] -> Error "no structural rewrite applied")
+      | Ok o -> Ok o.Xform.Apply.o_hir)
+  | Fuse (first, second) -> Vm.Hir_rewrite.fuse hir ~first ~second
+  | Distribute (loc, at) -> Vm.Hir_rewrite.distribute hir ~loc ~at
+
+let locality_gain = function
+  | Nest_step plan -> (
+      let s01 = plan.Sched.Plan.p_stride01 in
+      let depth = Array.length s01 in
+      match plan.Sched.Plan.p_steps with
+      | [ Sched.Transform.Interchange (a, b) ] when b = depth && a >= 1 ->
+          (s01.(a - 1) -. s01.(depth - 1))
+          *. float_of_int plan.Sched.Plan.p_weight
+      | _ -> 0.0)
+  | Fuse _ | Distribute _ -> 0.0

@@ -1,0 +1,45 @@
+(** Schedule-search moves: one structural transformation applied to the
+    current program of a beam state.
+
+    Nest steps ({!Sched.Transform.step}) are wrapped in a single-step
+    {!Sched.Plan} so the existing legality gate and source rewriter are
+    reused unchanged; fuse and distribute address loops by header
+    location and go through {!Vm.Hir_rewrite} directly. *)
+
+type action =
+  | Nest_step of Sched.Plan.t
+      (** exactly one structural step over a profiled nest *)
+  | Fuse of Vm.Prog.loc * Vm.Prog.loc
+      (** merge two adjacent loops (execution order [first, second]) *)
+  | Distribute of Vm.Prog.loc * int
+      (** split the loop at [loc] before statement index [at] *)
+
+val describe : action -> string
+(** Stable one-line description, e.g.
+    ["interchange(d2 <-> d3) @ gemm.c:10 > gemm.c:11 > gemm.c:13"] —
+    the step vocabulary of reports, JSON and the determinism tests. *)
+
+val enumerate :
+  ?max_nests:int ->
+  ?tile_sizes:int list ->
+  ?fusion_threshold:float ->
+  Vm.Hir.program ->
+  Sched.Depanalysis.t ->
+  action list * (string * string) list
+(** All legal moves from a state: interchange pairs, suggested skews and
+    the tile-size ladder over the [max_nests] hottest nests, plus legal
+    fusion pairs ({!Sched.Fusion.candidate_pairs}) and distribution
+    points of multi-statement loops.  Every returned [Nest_step] has
+    already passed {!Sched.Plan.legal} against the profiled direction
+    vectors; the statically rejected ones come back separately as
+    [(description, reason)] so the search can count them.  The order is
+    deterministic. *)
+
+val apply : Vm.Hir.program -> action -> (Vm.Hir.program, string) result
+(** Replay the move as a source rewrite. *)
+
+val locality_gain : action -> float
+(** Predicted change of the innermost stride-0/1 memory-operation mass
+    (in dynamic ops, positive = more spatial locality), from the nest's
+    per-dimension stride profile.  Zero for moves that keep the
+    innermost dimension. *)

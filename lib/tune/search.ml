@@ -1,0 +1,343 @@
+type config = {
+  beam : int;
+  depth : int;
+  repeat : int;
+  seed : int;
+  tile_sizes : int list;
+  max_nests : int;
+  timeout_factor : float;
+  margin : float;
+  eps : float;
+  dep_budget : int;
+}
+
+let default =
+  { beam = 4;
+    depth = 3;
+    repeat = 3;
+    seed = 42;
+    tile_sizes = [ 4; 8; 16; 32 ];
+    max_nests = 2;
+    timeout_factor = 8.0;
+    margin = 1.05;
+    eps = 1e-9;
+    dep_budget = 1200 }
+
+type status =
+  | Pruned
+  | Timed_out of string
+  | Rejected of string
+  | Verified
+
+let status_string = function
+  | Pruned -> "pruned"
+  | Timed_out _ -> "timeout"
+  | Rejected _ -> "rejected"
+  | Verified -> "verified"
+
+type cand = {
+  cd_level : int;
+  cd_steps : string list;
+  cd_status : status;
+  cd_score : float;
+  cd_ops : int option;
+  cd_seconds : float option;
+  cd_speedup : float option;
+}
+
+type best = {
+  b_steps : string list;
+  b_ops : int;
+  b_seconds : float;
+  b_speedup : float;
+}
+
+type t = {
+  r_name : string;
+  r_config : config;
+  r_identity_ops : int;
+  r_identity_seconds : float;
+  r_explored : int;
+  r_illegal : int;
+  r_apply_failed : int;
+  r_pruned : int;
+  r_measured : int;
+  r_timeouts : int;
+  r_rejected : int;
+  r_verified : int;
+  r_cands : cand list;
+  r_best : best option;
+  r_wall : float;
+}
+
+(* A beam state: a concrete (already rewritten) program together with
+   its own re-profiled analysis, so the next level enumerates moves
+   against what the program has become, not what it used to be. *)
+type state = {
+  st_hir : Vm.Hir.program;
+  st_analysis : Sched.Depanalysis.t;
+  st_trail : string list;
+}
+
+(* Seeded FNV-1a over the step trail: the deterministic tie-break of the
+   stage-1 ranking. *)
+let tie_hash seed s =
+  let h = ref (2166136261 lxor ((seed + 1) * 16777619)) in
+  String.iter
+    (fun c -> h := ((!h lxor Char.code c) * 16777619) land 0x3FFFFFFFFFFFF)
+    s;
+  !h
+
+let locality_weight = 0.5
+
+let median_time ~repeat ~max_steps prog =
+  let one () =
+    snd (Obs.Clock.timed (fun () -> ignore (Vm.Interp.run ~max_steps prog)))
+  in
+  Obs.Clock.median (List.init (max 1 repeat) (fun _ -> one ()))
+
+let run ?(config = default) ~name (hir : Vm.Hir.program) =
+  Obs.Span.with_ ~cat:"tune" ("tune.search:" ^ name) @@ fun () ->
+  let result, wall =
+    Obs.Clock.timed @@ fun () ->
+    let orig_prog, profile, analysis = Xform.Driver.analyse_hir hir in
+    if List.length profile.Ddg.Depprof.deps > config.dep_budget then
+      Error
+        (Printf.sprintf
+           "scheduler bailed out: %d dependence keys exceed the budget of %d"
+           (List.length profile.Ddg.Depprof.deps)
+           config.dep_budget)
+    else begin
+      let identity_ops =
+        profile.Ddg.Depprof.run_stats.Vm.Interp.dyn_instrs
+      in
+      let max_steps =
+        int_of_float (config.timeout_factor *. float_of_int identity_ops)
+        + 10_000
+      in
+      let identity_seconds =
+        Obs.Span.with_ ~cat:"tune" "tune.measure:identity" @@ fun () ->
+        median_time ~repeat:config.repeat ~max_steps orig_prog
+      in
+      (* absolute slack so microsecond-scale workloads cannot flap on
+         scheduler jitter *)
+      let time_bound = (config.timeout_factor *. identity_seconds) +. 5e-3 in
+      let explored = ref 0 in
+      let illegal = ref 0 in
+      let apply_failed = ref 0 in
+      let cands = ref [] in
+      let push c = cands := c :: !cands in
+      let states =
+        ref [ { st_hir = hir; st_analysis = analysis; st_trail = [] } ]
+      in
+      for level = 1 to config.depth do
+        if !states <> [] then begin
+          (* stage 0: enumerate legal moves from every beam state *)
+          let seen = Hashtbl.create 64 in
+          let raw =
+            List.concat_map
+              (fun st ->
+                let acts, rej =
+                  Candidate.enumerate ~max_nests:config.max_nests
+                    ~tile_sizes:config.tile_sizes st.st_hir st.st_analysis
+                in
+                explored := !explored + List.length acts + List.length rej;
+                illegal := !illegal + List.length rej;
+                List.filter_map
+                  (fun a ->
+                    let steps = st.st_trail @ [ Candidate.describe a ] in
+                    let key = String.concat " > " steps in
+                    if Hashtbl.mem seen key then None
+                    else begin
+                      Hashtbl.add seen key ();
+                      Some (st, a, steps, key)
+                    end)
+                  acts)
+              !states
+          in
+          (* stage 1: apply + one uninstrumented probe run; rank on the
+             exact operation count minus the predicted locality gain *)
+          let probed =
+            List.filter_map
+              (fun (st, a, steps, key) ->
+                match Candidate.apply st.st_hir a with
+                | Error _ ->
+                    incr apply_failed;
+                    None
+                | Ok hir' -> (
+                    match Vm.Hir.lower hir' with
+                    | exception Vm.Hir.Lower_error _ ->
+                        incr apply_failed;
+                        None
+                    | prog' -> (
+                        match Vm.Interp.run ~max_steps prog' with
+                        | exception Vm.Interp.Trap m ->
+                            push
+                              { cd_level = level;
+                                cd_steps = steps;
+                                cd_status =
+                                  Timed_out ("probe run: " ^ m);
+                                cd_score = infinity;
+                                cd_ops = None;
+                                cd_seconds = None;
+                                cd_speedup = None };
+                            None
+                        | stats ->
+                            let ops = stats.Vm.Interp.dyn_instrs in
+                            let score =
+                              float_of_int ops
+                              -. (locality_weight *. Candidate.locality_gain a)
+                            in
+                            Some
+                              ( (score, tie_hash config.seed key, key),
+                                (st, a, steps, hir', prog', ops, score) ))))
+              raw
+            |> List.stable_sort (fun (ka, _) (kb, _) -> compare ka kb)
+            |> List.map snd
+          in
+          let rec split_at n = function
+            | x :: xs when n > 0 ->
+                let a, b = split_at (n - 1) xs in
+                (x :: a, b)
+            | l -> ([], l)
+          in
+          let survivors, pruned = split_at config.beam probed in
+          List.iter
+            (fun (_, _, steps, _, _, ops, score) ->
+              push
+                { cd_level = level;
+                  cd_steps = steps;
+                  cd_status = Pruned;
+                  cd_score = score;
+                  cd_ops = Some ops;
+                  cd_seconds = None;
+                  cd_speedup = None })
+            pruned;
+          (* stage 2: measure and verify the beam survivors *)
+          let next =
+            List.filter_map
+              (fun (_, _, steps, hir', prog', ops, score) ->
+                let finish status seconds =
+                  push
+                    { cd_level = level;
+                      cd_steps = steps;
+                      cd_status = status;
+                      cd_score = score;
+                      cd_ops = Some ops;
+                      cd_seconds = seconds;
+                      cd_speedup =
+                        Option.map (fun s -> identity_seconds /. s) seconds }
+                in
+                let first, t1 =
+                  Obs.Span.with_ ~cat:"tune" "tune.measure" @@ fun () ->
+                  Obs.Clock.timed (fun () ->
+                      match Vm.Interp.run ~max_steps prog' with
+                      | exception Vm.Interp.Trap m -> Error m
+                      | _ -> Ok ())
+                in
+                match first with
+                | Error m ->
+                    finish (Timed_out ("step budget: " ^ m)) None;
+                    None
+                | Ok () when t1 > time_bound ->
+                    finish
+                      (Timed_out
+                         (Printf.sprintf
+                            "first run took %.2fx the identity median"
+                            (t1 /. identity_seconds)))
+                      None;
+                    None
+                | Ok () ->
+                    let seconds =
+                      Obs.Span.with_ ~cat:"tune" "tune.measure" @@ fun () ->
+                      if config.repeat <= 1 then t1
+                      else
+                        Obs.Clock.median
+                          (t1
+                          :: List.init (config.repeat - 1) (fun _ ->
+                                 snd
+                                   (Obs.Clock.timed (fun () ->
+                                        ignore
+                                          (Vm.Interp.run ~max_steps prog')))))
+                    in
+                    let oracle =
+                      Obs.Span.with_ ~cat:"tune" "tune.verify" @@ fun () ->
+                      Xform.Driver.oracle ~eps:config.eps ~max_steps
+                        ~orig_prog hir'
+                    in
+                    if not oracle.Xform.Driver.or_ok then begin
+                      let reason =
+                        if not oracle.Xform.Driver.or_equiv.Xform.Verify.eq_ok
+                        then "observable equivalence failed"
+                        else "a dependence was reversed (re-folded DDG)"
+                      in
+                      finish (Rejected reason) None;
+                      None
+                    end
+                    else begin
+                      finish Verified (Some seconds);
+                      match oracle.Xform.Driver.or_analysis with
+                      | Some xa ->
+                          Some
+                            { st_hir = hir';
+                              st_analysis = xa;
+                              st_trail = steps }
+                      | None -> None
+                    end)
+              survivors
+          in
+          states := next
+        end
+      done;
+      let cands = List.rev !cands in
+      let count p = List.length (List.filter p cands) in
+      let best =
+        List.filter_map
+          (fun c ->
+            match (c.cd_status, c.cd_seconds, c.cd_ops) with
+            | Verified, Some s, Some ops ->
+                Some
+                  { b_steps = c.cd_steps;
+                    b_ops = ops;
+                    b_seconds = s;
+                    b_speedup = identity_seconds /. s }
+            | _ -> None)
+          cands
+        |> List.fold_left
+             (fun acc b ->
+               match acc with
+               | Some a when a.b_seconds <= b.b_seconds -> acc
+               | _ -> Some b)
+             None
+        |> Option.map (fun b ->
+               if b.b_speedup >= config.margin then Some b else None)
+        |> Option.join
+      in
+      Ok
+        { r_name = name;
+          r_config = config;
+          r_identity_ops = identity_ops;
+          r_identity_seconds = identity_seconds;
+          r_explored = !explored;
+          r_illegal = !illegal;
+          r_apply_failed = !apply_failed;
+          r_pruned = count (fun c -> c.cd_status = Pruned);
+          r_measured =
+            count (fun c ->
+                match c.cd_status with
+                | Verified | Rejected _ -> true
+                | Timed_out _ -> c.cd_ops <> None
+                | Pruned -> false);
+          r_timeouts =
+            count (fun c ->
+                match c.cd_status with Timed_out _ -> true | _ -> false);
+          r_rejected =
+            count (fun c ->
+                match c.cd_status with Rejected _ -> true | _ -> false);
+          r_verified = count (fun c -> c.cd_status = Verified);
+          r_cands = cands;
+          r_best = best;
+          r_wall = 0.0 }
+    end
+  in
+  Result.map (fun r -> { r with r_wall = wall }) result

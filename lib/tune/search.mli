@@ -1,0 +1,90 @@
+(** Verified beam search over the legal schedule space — the driver that
+    closes the PGO loop.
+
+    Each beam state is a concrete rewritten program with its own
+    re-profiled dependence analysis, so step sequences compose across
+    levels (fuse two outer loops, then fuse the inner loops the merge
+    made adjacent).  Candidate moves come from {!Candidate.enumerate}
+    (already gated by the profiled direction vectors); ranking is a
+    two-stage cost model:
+
+    + a cheap deterministic stage — the exact dynamic operation count of
+      one uninstrumented probe run, minus a locality bonus from the
+      per-dimension stride-0/1 profile — orders all legal moves;
+    + the [beam] best are then measured (median of [repeat] monotonic
+      wall-clock runs, program lowered outside the timer) and
+      differentially verified ({!Xform.Driver.oracle}); only verified
+      candidates survive into the next level or the final report.
+
+    Ties in the first stage break on a seeded hash of the step trail, so
+    a fixed [seed] reproduces the search exactly. *)
+
+type config = {
+  beam : int;  (** beam width *)
+  depth : int;  (** maximum composed steps *)
+  repeat : int;  (** timed runs per measured candidate *)
+  seed : int;  (** tie-break seed *)
+  tile_sizes : int list;  (** tile-size ladder *)
+  max_nests : int;  (** hottest nests considered per state *)
+  timeout_factor : float;
+      (** skip a candidate whose first timed run exceeds this multiple
+          of the identity median (also bounds interpreter steps) *)
+  margin : float;
+      (** minimum measured speedup for a candidate to displace the
+          identity schedule as "best" *)
+  eps : float;  (** float tolerance of the differential verifier *)
+  dep_budget : int;
+      (** bail out like the scheduler when the profile has more
+          dependence keys than this *)
+}
+
+val default : config
+
+type status =
+  | Pruned  (** legal but ranked below the beam cut — never measured *)
+  | Timed_out of string  (** skipped: run bound exceeded (recorded) *)
+  | Rejected of string  (** a verification oracle failed *)
+  | Verified
+
+val status_string : status -> string
+
+type cand = {
+  cd_level : int;  (** 1-based search level *)
+  cd_steps : string list;  (** action trail from identity, outer first *)
+  cd_status : status;
+  cd_score : float;  (** stage-1 predicted cost (lower is better) *)
+  cd_ops : int option;  (** probe-run dynamic operations (None: the
+                            probe itself hit the step bound) *)
+  cd_seconds : float option;  (** measured median, when measured *)
+  cd_speedup : float option;  (** identity median / candidate median *)
+}
+
+type best = {
+  b_steps : string list;
+  b_ops : int;
+  b_seconds : float;
+  b_speedup : float;
+}
+
+type t = {
+  r_name : string;
+  r_config : config;
+  r_identity_ops : int;
+  r_identity_seconds : float;
+  r_explored : int;  (** all moves the enumerator produced *)
+  r_illegal : int;  (** statically rejected by the direction vectors *)
+  r_apply_failed : int;  (** not expressible as a source rewrite *)
+  r_pruned : int;
+  r_measured : int;
+  r_timeouts : int;
+  r_rejected : int;
+  r_verified : int;
+  r_cands : cand list;  (** deterministic order: level, then rank *)
+  r_best : best option;  (** [None]: the identity schedule is retained *)
+  r_wall : float;  (** total search wall seconds *)
+}
+
+val run : ?config:config -> name:string -> Vm.Hir.program -> (t, string) result
+(** Search the schedule space of [hir].  [Error] reports a scheduler
+    bail-out (dependence budget), never a verification failure — those
+    are per-candidate statuses. *)

@@ -345,6 +345,87 @@ let seidel_wd_mixed =
 let seidel_wd_skip =
   seidel_wd_kernel ~name:"seidel_wd_skip" ~threshold:(-1.0) ~flip:true
 
+(* ------------------------------------------------------------------ *)
+(* gesummv: y := alpha*A*x + beta*B*x, naively split into three loops   *)
+(* (the straightforward C translation computes tmp, then y, then the    *)
+(* linear combination — a classic fusion chain for the autotuner)       *)
+(* ------------------------------------------------------------------ *)
+
+let gesummv =
+  let n = 20 in
+  let at r c = (r *! i n) +! c in
+  let kernel =
+    H.fundef "gesummv_kernel" []
+      [ H.for_ ~loc:(loc "gesummv.c" 8) "r" (i 0) (i n)
+          [ H.for_ ~loc:(loc "gesummv.c" 9) "c" (i 0) (i n)
+              [ H.Let ("t", "tmp".%[v "r"]);
+                H.Let ("a", "Ag".%[at (v "r") (v "c")]);
+                H.Let ("x", "xg".%[v "c"]);
+                store "tmp" (v "r") (v "t" +? (v "a" *? v "x")) ] ];
+        H.for_ ~loc:(loc "gesummv.c" 12) "r2" (i 0) (i n)
+          [ H.for_ ~loc:(loc "gesummv.c" 13) "c2" (i 0) (i n)
+              [ H.Let ("y", "yg".%[v "r2"]);
+                H.Let ("b", "Bg".%[at (v "r2") (v "c2")]);
+                H.Let ("x2", "xg".%[v "c2"]);
+                store "yg" (v "r2") (v "y" +? (v "b" *? v "x2")) ] ];
+        H.for_ ~loc:(loc "gesummv.c" 16) "r3" (i 0) (i n)
+          [ H.Let ("tf", "tmp".%[v "r3"]);
+            H.Let ("yf", "yg".%[v "r3"]);
+            store "yg" (v "r3")
+              ((f 1.5 *? v "tf") +? (f 1.2 *? v "yf")) ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "Ag" (n * n)
+      @ Workload.init_float_array "Bg" (n * n)
+      @ Workload.init_float_array "xg" n
+      @ Workload.init_float_array "tmp" n
+      @ Workload.init_float_array "yg" n
+      @ [ H.CallS (None, "gesummv_kernel", []) ])
+  in
+  Workload.make ~name:"gesummv" ~kernel:"gesummv_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays =
+        [ ("Ag", n * n); ("Bg", n * n); ("xg", n); ("tmp", n); ("yg", n) ];
+      main = "main" }
+
+(* ------------------------------------------------------------------ *)
+(* bicg: s := A^T r and q := A p, split into two independent nests      *)
+(* ------------------------------------------------------------------ *)
+
+let bicg =
+  let n = 20 in
+  let at r c = (r *! i n) +! c in
+  let kernel =
+    H.fundef "bicg_kernel" []
+      [ H.for_ ~loc:(loc "bicg.c" 8) "r" (i 0) (i n)
+          [ H.for_ ~loc:(loc "bicg.c" 9) "c" (i 0) (i n)
+              [ H.Let ("s", "sv".%[v "c"]);
+                H.Let ("rr", "rv".%[v "r"]);
+                H.Let ("a", "Ab".%[at (v "r") (v "c")]);
+                store "sv" (v "c") (v "s" +? (v "rr" *? v "a")) ] ];
+        H.for_ ~loc:(loc "bicg.c" 12) "r2" (i 0) (i n)
+          [ H.for_ ~loc:(loc "bicg.c" 13) "c2" (i 0) (i n)
+              [ H.Let ("q", "qv".%[v "r2"]);
+                H.Let ("a2", "Ab".%[at (v "r2") (v "c2")]);
+                H.Let ("p", "pv".%[v "c2"]);
+                store "qv" (v "r2") (v "q" +? (v "a2" *? v "p")) ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "Ab" (n * n)
+      @ Workload.init_float_array "rv" n
+      @ Workload.init_float_array "pv" n
+      @ Workload.init_float_array "sv" n
+      @ Workload.init_float_array "qv" n
+      @ [ H.CallS (None, "bicg_kernel", []) ])
+  in
+  Workload.make ~name:"bicg" ~kernel:"bicg_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays =
+        [ ("Ab", n * n); ("rv", n); ("pv", n); ("sv", n); ("qv", n) ];
+      main = "main" }
+
 let all =
-  [ gemm; jacobi_2d; atax; mvt; seidel_1d; trisolv; cholesky; trmm; lu;
-    seidel_wd ]
+  [ gemm; jacobi_2d; atax; mvt; gesummv; bicg; seidel_1d; trisolv; cholesky;
+    trmm; lu; seidel_wd ]

@@ -215,3 +215,56 @@ let table5_with_paper results =
       results
   in
   Report.Texttable.render ~header:full_header rows
+
+(* ------------------------------------------------------------------ *)
+(* Autotuning (Tune.Search) over the suite                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Workloads the autotuner searches: the fully static PolyBench kernels
+   plus mini-Rodinia programs whose hot region is a plain loop nest.
+   streamcluster is excluded — its scheduling stage bails out and the
+   search driver refuses it for the same dependence-budget reason. *)
+let autotune_suite : Workload.t list =
+  Polybench.all
+  @ [ Backprop.workload;
+      Hotspot.workload;
+      Kmeans.workload;
+      Nw.workload;
+      Pathfinder.workload;
+      Srad.v1 ]
+
+let autotune_all ?config () =
+  List.map
+    (fun (w : Workload.t) ->
+      ( w.Workload.w_name,
+        Polyprof.autotune ?config ~name:w.Workload.w_name w.Workload.hir ))
+    autotune_suite
+
+let autotune_table results =
+  let rows =
+    List.map
+      (fun (name, r) ->
+        match r with
+        | Error e -> [ name; "-"; "-"; "-"; "-"; "-"; e ]
+        | Ok (s : Tune.Search.t) ->
+            let best, speedup =
+              match s.Tune.Search.r_best with
+              | None -> ("identity", "1.00x")
+              | Some b ->
+                  ( String.concat " ; " b.Tune.Search.b_steps,
+                    Printf.sprintf "%.2fx" b.Tune.Search.b_speedup )
+            in
+            [ name;
+              string_of_int s.Tune.Search.r_explored;
+              string_of_int s.Tune.Search.r_illegal;
+              string_of_int s.Tune.Search.r_measured;
+              string_of_int s.Tune.Search.r_verified;
+              speedup;
+              best ])
+      results
+  in
+  Report.Texttable.render
+    ~header:
+      [ "Benchmark"; "Explored"; "Illegal"; "Measured"; "Verified";
+        "Speedup"; "Best schedule" ]
+    rows

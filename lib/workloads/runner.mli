@@ -54,3 +54,19 @@ val table5_with_paper : (Workload.t * outcome) list -> string
 val verify_table : (Workload.t * outcome) list -> string
 (** One row per benchmark: suggested plans applied and differentially
     verified / rejected / skipped (requires [run ~xverify:true]). *)
+
+val autotune_suite : Workload.t list
+(** Workloads the autotuning schedule search ({!Tune.Search}) walks: the
+    PolyBench kernels plus the mini-Rodinia programs with a plain
+    loop-nest hot region (streamcluster's scheduler bail-out excludes
+    it). *)
+
+val autotune_all :
+  ?config:Tune.Search.config -> unit ->
+  (string * (Tune.Search.t, string) result) list
+(** Run the beam search over {!autotune_suite}. *)
+
+val autotune_table :
+  (string * (Tune.Search.t, string) result) list -> string
+(** One summary row per workload: candidates explored / measured /
+    verified and the best verified schedule with its speedup. *)

@@ -176,6 +176,31 @@ let verify_transformed ~eps ?max_steps ~orig_prog xhir =
     let _, _, xanalysis = analyse_hir xhir in
     (equiv, Some xanalysis)
 
+(* One-call correctness oracle for an already-rewritten program: both
+   dynamic checks the nest/fusion entries run — differential execution
+   against the original, then lexicographic non-negativity of the
+   re-folded DDG.  The re-analysis is returned so a caller that keeps
+   the candidate (an autotuner extending its beam) does not profile
+   twice. *)
+type oracle = {
+  or_equiv : Verify.equiv;
+  or_dynamic : Verify.legality option;  (* None: equivalence already failed *)
+  or_analysis : Sched.Depanalysis.t option;
+  or_ok : bool;
+}
+
+let oracle ?(eps = 1e-9) ?max_steps ~orig_prog xhir =
+  let equiv, xanalysis = verify_transformed ~eps ?max_steps ~orig_prog xhir in
+  match xanalysis with
+  | None ->
+      { or_equiv = equiv; or_dynamic = None; or_analysis = None; or_ok = false }
+  | Some xa ->
+      let dyn = Verify.dynamic_legality xa in
+      { or_equiv = equiv;
+        or_dynamic = Some dyn;
+        or_analysis = Some xa;
+        or_ok = equiv.Verify.eq_ok && dyn.Verify.dl_ok }
+
 let nest_entry ~eps ?max_steps ~orig_prog ~analysis hir (plan : Sched.Plan.t) =
   let target = Sched.Plan.describe plan in
   let base ?applied ?skipped ?static ?equiv ?dynamic ?profit status =

@@ -1,5 +1,5 @@
 .PHONY: all check test bench bench-json stream-smoke staticdep-smoke \
-  obs-smoke autotune-smoke clean
+  obs-smoke autotune-smoke serve-smoke clean
 
 all:
 	dune build @all
@@ -63,6 +63,40 @@ obs-smoke:
 	  --trace-json telemetry_backprop.json \
 	  --prom telemetry_backprop.prom --svg telemetry_backprop.svg
 	dune exec bin/polyprof_cli.exe -- overhead backprop --json
+
+# profiling-as-a-service end to end: start the daemon, submit the same
+# job twice, assert the second submission was served from the cache
+# (exactly one execution according to the live /metrics counter) with a
+# byte-identical report, check crash isolation, shut down gracefully.
+# The built binary is invoked directly so the daemon pid is killable.
+serve-smoke: all
+	@set -e; \
+	dir=$$(mktemp -d); \
+	cli=$$(pwd)/_build/default/bin/polyprof_cli.exe; \
+	sock=$$dir/polyprof.sock; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$dir' EXIT; \
+	$$cli serve --socket $$sock --workers 2 --quiet & pid=$$!; \
+	for i in $$(seq 1 100); do test -S $$sock && break; sleep 0.1; done; \
+	test -S $$sock || { echo "FAIL: daemon never bound $$sock"; exit 1; }; \
+	$$cli submit profile gemm --socket $$sock --wait > $$dir/r1.json; \
+	$$cli submit profile gemm --socket $$sock --wait > $$dir/r2.json; \
+	cmp $$dir/r1.json $$dir/r2.json \
+	  || { echo "FAIL: cached report differs from the original"; exit 1; }; \
+	$$cli submit crash gemm --socket $$sock --wait > /dev/null 2>&1 \
+	  && { echo "FAIL: crash job reported success"; exit 1; } || true; \
+	$$cli submit profile atax --socket $$sock --wait > /dev/null \
+	  || { echo "FAIL: daemon did not survive the worker crash"; exit 1; }; \
+	$$cli status --socket $$sock > /dev/null; \
+	execs=$$($$cli fetch 1 --socket $$sock > /dev/null 2>&1; \
+	  curl -s --unix-socket $$sock http://localhost/metrics \
+	  | sed -n 's/^polyprof_serve_executions_total \([0-9]*\)$$/\1/p'); \
+	echo "executions_total = $$execs (expect 3: gemm cold, crash, atax)"; \
+	test "$$execs" = 3 \
+	  || { echo "FAIL: cache hit re-executed the job"; exit 1; }; \
+	$$cli shutdown --socket $$sock > /dev/null; \
+	wait $$pid; \
+	test ! -e $$sock || { echo "FAIL: socket not unlinked"; exit 1; }; \
+	echo "serve-smoke OK: 1 execution for 2 submissions, bit-identical reports, crash isolated, graceful shutdown"
 
 clean:
 	dune clean

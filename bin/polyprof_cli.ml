@@ -941,15 +941,333 @@ let autotune_cmd =
       const run $ bench_arg $ beam $ depth $ repeat $ seed $ json_flag $ svg
       $ telemetry_flag)
 
+(* ------------------------------------------------------------------ *)
+(* Profiling as a service: serve / submit / status / fetch / shutdown   *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Serve.Server.default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port on 127.0.0.1 (in addition to the Unix socket).")
+
+let endpoint_of socket port =
+  match port with
+  | Some p -> Serve.Client.Tcp ("127.0.0.1", p)
+  | None -> Serve.Client.Unix_sock socket
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value & opt int Serve.Engine.default_config.Serve.Engine.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains in the pool.")
+  in
+  let queue =
+    Arg.(
+      value & opt int Serve.Engine.default_config.Serve.Engine.queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Queued-job bound; submissions beyond it are rejected (429).")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MiB"
+          ~doc:"Byte budget of the content-addressed result cache (LRU).")
+  in
+  let persist =
+    Arg.(
+      value & opt (some string) None
+      & info [ "persist" ] ~docv:"DIR"
+          ~doc:
+            "Persist cached results to $(docv) (CRC-sealed, one file per \
+             entry) and reload them on restart; corrupt files are rejected.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Default per-job deadline for specs that carry none.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No lifecycle chatter on stdout.")
+  in
+  let run socket port workers queue cache_mb persist deadline quiet =
+    (* the /metrics endpoint is the daemon's point: telemetry is on *)
+    Obs.Registry.enable ();
+    Serve.Server.serve ~quiet
+      { Serve.Server.socket_path = socket;
+        tcp_port = port;
+        engine =
+          { Serve.Engine.workers;
+            queue_capacity = queue;
+            cache_bytes = cache_mb * 1024 * 1024;
+            persist_dir = persist;
+            default_deadline_s = deadline } };
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the profiling daemon: accept profile/transform/verify/autotune \
+          jobs over HTTP/1.1 + JSON on a Unix-domain socket (and optionally \
+          TCP), execute them on a bounded pool of worker domains with \
+          per-job deadlines and crash isolation, serve repeat submissions \
+          from a content-addressed result cache, and expose live \
+          Prometheus metrics on /metrics")
+    Term.(
+      const run $ socket_arg $ port_arg $ workers $ queue $ cache_mb $ persist
+      $ deadline $ quiet)
+
+let kind_arg =
+  let kinds =
+    [ ("profile", Serve.Proto.Profile); ("transform", Serve.Proto.Transform);
+      ("verify", Serve.Proto.Verify); ("autotune", Serve.Proto.Autotune);
+      ("crash", Serve.Proto.Crash) ]
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum kinds)) None
+    & info [] ~docv:"KIND"
+        ~doc:"Job kind: $(b,profile), $(b,transform), $(b,verify), \
+              $(b,autotune) or $(b,crash) (the crash-isolation self-test).")
+
+let submit_cmd =
+  let bench =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name (see $(b,polyprof list)).")
+  in
+  let params =
+    Arg.(
+      value & opt_all string []
+      & info [ "param"; "p" ] ~docv:"K=V"
+          ~doc:
+            "Job parameter (repeatable): $(b,budget) for profile, \
+             $(b,max_plans) for transform/verify, \
+             $(b,beam)/$(b,depth)/$(b,repeat)/$(b,seed) for autotune.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS" ~doc:"Per-job deadline.")
+  in
+  let wait =
+    Arg.(
+      value & flag
+      & info [ "wait" ]
+          ~doc:
+            "Block until the job finishes and print its report document \
+             instead of the submit acknowledgement.")
+  in
+  let run socket port kind bench params deadline wait =
+    let ep = endpoint_of socket port in
+    let params =
+      List.filter_map
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | Some i ->
+              Some
+                ( String.sub kv 0 i,
+                  String.sub kv (i + 1) (String.length kv - i - 1) )
+          | None ->
+              prerr_endline ("ignoring malformed --param " ^ kv);
+              None)
+        params
+    in
+    let spec = Serve.Proto.spec ~kind ~bench ~params ?deadline_s:deadline () in
+    match Serve.Client.submit ep spec with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok doc ->
+        if not wait then begin
+          print_endline (Obs.Json_emit.to_string ~pretty:true doc);
+          0
+        end
+        else begin
+          match Serve.Client.job_id_of doc with
+          | Error e ->
+              prerr_endline e;
+              1
+          | Ok id -> (
+              match Serve.Client.wait ep ~job_id:id () with
+              | Error e ->
+                  prerr_endline e;
+                  1
+              | Ok _ -> (
+                  match
+                    Serve.Client.request ep ~meth:"GET"
+                      ~path:(Printf.sprintf "/jobs/%d/report" id)
+                      ()
+                  with
+                  | Ok { Serve.Http.rs_status = 200; rs_body; _ } ->
+                      print_string rs_body;
+                      print_newline ();
+                      0
+                  | Ok rs ->
+                      prerr_endline
+                        (Printf.sprintf "HTTP %d" rs.Serve.Http.rs_status);
+                      1
+                  | Error e ->
+                      prerr_endline e;
+                      1))
+        end
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a job to a running $(b,polyprof serve) daemon; repeat \
+          submissions of identical jobs are served from its \
+          content-addressed cache")
+    Term.(
+      const run $ socket_arg $ port_arg $ kind_arg $ bench $ params $ deadline
+      $ wait)
+
+let status_cmd =
+  let id =
+    Arg.(
+      value & pos 0 (some int) None
+      & info [] ~docv:"ID"
+          ~doc:"Job id; without it, list the most recent jobs.")
+  in
+  let run socket port id =
+    let ep = endpoint_of socket port in
+    let path =
+      match id with Some i -> Printf.sprintf "/jobs/%d" i | None -> "/jobs"
+    in
+    match Serve.Client.request ep ~meth:"GET" ~path () with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok rs ->
+        (match Obs.Json_emit.parse rs.Serve.Http.rs_body with
+        | Ok doc -> print_endline (Obs.Json_emit.to_string ~pretty:true doc)
+        | Error _ -> print_endline rs.Serve.Http.rs_body);
+        if rs.Serve.Http.rs_status = 200 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Query a running daemon for job status")
+    Term.(const run $ socket_arg $ port_arg $ id)
+
+let fetch_cmd =
+  let id =
+    Arg.(
+      required & pos 0 (some int) None & info [] ~docv:"ID" ~doc:"Job id.")
+  in
+  let artifact =
+    Arg.(
+      value & flag
+      & info [ "artifact" ]
+          ~doc:"Fetch the per-job Chrome trace instead of the report.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let run socket port id artifact out =
+    let ep = endpoint_of socket port in
+    let leaf = if artifact then "artifact" else "report" in
+    match
+      Serve.Client.request ep ~meth:"GET"
+        ~path:(Printf.sprintf "/jobs/%d/%s" id leaf)
+        ()
+    with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok { Serve.Http.rs_status = 200; rs_body; _ } ->
+        (match out with
+        | None ->
+            print_string rs_body;
+            print_newline ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc rs_body;
+            close_out oc);
+        0
+    | Ok rs ->
+        prerr_endline rs.Serve.Http.rs_body;
+        1
+  in
+  Cmd.v
+    (Cmd.info "fetch"
+       ~doc:"Download a finished job's report or Chrome-trace artifact")
+    Term.(const run $ socket_arg $ port_arg $ id $ artifact $ out)
+
+let shutdown_cmd =
+  let run socket port =
+    match
+      Serve.Client.request (endpoint_of socket port) ~meth:"POST"
+        ~path:"/shutdown" ()
+    with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok rs ->
+        print_endline rs.Serve.Http.rs_body;
+        if rs.Serve.Http.rs_status = 200 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Gracefully stop a running daemon (drain the queue, join the \
+             workers)")
+    Term.(const run $ socket_arg $ port_arg)
+
+let version_cmd =
+  let run json =
+    if json then
+      print_endline
+        (Obs.Json_emit.to_string ~pretty:true
+           (Obs.Json_emit.Obj
+              [ ("version", Obs.Json_emit.Str Polyprof.version);
+                ( "schemas",
+                  Obs.Json_emit.List
+                    (List.map
+                       (fun (s : Obs.Schemas.t) ->
+                         Obs.Json_emit.Obj
+                           [ ("name", Obs.Json_emit.Str s.Obs.Schemas.s_name);
+                             ("file", Obs.Json_emit.Str s.Obs.Schemas.s_file);
+                             ( "schema_version",
+                               Obs.Json_emit.Int s.Obs.Schemas.s_version ) ])
+                       Obs.Schemas.all) ) ]))
+    else begin
+      Printf.printf "polyprof %s\n" Polyprof.version;
+      Printf.printf "report schemas:\n";
+      List.iter
+        (fun (s : Obs.Schemas.t) ->
+          Printf.printf "  %-10s v%-2d %s\n" s.Obs.Schemas.s_name
+            s.Obs.Schemas.s_version s.Obs.Schemas.s_file)
+        Obs.Schemas.all
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the binary version and the schema_version of every \
+          machine-readable report this tree emits")
+    Term.(const run $ json_flag)
+
 let () =
   let doc =
     "data-flow/dependence profiling for structured transformations \
      (PPoPP 2019 reproduction)"
   in
-  let info = Cmd.info "polyprof" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "polyprof" ~version:Polyprof.version ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; flamegraph_cmd; table5_cmd; polly_cmd; trace_cmd;
             deps_cmd; lint_cmd; staticdep_cmd; transform_cmd; autotune_cmd;
-            source_cmd; telemetry_cmd; overhead_cmd ]))
+            source_cmd; telemetry_cmd; overhead_cmd; serve_cmd; submit_cmd;
+            status_cmd; fetch_cmd; shutdown_cmd; version_cmd ]))

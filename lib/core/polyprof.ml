@@ -1,3 +1,7 @@
+module Prog_hash = Prog_hash
+
+let version = "1.1.0"
+
 type t = {
   prog : Vm.Prog.t;
   hir : Vm.Hir.program option;

@@ -19,6 +19,14 @@
       structure, PolyFeat metrics, flame graphs
       ({!Sched}, {!Report}). *)
 
+module Prog_hash : module type of Prog_hash
+(** Canonical program hashing (SHA-256 content addresses) — the cache
+    key of the {!Serve} service layer. *)
+
+val version : string
+(** The binary/library version, also reported by [polyprof version] and
+    the daemon's [/version] endpoint. *)
+
 type t = {
   prog : Vm.Prog.t;
   hir : Vm.Hir.program option;  (** the "source", when lowered from HIR *)

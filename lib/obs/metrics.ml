@@ -228,6 +228,15 @@ let snapshot () =
   in
   Sink.snapshot_of sinks
 
+let compact () =
+  Mutex.protect retired_mutex (fun () ->
+      match !retired with
+      | [] | [ _ ] -> ()
+      | sinks ->
+          let merged = Sink.create () in
+          List.iter (fun s -> Sink.merge_into ~dst:merged s) sinks;
+          retired := [ merged ])
+
 let reset () =
   Mutex.protect retired_mutex (fun () -> retired := []);
   Domain.DLS.set dls_key (Sink.create ())

@@ -75,6 +75,12 @@ val flush_domain : unit -> unit
 (** Retire the calling domain's sink into the global pool (call before
     a worker domain exits; its DLS state is unreachable afterwards). *)
 
+val compact : unit -> unit
+(** Merge all retired sinks into one.  A long-running process whose
+    workers {!flush_domain} after every task (the serve daemon) calls
+    this periodically so {!snapshot} stays O(1) in the number of retired
+    sinks instead of growing with total tasks served. *)
+
 val reset : unit -> unit
 (** Drop all accumulated values (descriptors survive) — test isolation
     and the start of an explicitly-scoped telemetry run. *)

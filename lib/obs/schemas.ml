@@ -1,0 +1,18 @@
+type t = { s_name : string; s_file : string; s_version : int }
+
+let stream = 1
+let staticdep = 1
+let obs = 1
+let autotune = 1
+let overhead = 1
+let serve = 1
+
+let all =
+  [ { s_name = "autotune"; s_file = "BENCH_autotune.json"; s_version = autotune };
+    { s_name = "obs"; s_file = "BENCH_obs.json"; s_version = obs };
+    { s_name = "overhead"; s_file = "(stdout: polyprof overhead --json)";
+      s_version = overhead };
+    { s_name = "serve"; s_file = "BENCH_serve.json"; s_version = serve };
+    { s_name = "staticdep"; s_file = "BENCH_staticdep.json";
+      s_version = staticdep };
+    { s_name = "stream"; s_file = "BENCH_stream.json"; s_version = stream } ]

@@ -1,0 +1,206 @@
+type entry = { e_report : string; e_artifact : string option }
+
+type stats = {
+  c_entries : int;
+  c_bytes : int;
+  c_max_bytes : int;
+  c_hits : int;
+  c_misses : int;
+  c_evictions : int;
+  c_loaded : int;
+  c_rejected : int;
+}
+
+type node = { n_entry : entry; n_size : int; mutable n_used : int }
+
+type t = {
+  tbl : (string, node) Hashtbl.t;
+  max_bytes : int;
+  persist_dir : string option;
+  mutable bytes : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable loaded : int;
+  mutable rejected : int;
+}
+
+(* fixed per-entry overhead charged against the budget: key, hashtable
+   slot, node *)
+let entry_overhead = 256
+
+let entry_size key e =
+  String.length key + String.length e.e_report
+  + (match e.e_artifact with Some a -> String.length a | None -> 0)
+  + entry_overhead
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: one CRC-sealed file per entry.  Layout:
+     POLYPROFCACHE1 \n  key \n  crc32(payload) hex \n  length \n  payload
+   where payload is the marshalled entry.  Anything that does not parse,
+   whose CRC mismatches or whose key disagrees with the file name is
+   rejected and counted.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "POLYPROFCACHE1"
+let file_ext = ".jc"
+
+let key_valid key =
+  String.length key = 64
+  && String.for_all
+       (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+       key
+
+let entry_path dir key = Filename.concat dir (key ^ file_ext)
+
+let persist dir key e =
+  let payload = Marshal.to_string e [] in
+  let path = entry_path dir key in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Printf.fprintf oc "%s\n%s\n%08lx\n%d\n" magic key
+    (Stream.Crc32.string payload)
+    (String.length payload);
+  output_string oc payload;
+  close_out oc;
+  Sys.rename tmp path
+
+let unpersist dir key =
+  try Sys.remove (entry_path dir key) with Sys_error _ -> ()
+
+let load_file path : (string * entry, string) result =
+  try
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let line () = try Some (input_line ic) with End_of_file -> None in
+    match (line (), line (), line (), line ()) with
+    | Some m, Some key, Some crc_hex, Some len_s -> (
+        if m <> magic then Error "bad magic"
+        else if not (key_valid key) then Error "malformed key"
+        else if Filename.basename path <> key ^ file_ext then
+          Error "key/filename mismatch"
+        else
+          match int_of_string_opt len_s with
+          | None -> Error "malformed length"
+          | Some len when len < 0 || len > 256 * 1024 * 1024 ->
+              Error "implausible length"
+          | Some len -> (
+              let payload = Bytes.create len in
+              match really_input ic payload 0 len with
+              | exception End_of_file -> Error "truncated payload"
+              | () ->
+                  let crc =
+                    Printf.sprintf "%08lx" (Stream.Crc32.bytes payload)
+                  in
+                  if crc <> crc_hex then Error "CRC mismatch"
+                  else
+                    (* CRC-sealed by us, so unmarshalling is safe *)
+                    let e : entry =
+                      Marshal.from_string (Bytes.to_string payload) 0
+                    in
+                    Ok (key, e)))
+    | _ -> Error "truncated header"
+  with
+  | Sys_error e -> Error e
+  | Failure e -> Error e
+
+(* ------------------------------------------------------------------ *)
+
+let evict_until_fits t =
+  while t.bytes > t.max_bytes && Hashtbl.length t.tbl > 0 do
+    let victim =
+      Hashtbl.fold
+        (fun key node acc ->
+          match acc with
+          | Some (_, best) when best.n_used <= node.n_used -> acc
+          | _ -> Some (key, node))
+        t.tbl None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, node) ->
+        Hashtbl.remove t.tbl key;
+        t.bytes <- t.bytes - node.n_size;
+        t.evictions <- t.evictions + 1;
+        Option.iter (fun dir -> unpersist dir key) t.persist_dir
+  done
+
+let touch t node =
+  t.tick <- t.tick + 1;
+  node.n_used <- t.tick
+
+let insert t key e ~persisted =
+  let size = entry_size key e in
+  if size > t.max_bytes then ()
+  else begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some old -> t.bytes <- t.bytes - old.n_size
+    | None -> ());
+    let node = { n_entry = e; n_size = size; n_used = 0 } in
+    touch t node;
+    Hashtbl.replace t.tbl key node;
+    t.bytes <- t.bytes + size;
+    evict_until_fits t;
+    if not persisted then
+      Option.iter
+        (fun dir -> if Hashtbl.mem t.tbl key then persist dir key e)
+        t.persist_dir
+  end
+
+let create ?persist_dir ~max_bytes () =
+  let t =
+    { tbl = Hashtbl.create 64;
+      max_bytes;
+      persist_dir;
+      bytes = 0;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      loaded = 0;
+      rejected = 0 }
+  in
+  Option.iter
+    (fun dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f file_ext)
+        |> List.map (fun f -> Filename.concat dir f)
+      in
+      (* oldest first, so LRU order after the loop is newest-first *)
+      let mtime f = try (Unix.stat f).Unix.st_mtime with Unix.Unix_error _ -> 0. in
+      let files = List.sort (fun a b -> compare (mtime a) (mtime b)) files in
+      List.iter
+        (fun path ->
+          match load_file path with
+          | Ok (key, e) ->
+              insert t key e ~persisted:true;
+              t.loaded <- t.loaded + 1
+          | Error _ -> t.rejected <- t.rejected + 1)
+        files)
+    persist_dir;
+  t
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+      touch t node;
+      t.hits <- t.hits + 1;
+      Some node.n_entry
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t key e = insert t key e ~persisted:false
+
+let stats t =
+  { c_entries = Hashtbl.length t.tbl;
+    c_bytes = t.bytes;
+    c_max_bytes = t.max_bytes;
+    c_hits = t.hits;
+    c_misses = t.misses;
+    c_evictions = t.evictions;
+    c_loaded = t.loaded;
+    c_rejected = t.rejected }

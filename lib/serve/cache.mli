@@ -1,0 +1,44 @@
+(** Content-addressed result cache: folded-DDG reports, schedule
+    reports and autotune results keyed by the canonical program hash
+    ({!Polyprof.Prog_hash.job_key}).
+
+    In-memory LRU under a byte budget; optionally persisted one file per
+    entry (CRC-sealed) so a restarted daemon starts warm.  Corrupted or
+    truncated persisted entries are rejected at load time and counted,
+    never decoded.
+
+    Not internally synchronized: the engine serializes all access under
+    its own mutex. *)
+
+type entry = {
+  e_report : string;  (** the job's report JSON, byte-exact *)
+  e_artifact : string option;  (** Chrome-trace artifact, when produced *)
+}
+
+type stats = {
+  c_entries : int;
+  c_bytes : int;  (** accounted payload bytes currently held *)
+  c_max_bytes : int;
+  c_hits : int;
+  c_misses : int;
+  c_evictions : int;
+  c_loaded : int;  (** persisted entries accepted at startup *)
+  c_rejected : int;  (** persisted entries rejected (corrupt/foreign) *)
+}
+
+type t
+
+val create : ?persist_dir:string -> max_bytes:int -> unit -> t
+(** With [persist_dir], load every valid [*.jc] entry found there (LRU
+    order: file modification time) and persist future additions. *)
+
+val find : t -> string -> entry option
+(** Touches the entry (most-recently-used) and counts a hit or miss. *)
+
+val add : t -> string -> entry -> unit
+(** Insert (or refresh) an entry, evicting least-recently-used entries
+    until the byte budget holds.  An entry larger than the whole budget
+    is not admitted.  Persists to disk when enabled; eviction removes
+    the persisted file too. *)
+
+val stats : t -> stats

@@ -1,0 +1,101 @@
+module J = Obs.Json_emit
+
+type endpoint = Unix_sock of string | Tcp of string * int
+
+let connect = function
+  | Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Tcp (host, port) ->
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+
+let request endpoint ~meth ~path ?(body = "") () =
+  match connect endpoint with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot reach the daemon (%s) — is `polyprof serve` \
+                         running?" (Unix.error_message e))
+  | fd -> (
+      let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+      Fun.protect ~finally @@ fun () ->
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      try
+        Http.write_request oc ~meth ~path ~body ();
+        Ok (Http.read_response ic)
+      with
+      | Http.Bad_request e -> Error ("protocol error: " ^ e)
+      | Sys_error e -> Error e
+      | End_of_file -> Error "connection closed before a full response"
+      | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+let server_error (rs : Http.response) =
+  match J.parse rs.Http.rs_body with
+  | Ok doc -> (
+      match J.member "error" doc with
+      | Some (J.Str e) -> e
+      | _ -> Printf.sprintf "HTTP %d" rs.Http.rs_status)
+  | Error _ -> Printf.sprintf "HTTP %d" rs.Http.rs_status
+
+let parse_2xx (rs : Http.response) =
+  if rs.Http.rs_status / 100 = 2 then
+    match J.parse rs.Http.rs_body with
+    | Ok doc -> Ok doc
+    | Error e -> Error ("malformed response JSON: " ^ e)
+  else Error (server_error rs)
+
+let submit endpoint spec =
+  match
+    request endpoint ~meth:"POST" ~path:"/jobs"
+      ~body:(J.to_string (Proto.spec_to_json spec))
+      ()
+  with
+  | Error e -> Error e
+  | Ok rs -> parse_2xx rs
+
+let job_id_of doc =
+  match J.member "job" doc with
+  | Some job -> (
+      match J.member "id" job with
+      | Some (J.Int id) -> Ok id
+      | _ -> Error "response carries no job.id")
+  | None -> (
+      (* a status document is the job object itself *)
+      match J.member "id" doc with
+      | Some (J.Int id) -> Ok id
+      | _ -> Error "response carries no job.id")
+
+let wait endpoint ~job_id ?(timeout_s = 600.0) ?(poll_s = 0.05) () =
+  let deadline = Obs.Clock.monotonic () +. timeout_s in
+  let path = Printf.sprintf "/jobs/%d" job_id in
+  let rec loop () =
+    match request endpoint ~meth:"GET" ~path () with
+    | Error e -> Error e
+    | Ok rs -> (
+        match parse_2xx rs with
+        | Error e -> Error e
+        | Ok doc -> (
+            match J.member "state" doc with
+            | Some (J.Str "done") -> Ok doc
+            | Some (J.Str "failed") ->
+                Error
+                  (match J.member "error" doc with
+                  | Some (J.Str e) -> Printf.sprintf "job %d failed: %s" job_id e
+                  | _ -> Printf.sprintf "job %d failed" job_id)
+            | Some (J.Str _) ->
+                if Obs.Clock.monotonic () > deadline then
+                  Error (Printf.sprintf "timed out waiting for job %d" job_id)
+                else begin
+                  Unix.sleepf poll_s;
+                  loop ()
+                end
+            | _ -> Error "malformed status document"))
+  in
+  loop ()

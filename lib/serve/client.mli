@@ -1,0 +1,36 @@
+(** Client side of the daemon protocol, shared by the [polyprof
+    submit]/[status]/[fetch]/[shutdown] subcommands and the tests. *)
+
+type endpoint =
+  | Unix_sock of string  (** socket path *)
+  | Tcp of string * int  (** host, port *)
+
+val request :
+  endpoint ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  (Http.response, string) result
+(** One connection, one request, read the full response.  [Error] wraps
+    connection failures and protocol violations. *)
+
+val submit :
+  endpoint -> Proto.spec -> (Obs.Json_emit.t, string) result
+(** [POST /jobs].  Returns the response document on HTTP 2xx ([hit],
+    [joined] or [enqueued]); [Error] with the server's message
+    otherwise (overloaded, shutting down, unknown benchmark...). *)
+
+val wait :
+  endpoint ->
+  job_id:int ->
+  ?timeout_s:float ->
+  ?poll_s:float ->
+  unit ->
+  (Obs.Json_emit.t, string) result
+(** Poll [GET /jobs/{id}] until the job is [done] or [failed]; returns
+    the final status document ([Error] on timeout, a failed job, or a
+    vanished daemon). *)
+
+val job_id_of : Obs.Json_emit.t -> (int, string) result
+(** Extract [job.id] from a submit/status response. *)

@@ -1,0 +1,329 @@
+type config = {
+  workers : int;
+  queue_capacity : int;
+  cache_bytes : int;
+  persist_dir : string option;
+  default_deadline_s : float option;
+}
+
+let default_config =
+  { workers = 2;
+    queue_capacity = 64;
+    cache_bytes = 64 * 1024 * 1024;
+    persist_dir = None;
+    default_deadline_s = None }
+
+type exec_result = { x_report : string; x_artifact : string option }
+
+type job = {
+  j_id : int;
+  j_key : string;
+  j_spec : Proto.spec;
+  j_deadline : float option;
+  mutable j_state : Proto.state;
+  mutable j_from_cache : bool;
+  mutable j_report : string option;
+  mutable j_artifact : string option;
+  mutable j_wall_s : float;
+}
+
+type submit_outcome =
+  | Hit of job
+  | Joined of job
+  | Enqueued of job
+  | Overloaded
+  | Closed
+
+type stats = {
+  s_queue_depth : int;
+  s_in_flight : int;
+  s_submitted : int;
+  s_executions : int;
+  s_completed : int;
+  s_failed : int;
+  s_joined : int;
+  s_cache_hits : int;
+  s_overloaded : int;
+  s_uptime_s : float;
+  s_cache : Cache.stats;
+}
+
+(* completed jobs kept addressable for status/fetch; older ones are
+   pruned so a long-running daemon's job table stays bounded *)
+let history_capacity = 4096
+
+type t = {
+  config : config;
+  exec : Proto.spec -> exec_result;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  queue : job Queue.t;
+  active : (string, job) Hashtbl.t;  (* key -> queued/running job *)
+  jobs : (int, job) Hashtbl.t;  (* id -> job, pruned FIFO *)
+  finished : int Queue.t;  (* prune order *)
+  cache : Cache.t;
+  started : float;
+  mutable submit_times : (int * float) list;  (* id -> submit instant *)
+  mutable latencies : (string * int) list;  (* drained by the scraper *)
+  mutable next_id : int;
+  mutable closing : bool;
+  mutable in_flight : int;
+  mutable submitted : int;
+  mutable executions : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable joined : int;
+  mutable cache_hits : int;
+  mutable overloaded : int;
+  mutable workers : unit Domain.t list;
+}
+
+let now () = Obs.Clock.monotonic ()
+
+(* -- all helpers below run with t.mutex held ----------------------- *)
+
+let submit_time t id =
+  match List.assoc_opt id t.submit_times with Some s -> s | None -> t.started
+
+let forget_submit_time t id =
+  t.submit_times <- List.remove_assoc id t.submit_times
+
+let prune_history t =
+  while Hashtbl.length t.jobs > history_capacity
+        && not (Queue.is_empty t.finished) do
+    Hashtbl.remove t.jobs (Queue.pop t.finished)
+  done
+
+let finish t job state =
+  job.j_state <- state;
+  job.j_wall_s <- now () -. submit_time t job.j_id;
+  forget_submit_time t job.j_id;
+  Hashtbl.remove t.active job.j_key;
+  Queue.push job.j_id t.finished;
+  (match state with
+  | Proto.Done -> t.completed <- t.completed + 1
+  | Proto.Failed _ -> t.failed <- t.failed + 1
+  | Proto.Queued | Proto.Running -> assert false);
+  prune_history t;
+  Condition.broadcast t.cond
+
+let new_job t ~key spec =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let deadline_s =
+    match spec.Proto.sp_deadline_s with
+    | Some d -> Some d
+    | None -> t.config.default_deadline_s
+  in
+  let job =
+    { j_id = id;
+      j_key = key;
+      j_spec = spec;
+      j_deadline = Option.map (fun d -> now () +. d) deadline_s;
+      j_state = Proto.Queued;
+      j_from_cache = false;
+      j_report = None;
+      j_artifact = None;
+      j_wall_s = 0.0 }
+  in
+  t.submit_times <- (id, now ()) :: t.submit_times;
+  Hashtbl.replace t.jobs id job;
+  t.submitted <- t.submitted + 1;
+  job
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_one t job =
+  (* mutex NOT held: the expensive part *)
+  let t0 = now () in
+  let outcome =
+    try Ok (t.exec job.j_spec)
+    with e -> Error (Printexc.to_string e)
+  in
+  let wall_ns = int_of_float ((now () -. t0) *. 1e9) in
+  (* make this job's subsystem counters visible to /metrics scrapes from
+     the daemon's domain, and keep the retired-sink pool O(1) *)
+  Obs.Metrics.flush_domain ();
+  Obs.Metrics.compact ();
+  Obs.Span.reset ();
+  Mutex.lock t.mutex;
+  t.in_flight <- t.in_flight - 1;
+  t.latencies <-
+    (Proto.kind_to_string job.j_spec.Proto.sp_kind, wall_ns) :: t.latencies;
+  (match outcome with
+  | Error msg -> finish t job (Proto.Failed msg)
+  | Ok r -> (
+      match job.j_deadline with
+      | Some d when now () > d ->
+          finish t job
+            (Proto.Failed "deadline exceeded during execution (result \
+                           discarded)")
+      | _ ->
+          job.j_report <- Some r.x_report;
+          job.j_artifact <- r.x_artifact;
+          Cache.add t.cache job.j_key
+            { Cache.e_report = r.x_report; e_artifact = r.x_artifact };
+          finish t job Proto.Done));
+  Mutex.unlock t.mutex
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.cond t.mutex
+  done;
+  if Queue.is_empty t.queue then begin
+    (* closing and drained *)
+    Mutex.unlock t.mutex
+  end
+  else begin
+    let job = Queue.pop t.queue in
+    match job.j_deadline with
+    | Some d when now () > d ->
+        finish t job (Proto.Failed "deadline exceeded before execution");
+        Mutex.unlock t.mutex;
+        worker_loop t
+    | _ ->
+        job.j_state <- Proto.Running;
+        t.in_flight <- t.in_flight + 1;
+        t.executions <- t.executions + 1;
+        Mutex.unlock t.mutex;
+        run_one t job;
+        worker_loop t
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let create ~exec (config : config) =
+  let config = { config with workers = max 1 config.workers } in
+  let t =
+    { config;
+      exec;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      active = Hashtbl.create 64;
+      jobs = Hashtbl.create 256;
+      finished = Queue.create ();
+      cache =
+        Cache.create ?persist_dir:config.persist_dir
+          ~max_bytes:config.cache_bytes ();
+      started = now ();
+      submit_times = [];
+      latencies = [];
+      next_id = 1;
+      closing = false;
+      in_flight = 0;
+      submitted = 0;
+      executions = 0;
+      completed = 0;
+      failed = 0;
+      joined = 0;
+      cache_hits = 0;
+      overloaded = 0;
+      workers = [] }
+  in
+  t.workers <-
+    List.init config.workers (fun _ ->
+        Domain.spawn (fun () ->
+            worker_loop t;
+            Obs.Metrics.flush_domain ()));
+  t
+
+let submit t ~key spec =
+  Mutex.protect t.mutex @@ fun () ->
+  if t.closing then Closed
+  else
+    match Cache.find t.cache key with
+    | Some entry ->
+        let job = new_job t ~key spec in
+        job.j_from_cache <- true;
+        job.j_report <- Some entry.Cache.e_report;
+        job.j_artifact <- entry.Cache.e_artifact;
+        t.cache_hits <- t.cache_hits + 1;
+        finish t job Proto.Done;
+        (* finish counted it as completed; a hit is not a completion of
+           new work *)
+        t.completed <- t.completed - 1;
+        Hit job
+    | None -> (
+        match Hashtbl.find_opt t.active key with
+        | Some job ->
+            t.joined <- t.joined + 1;
+            t.submitted <- t.submitted + 1;
+            Joined job
+        | None ->
+            if Queue.length t.queue >= t.config.queue_capacity then begin
+              t.overloaded <- t.overloaded + 1;
+              Overloaded
+            end
+            else begin
+              let job = new_job t ~key spec in
+              Hashtbl.replace t.active key job;
+              Queue.push job t.queue;
+              Condition.signal t.cond;
+              Enqueued job
+            end)
+
+let find_job t id =
+  Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.jobs id)
+
+let terminal = function
+  | Proto.Done | Proto.Failed _ -> true
+  | Proto.Queued | Proto.Running -> false
+
+let await t id ?(timeout_s = 600.0) () =
+  let deadline = now () +. timeout_s in
+  let rec loop () =
+    match find_job t id with
+    | None -> None
+    | Some job ->
+        if terminal job.j_state || now () > deadline then Some job
+        else begin
+          (* poll: stdlib Condition has no timed wait *)
+          Unix.sleepf 0.005;
+          loop ()
+        end
+  in
+  loop ()
+
+let recent_jobs t n =
+  Mutex.protect t.mutex @@ fun () ->
+  let all = Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs [] in
+  let sorted = List.sort (fun a b -> compare b.j_id a.j_id) all in
+  List.filteri (fun i _ -> i < n) sorted
+
+let stats t =
+  Mutex.protect t.mutex @@ fun () ->
+  { s_queue_depth = Queue.length t.queue;
+    s_in_flight = t.in_flight;
+    s_submitted = t.submitted;
+    s_executions = t.executions;
+    s_completed = t.completed;
+    s_failed = t.failed;
+    s_joined = t.joined;
+    s_cache_hits = t.cache_hits;
+    s_overloaded = t.overloaded;
+    s_uptime_s = now () -. t.started;
+    s_cache = Cache.stats t.cache }
+
+let drain_latencies t =
+  Mutex.protect t.mutex @@ fun () ->
+  let samples = t.latencies in
+  t.latencies <- [];
+  samples
+
+let shutdown t =
+  let workers =
+    Mutex.protect t.mutex @@ fun () ->
+    if t.closing then []
+    else begin
+      t.closing <- true;
+      Condition.broadcast t.cond;
+      let w = t.workers in
+      t.workers <- [];
+      w
+    end
+  in
+  List.iter Domain.join workers

@@ -1,0 +1,94 @@
+(** The daemon's core: a bounded job queue in front of a pool of OCaml
+    Domains, fronted by the content-addressed {!Cache}.
+
+    Guarantees:
+
+    + {b Single execution}: concurrent submissions of the same content
+      address coalesce onto one queued/running job ([Joined]); once a
+      result is cached, later submissions are O(1) [Hit]s served the
+      byte-exact cached report.
+    + {b Crash isolation}: an exception escaping the executor fails that
+      job ([Failed]) and nothing else — the worker domain survives and
+      keeps draining the queue.
+    + {b Deadlines}: a job whose deadline passes while queued fails
+      without executing; a result landing after the deadline is
+      discarded and never cached.
+    + {b Backpressure}: submissions beyond [queue_capacity] are rejected
+      immediately ([Overloaded]) instead of queueing unboundedly.
+
+    The engine is executor-agnostic (the daemon injects {!Jobs.execute};
+    tests inject fakes), and all state is guarded by one mutex. *)
+
+type config = {
+  workers : int;  (** worker domains (at least 1) *)
+  queue_capacity : int;  (** queued-job bound; beyond it: [Overloaded] *)
+  cache_bytes : int;  (** LRU byte budget of the result cache *)
+  persist_dir : string option;  (** warm-restart directory of the cache *)
+  default_deadline_s : float option;  (** used when a spec carries none *)
+}
+
+val default_config : config
+(** 2 workers, 64-deep queue, 64 MiB cache, no persistence, no
+    deadline. *)
+
+type exec_result = { x_report : string; x_artifact : string option }
+
+type job = private {
+  j_id : int;
+  j_key : string;
+  j_spec : Proto.spec;
+  j_deadline : float option;  (** absolute, on the monotonic clock *)
+  mutable j_state : Proto.state;
+  mutable j_from_cache : bool;
+  mutable j_report : string option;
+  mutable j_artifact : string option;
+  mutable j_wall_s : float;  (** submit to terminal state *)
+}
+
+type submit_outcome =
+  | Hit of job  (** served from the cache; the job is born [Done] *)
+  | Joined of job  (** attached to an identical queued/running job *)
+  | Enqueued of job
+  | Overloaded  (** queue full — try again later *)
+  | Closed  (** the engine is shutting down *)
+
+type stats = {
+  s_queue_depth : int;
+  s_in_flight : int;
+  s_submitted : int;
+  s_executions : int;  (** jobs a worker actually ran *)
+  s_completed : int;
+  s_failed : int;
+  s_joined : int;
+  s_cache_hits : int;
+  s_overloaded : int;
+  s_uptime_s : float;
+  s_cache : Cache.stats;
+}
+
+type t
+
+val create : exec:(Proto.spec -> exec_result) -> config -> t
+(** Spawns the worker domains.  [exec] runs on a worker domain; any
+    exception it raises is the job's failure message. *)
+
+val submit : t -> key:string -> Proto.spec -> submit_outcome
+
+val find_job : t -> int -> job option
+
+val await : t -> int -> ?timeout_s:float -> unit -> job option
+(** Block until the job reaches a terminal state ([Done]/[Failed]) or
+    the timeout elapses; [None] for an unknown id. *)
+
+val recent_jobs : t -> int -> job list
+(** The most recently submitted jobs, newest first. *)
+
+val stats : t -> stats
+
+val drain_latencies : t -> (string * int) list
+(** Per-job [(kind, wall-ns)] samples recorded since the last call —
+    the scrape endpoint feeds these into latency histograms. *)
+
+val shutdown : t -> unit
+(** Graceful: refuse new submissions, let the workers drain the queue,
+    join every worker domain.  Idempotent. *)

@@ -1,0 +1,165 @@
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_request s)) fmt
+
+type request = {
+  rq_method : string;
+  rq_path : string;
+  rq_query : (string * string) list;
+  rq_headers : (string * string) list;
+  rq_body : string;
+}
+
+let default_max_body = 8 * 1024 * 1024
+let max_header_lines = 128
+let max_line_bytes = 16 * 1024
+
+(* input_line keeps a trailing '\r' (HTTP lines end "\r\n") and raises
+   End_of_file on EOF; both normalized here *)
+let read_line_opt ic =
+  match input_line ic with
+  | line ->
+      let line =
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+        else line
+      in
+      if String.length line > max_line_bytes then bad "header line too long";
+      Some line
+  | exception End_of_file -> None
+
+let split_query target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let q = String.sub target (i + 1) (String.length target - i - 1) in
+      let pairs =
+        List.filter_map
+          (fun kv ->
+            if kv = "" then None
+            else
+              match String.index_opt kv '=' with
+              | None -> Some (kv, "")
+              | Some j ->
+                  Some
+                    ( String.sub kv 0 j,
+                      String.sub kv (j + 1) (String.length kv - j - 1) ))
+          (String.split_on_char '&' q)
+      in
+      (path, pairs)
+
+let read_headers ic =
+  let rec loop acc n =
+    if n > max_header_lines then bad "too many header lines";
+    match read_line_opt ic with
+    | None -> bad "unexpected EOF in headers"
+    | Some "" -> List.rev acc
+    | Some line -> (
+        match String.index_opt line ':' with
+        | None -> bad "malformed header line %S" line
+        | Some i ->
+            let name = String.lowercase_ascii (String.sub line 0 i) in
+            let value =
+              String.trim
+                (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            loop ((name, value) :: acc) (n + 1))
+  in
+  loop [] 0
+
+let read_body ~max_body ic headers =
+  match List.assoc_opt "content-length" headers with
+  | None -> ""
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | None -> bad "malformed Content-Length %S" v
+      | Some n when n < 0 -> bad "negative Content-Length"
+      | Some n when n > max_body -> bad "body of %d bytes exceeds limit" n
+      | Some n ->
+          let b = Bytes.create n in
+          (try really_input ic b 0 n
+           with End_of_file -> bad "truncated body (%d bytes expected)" n);
+          Bytes.to_string b)
+
+let read_request ?(max_body = default_max_body) ic =
+  match read_line_opt ic with
+  | None -> None
+  | Some line -> (
+      match String.split_on_char ' ' line with
+      | [ meth; target; version ]
+        when version = "HTTP/1.1" || version = "HTTP/1.0" ->
+          let headers = read_headers ic in
+          let path, query = split_query target in
+          let body = read_body ~max_body ic headers in
+          Some
+            { rq_method = String.uppercase_ascii meth;
+              rq_path = path;
+              rq_query = query;
+              rq_headers = headers;
+              rq_body = body }
+      | _ -> bad "malformed request line %S" line)
+
+let status_reason = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let write_response oc ~status ?(content_type = "application/json") body =
+  Printf.fprintf oc
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n"
+    status (status_reason status) content_type (String.length body);
+  output_string oc body;
+  flush oc
+
+let write_request oc ~meth ~path ?(body = "") () =
+  Printf.fprintf oc
+    "%s %s HTTP/1.1\r\nHost: polyprof\r\nContent-Type: \
+     application/json\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+    meth path (String.length body);
+  output_string oc body;
+  flush oc
+
+type response = {
+  rs_status : int;
+  rs_headers : (string * string) list;
+  rs_body : string;
+}
+
+let read_response ic =
+  match read_line_opt ic with
+  | None -> bad "unexpected EOF before status line"
+  | Some line ->
+      let status =
+        match String.split_on_char ' ' line with
+        | version :: code :: _
+          when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+          -> (
+            match int_of_string_opt code with
+            | Some c -> c
+            | None -> bad "malformed status code in %S" line)
+        | _ -> bad "malformed status line %S" line
+      in
+      let headers = read_headers ic in
+      let body =
+        match List.assoc_opt "content-length" headers with
+        | Some _ -> read_body ~max_body:default_max_body ic headers
+        | None ->
+            (* read to EOF: the daemon always closes after one response *)
+            let b = Buffer.create 1024 in
+            (try
+               while true do
+                 Buffer.add_channel b ic 1
+               done
+             with End_of_file -> ());
+            Buffer.contents b
+      in
+      { rs_status = status; rs_headers = headers; rs_body = body }

@@ -1,0 +1,41 @@
+(** Minimal self-hosted HTTP/1.1 — just enough protocol for the
+    profiling daemon and its client: one request per connection
+    ([Connection: close]), [Content-Length] bodies, no chunked encoding,
+    no percent-decoding beyond what the fixed route set needs. *)
+
+exception Bad_request of string
+
+type request = {
+  rq_method : string;  (** uppercased *)
+  rq_path : string;  (** path without the query string *)
+  rq_query : (string * string) list;
+  rq_headers : (string * string) list;  (** names lowercased *)
+  rq_body : string;
+}
+
+val read_request : ?max_body:int -> in_channel -> request option
+(** [None] on a clean EOF before any byte of the request line.
+    @raise Bad_request on a malformed request or a body larger than
+    [max_body] (default 8 MiB). *)
+
+val write_response :
+  out_channel -> status:int -> ?content_type:string -> string -> unit
+(** Write a complete response ([Content-Length] framed,
+    [Connection: close]) and flush.  Default content type:
+    [application/json]. *)
+
+val status_reason : int -> string
+
+(** {2 Client side} *)
+
+val write_request :
+  out_channel -> meth:string -> path:string -> ?body:string -> unit -> unit
+
+type response = {
+  rs_status : int;
+  rs_headers : (string * string) list;
+  rs_body : string;
+}
+
+val read_response : in_channel -> response
+(** @raise Bad_request on a malformed status line or header block. *)

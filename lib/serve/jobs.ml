@@ -1,0 +1,176 @@
+module J = Obs.Json_emit
+
+let polybench_names =
+  List.map (fun (w : Workloads.Workload.t) -> w.w_name) Workloads.Polybench.all
+
+let find_workload name =
+  try Ok (Workloads.Rodinia.find name)
+  with Invalid_argument _ -> (
+    if name = "gems_fdtd" then Ok Workloads.Gems_fdtd.workload
+    else
+      match
+        List.find_opt
+          (fun (w : Workloads.Workload.t) -> w.w_name = name)
+          Workloads.Polybench.all
+      with
+      | Some w -> Ok w
+      | None ->
+          Error
+            (Printf.sprintf "unknown benchmark %s (try: %s, gems_fdtd, %s)"
+               name
+               (String.concat ", " Workloads.Rodinia.names)
+               (String.concat ", " polybench_names)))
+
+let job_key (spec : Proto.spec) =
+  match find_workload spec.Proto.sp_bench with
+  | Error e -> Error e
+  | Ok w ->
+      Ok
+        (Polyprof.Prog_hash.job_key
+           ~kind:(Proto.kind_to_string spec.Proto.sp_kind)
+           ~params:
+             (("bench", spec.Proto.sp_bench) :: spec.Proto.sp_params)
+           w.Workloads.Workload.hir)
+
+(* ------------------------------------------------------------------ *)
+(* Report builders.  No timestamps anywhere: a report is a pure function
+   of the spec and the binary, so repeat executions are byte-identical
+   and the cache-hit bit-identity test can compare raw strings.         *)
+(* ------------------------------------------------------------------ *)
+
+let report ~spec fields =
+  J.to_string
+    (J.Obj
+       ([ ("schema_version", J.Int Obs.Schemas.serve);
+          ("kind", J.Str (Proto.kind_to_string spec.Proto.sp_kind));
+          ("bench", J.Str spec.Proto.sp_bench);
+          ( "params",
+            J.Obj
+              (List.map (fun (k, v) -> (k, J.Str v)) spec.Proto.sp_params) ) ]
+       @ fields))
+
+let row_json (row : Sched.Metrics.row) =
+  J.Obj
+    (List.map2
+       (fun k v -> (k, J.Str v))
+       Sched.Metrics.header
+       (Sched.Metrics.to_strings row))
+
+let xform_status = function
+  | Xform.Driver.Verified -> ("verified", None)
+  | Xform.Driver.Rejected why -> ("rejected", Some why)
+  | Xform.Driver.Skipped why -> ("skipped", Some why)
+
+let xform_json (s : Xform.Driver.summary) =
+  J.Obj
+    [ ("name", J.Str s.Xform.Driver.sm_name);
+      ("verified", J.Int s.Xform.Driver.sm_verified);
+      ("rejected", J.Int s.Xform.Driver.sm_rejected);
+      ("skipped", J.Int s.Xform.Driver.sm_skipped);
+      ( "plans",
+        J.List
+          (List.map
+             (fun (e : Xform.Driver.entry) ->
+               let status, why = xform_status e.Xform.Driver.en_status in
+               J.Obj
+                 (("target", J.Str e.Xform.Driver.en_target)
+                  :: ("status", J.Str status)
+                  ::
+                  (match why with
+                  | None -> []
+                  | Some w -> [ ("why", J.Str w) ])))
+             s.Xform.Driver.sm_entries) ) ]
+
+let run_profile spec (w : Workloads.Workload.t) =
+  let budget =
+    Proto.param_int spec "budget" ~default:Workloads.Runner.sched_budget
+  in
+  let o = Workloads.Runner.run ~budget w in
+  report ~spec
+    [ ("row", row_json o.Workloads.Runner.row);
+      ("dep_keys", J.Int o.Workloads.Runner.dep_keys);
+      ("sched_bailed", J.Bool o.Workloads.Runner.sched_bailed);
+      ( "polly",
+        J.Str (Staticbase.Polly_lite.reasons_string o.Workloads.Runner.polly)
+      ) ]
+
+let run_apply spec (w : Workloads.Workload.t) ~max_plans =
+  let max_plans = Proto.param_int spec "max_plans" ~default:max_plans in
+  let s =
+    Polyprof.apply_and_verify ~max_plans ~name:w.Workloads.Workload.w_name
+      w.Workloads.Workload.hir
+  in
+  report ~spec [ ("transform", xform_json s) ]
+
+let run_autotune spec (w : Workloads.Workload.t) =
+  let d = Tune.Search.default in
+  let config =
+    { d with
+      Tune.Search.beam = Proto.param_int spec "beam" ~default:d.Tune.Search.beam;
+      depth = Proto.param_int spec "depth" ~default:d.Tune.Search.depth;
+      repeat = Proto.param_int spec "repeat" ~default:d.Tune.Search.repeat;
+      seed = Proto.param_int spec "seed" ~default:d.Tune.Search.seed }
+  in
+  let r =
+    Polyprof.autotune ~config ~name:w.Workloads.Workload.w_name
+      w.Workloads.Workload.hir
+  in
+  (* embeds measured times — see the module doc on determinism *)
+  report ~spec
+    [ ("autotune", Tune.Tune_report.workload_json ~name:w.Workloads.Workload.w_name r) ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-job Chrome-trace artifact.  Spans from Obs.Span would interleave
+   across concurrently running worker domains (the completed-span list
+   is process-global), so the artifact is a single hand-built span per
+   job instead: wall time and GC deltas measured around the executor.   *)
+(* ------------------------------------------------------------------ *)
+
+let artifact_of ~spec ~wall_ns ~minor ~major ~top_heap =
+  let span : Obs.Span.t =
+    { Obs.Span.sp_name =
+        Printf.sprintf "job.%s.%s"
+          (Proto.kind_to_string spec.Proto.sp_kind)
+          spec.Proto.sp_bench;
+      sp_cat = "serve";
+      sp_tid = (Domain.self () :> int);
+      sp_start_ns = 0;
+      sp_dur_ns = wall_ns;
+      sp_minor_words = minor;
+      sp_major_words = major;
+      sp_top_heap_words = top_heap;
+      sp_children = [];
+      sp_args =
+        ("bench", spec.Proto.sp_bench)
+        :: List.map
+             (fun (k, v) -> ("param." ^ k, v))
+             spec.Proto.sp_params }
+  in
+  Obs.Chrome.to_string ~process_name:"polyprof-serve" [ span ]
+
+let execute (spec : Proto.spec) =
+  let w =
+    match find_workload spec.Proto.sp_bench with
+    | Ok w -> w
+    | Error e -> failwith e
+  in
+  let g0 = Gc.quick_stat () in
+  let t0 = Obs.Clock.monotonic () in
+  let x_report =
+    match spec.Proto.sp_kind with
+    | Proto.Profile -> run_profile spec w
+    | Proto.Transform -> run_apply spec w ~max_plans:1
+    | Proto.Verify -> run_apply spec w ~max_plans:8
+    | Proto.Autotune -> run_autotune spec w
+    | Proto.Crash -> failwith "deliberate worker crash (kind=crash)"
+  in
+  let wall_ns = int_of_float ((Obs.Clock.monotonic () -. t0) *. 1e9) in
+  let g1 = Gc.quick_stat () in
+  let x_artifact =
+    Some
+      (artifact_of ~spec ~wall_ns
+         ~minor:(g1.Gc.minor_words -. g0.Gc.minor_words)
+         ~major:(g1.Gc.major_words -. g0.Gc.major_words)
+         ~top_heap:g1.Gc.top_heap_words)
+  in
+  { Engine.x_report; x_artifact }

@@ -1,0 +1,95 @@
+type kind = Profile | Transform | Verify | Autotune | Crash
+
+let kind_to_string = function
+  | Profile -> "profile"
+  | Transform -> "transform"
+  | Verify -> "verify"
+  | Autotune -> "autotune"
+  | Crash -> "crash"
+
+let kind_of_string = function
+  | "profile" -> Ok Profile
+  | "transform" -> Ok Transform
+  | "verify" -> Ok Verify
+  | "autotune" -> Ok Autotune
+  | "crash" -> Ok Crash
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown job kind %S (expected profile, transform, verify, \
+            autotune or crash)"
+           s)
+
+type spec = {
+  sp_kind : kind;
+  sp_bench : string;
+  sp_params : (string * string) list;
+  sp_deadline_s : float option;
+}
+
+let spec ~kind ~bench ?(params = []) ?deadline_s () =
+  { sp_kind = kind;
+    sp_bench = bench;
+    sp_params = List.sort compare params;
+    sp_deadline_s = deadline_s }
+
+let param s name = List.assoc_opt name s.sp_params
+
+let param_int s name ~default =
+  match param s name with
+  | None -> default
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+
+let spec_to_json s =
+  let open Obs.Json_emit in
+  Obj
+    ([ ("kind", Str (kind_to_string s.sp_kind));
+       ("bench", Str s.sp_bench);
+       ("params", Obj (List.map (fun (k, v) -> (k, Str v)) s.sp_params)) ]
+    @
+    match s.sp_deadline_s with
+    | None -> []
+    | Some d -> [ ("deadline_s", Float d) ])
+
+let spec_of_json json =
+  let open Obs.Json_emit in
+  let str field =
+    match member field json with
+    | Some (Str s) -> Ok s
+    | Some _ -> Error (Printf.sprintf "field %S must be a string" field)
+    | None -> Error (Printf.sprintf "missing field %S" field)
+  in
+  let ( let* ) = Result.bind in
+  let* kind_s = str "kind" in
+  let* kind = kind_of_string kind_s in
+  let* bench = str "bench" in
+  let* params =
+    match member "params" json with
+    | None -> Ok []
+    | Some (Obj fields) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            match v with
+            | Str s -> Ok ((k, s) :: acc)
+            | Int i -> Ok ((k, string_of_int i) :: acc)
+            | _ -> Error (Printf.sprintf "param %S must be a string or int" k))
+          (Ok []) fields
+    | Some _ -> Error "field \"params\" must be an object"
+  in
+  let* deadline_s =
+    match member "deadline_s" json with
+    | None | Some Null -> Ok None
+    | Some (Float f) -> Ok (Some f)
+    | Some (Int i) -> Ok (Some (float_of_int i))
+    | Some _ -> Error "field \"deadline_s\" must be a number"
+  in
+  Ok (spec ~kind ~bench ~params ?deadline_s ())
+
+type state = Queued | Running | Done | Failed of string
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed _ -> "failed"

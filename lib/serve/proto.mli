@@ -1,0 +1,43 @@
+(** Wire protocol of the profiling service: job kinds, specs and states,
+    with JSON encode/decode on {!Obs.Json_emit} (the daemon speaks plain
+    HTTP/1.1 + JSON; no external serialization dependency). *)
+
+type kind =
+  | Profile  (** full POLY-PROF pipeline, metrics row + feedback *)
+  | Transform  (** apply the hottest suggested plan, report the rewrite *)
+  | Verify  (** differential verification of every suggested plan *)
+  | Autotune  (** verified beam search ([beam]/[depth]/[repeat]/[seed] params) *)
+  | Crash  (** deliberately raise inside the worker — the crash-isolation
+               self-test; never cached (failed jobs are not cacheable) *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) result
+
+type spec = {
+  sp_kind : kind;
+  sp_bench : string;  (** workload name, see [polyprof list] *)
+  sp_params : (string * string) list;  (** sorted by name at construction *)
+  sp_deadline_s : float option;
+      (** per-job deadline: expired queued jobs fail without executing,
+          and a result landing after the deadline is discarded *)
+}
+
+val spec :
+  kind:kind ->
+  bench:string ->
+  ?params:(string * string) list ->
+  ?deadline_s:float ->
+  unit ->
+  spec
+
+val param : spec -> string -> string option
+val param_int : spec -> string -> default:int -> int
+
+val spec_to_json : spec -> Obs.Json_emit.t
+val spec_of_json : Obs.Json_emit.t -> (spec, string) result
+
+type state = Queued | Running | Done | Failed of string
+
+val state_to_string : state -> string
+(** ["queued" | "running" | "done" | "failed"] (the failure message
+    travels in a separate ["error"] field). *)

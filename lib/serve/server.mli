@@ -1,0 +1,40 @@
+(** The [polyprof serve] daemon: accept HTTP/1.1 + JSON requests on a
+    Unix-domain socket (and optionally TCP), hand jobs to the
+    {!Engine}, and expose the {!Obs} telemetry as a live [/metrics]
+    endpoint.
+
+    Routes:
+
+    - [POST /jobs] — body is a {!Proto.spec}; responds with the submit
+      outcome and job id.  Cache hits answer with the job already done.
+    - [GET /jobs/{id}] — job status (and the report inline once done).
+    - [GET /jobs/{id}/report] — the raw report document.
+    - [GET /jobs/{id}/artifact] — the per-job Chrome trace.
+    - [GET /jobs] — recent jobs, newest first.
+    - [GET /metrics] — Prometheus text exposition: every [Obs] metric
+      flushed by the workers plus the live [polyprof_serve_*] section
+      (queue depth, in-flight, cache hit ratio, per-kind latency
+      histograms).
+    - [GET /healthz] — liveness.
+    - [POST /shutdown] — graceful: drain the queue, join the workers,
+      stop serving.
+
+    The accept loop is single-threaded ([Unix.select] over the
+    listeners); request handling never blocks on job completion —
+    clients poll [GET /jobs/{id}].  Execution happens on the engine's
+    worker domains. *)
+
+type config = {
+  socket_path : string;  (** Unix-domain listener; unlinked on exit *)
+  tcp_port : int option;  (** optional TCP listener on 127.0.0.1 *)
+  engine : Engine.config;
+}
+
+val default_socket : string
+(** ["polyprof.sock"] in the current directory. *)
+
+val default_config : config
+
+val serve : ?quiet:bool -> config -> unit
+(** Run until [POST /shutdown] (or SIGINT/SIGTERM).  Blocks the calling
+    domain.  Prints one line per lifecycle event unless [quiet]. *)

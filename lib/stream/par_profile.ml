@@ -27,6 +27,24 @@ let obs_shard_events = Obs.Metrics.histogram ~help:"events replayed per shard wo
 let obs_shard_edges = Obs.Metrics.histogram ~help:"dependence edges found per shard worker" "stream.par.shard_dep_edges"
 let obs_peak_shadow = Obs.Metrics.gauge ~help:"peak shadow-table entries over all shard workers" "stream.par.peak_shadow"
 
+(* Exception-safe fan-in: run [main] on the caller, then join EVERY
+   spawned domain before letting any exception escape — a failure on the
+   lead path must not leak running domains, and a failing worker must
+   not stop the remaining joins.  The first failure (lead first, then
+   spawn order) is re-raised with its backtrace once all domains are
+   joined. *)
+let join_all ~main spawned =
+  let wrap f =
+    try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  let lead = wrap main in
+  let joined = List.map (fun d -> wrap (fun () -> Domain.join d)) spawned in
+  List.map
+    (function
+      | Ok r -> r
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    (lead :: joined)
+
 (* Work-stealing map over independent pure thunks: an atomic cursor
    hands out indices, [domains - 1] helper domains plus the caller drain
    it.  Results land in distinct array slots; Domain.join publishes
@@ -52,8 +70,7 @@ let pool_map ~domains thunks =
               drain ();
               Obs.Metrics.flush_domain ()))
     in
-    drain ();
-    List.iter Domain.join helpers;
+    ignore (join_all ~main:drain helpers : unit list);
     Array.to_list results
     |> List.map (function Some r -> r | None -> assert false)
   end
@@ -103,8 +120,7 @@ let run_workers ?config ~domains ~feed prog ~structure =
                 Obs.Metrics.flush_domain ();
                 p))
       in
-      let lead = shard_worker ~shard:0 ~nshards:domains in
-      lead :: List.map Domain.join spawned
+      join_all ~main:(fun () -> shard_worker ~shard:0 ~nshards:domains) spawned
     end
   in
   (t0, Obs.Clock.monotonic (), partials)

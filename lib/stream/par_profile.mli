@@ -4,7 +4,13 @@
     {!Ddg.Depprof.Sharded} (shadow state split by address range), then
     the buffered dependence edges are merged — folding in parallel on a
     small domain pool — into a result {e bit-identical} to the
-    sequential {!Ddg.Depprof.profile} of the same execution. *)
+    sequential {!Ddg.Depprof.profile} of the same execution.
+
+    Teardown is exception-safe: if any shard worker or merge task raises
+    (including on the caller's own shard), every spawned domain is still
+    joined before the first failure is re-raised — no worker domain is
+    ever leaked, which matters to long-running hosts of this code such
+    as the [polyprof serve] daemon. *)
 
 type stats = {
   domains : int;

@@ -204,7 +204,7 @@ let suite_json ~config results =
       results
   in
   J.Obj
-    (J.schema_header ~schema_version:1
+    (J.schema_header ~schema_version:Obs.Schemas.autotune
     @ [ ("bench", J.Str "autotune");
         ("config", config_json config);
         ("workloads",

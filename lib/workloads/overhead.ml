@@ -117,7 +117,7 @@ let table (o : t) =
 let json (o : t) =
   let open Obs.Json_emit in
   Obj
-    (schema_header ~schema_version:1
+    (schema_header ~schema_version:Obs.Schemas.overhead
     @ [ ("benchmark", Str o.o_name);
         ("domains", Int o.o_domains);
         ("events", Int o.o_events);

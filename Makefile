@@ -1,5 +1,6 @@
 .PHONY: all check test bench bench-json stream-smoke staticdep-smoke \
-  obs-smoke autotune-smoke serve-smoke clean
+  obs-smoke autotune-smoke serve-smoke parcheck-smoke lint-gate \
+  lint-baseline clean
 
 all:
 	dune build @all
@@ -54,6 +55,64 @@ autotune-smoke:
 	echo "workloads_improved = $$n, all_best_verified = $$ok (gate: true)"; \
 	test "$$ok" = true \
 	  || { echo "FAIL: an unverified schedule was shipped as best"; exit 1; }
+
+# parallelism certifier + race sanitizer end to end: whole-suite
+# verdicts with the dynamic cross-check (exits nonzero on any
+# E-parcheck-unsound), the seeded racy workload must yield a race
+# witness (never a certificate), and the bench JSON is gated on at
+# least 5 certified workloads with zero sanitizer races on certified
+# dims
+parcheck-smoke:
+	dune exec bin/polyprof_cli.exe -- parcheck
+	@dune exec bin/polyprof_cli.exe -- parcheck par_racy \
+	  | grep -q 'par-racy.c:5) depth 0: RACE' \
+	  || { echo "FAIL: seeded race was not rejected with a witness"; exit 1; }
+	dune exec bench/main.exe -- parcheck --json
+	@cert=$$(sed -n 's/.*"certified": \([0-9]*\).*/\1/p' BENCH_parcheck.json \
+	  | head -1); \
+	races=$$(sed -n 's/.*"sanitizer_races_on_certified": \([0-9]*\).*/\1/p' \
+	  BENCH_parcheck.json | head -1); \
+	sound=$$(sed -n 's/.*"all_sound": \(true\|false\).*/\1/p' \
+	  BENCH_parcheck.json); \
+	echo "certified = $$cert (gate: >= 5), sanitizer races on certified =" \
+	  "$$races (gate: 0), all_sound = $$sound (gate: true)"; \
+	test "$$cert" -ge 5 \
+	  || { echo "FAIL: fewer than 5 certified dims suite-wide"; exit 1; }; \
+	test "$$races" = 0 && test "$$sound" = true \
+	  || { echo "FAIL: sanitizer race on a certified dim"; exit 1; }
+
+# lint regression gate: the sorted-unique (workload, diagnostic code)
+# pairs from `polyprof lint --json` must not grow beyond the checked-in
+# baseline (fixing a warning is fine; introducing a new one fails)
+lint-gate:
+	@dune exec bin/polyprof_cli.exe -- lint --json 2>/dev/null \
+	  | awk '{ if (match($$0, /"name": "[^"]*"/)) { \
+	      name = substr($$0, RSTART+9, RLENGTH-10); s = $$0; \
+	      while (match(s, /"code": "[^"]*"/)) { \
+	        print name, substr(s, RSTART+9, RLENGTH-10); \
+	        s = substr(s, RSTART+RLENGTH); } } }' \
+	  | sort -u > lint_current.txt; \
+	new=$$(comm -13 test/lint_baseline.txt lint_current.txt); \
+	if [ -n "$$new" ]; then \
+	  echo "FAIL: new lint diagnostics not in test/lint_baseline.txt:"; \
+	  echo "$$new"; exit 1; \
+	else \
+	  echo "lint-gate OK: no diagnostics beyond the baseline" \
+	    "($$(wc -l < lint_current.txt) pairs)"; \
+	fi; \
+	rm -f lint_current.txt
+
+# regenerate the baseline after intentionally changing lint output
+lint-baseline:
+	@dune exec bin/polyprof_cli.exe -- lint --json 2>/dev/null \
+	  | awk '{ if (match($$0, /"name": "[^"]*"/)) { \
+	      name = substr($$0, RSTART+9, RLENGTH-10); s = $$0; \
+	      while (match(s, /"code": "[^"]*"/)) { \
+	        print name, substr(s, RSTART+9, RLENGTH-10); \
+	        s = substr(s, RSTART+RLENGTH); } } }' \
+	  | sort -u > test/lint_baseline.txt; \
+	echo "wrote test/lint_baseline.txt" \
+	  "($$(wc -l < test/lint_baseline.txt) pairs)"
 
 # self-profiling telemetry end to end: run one benchmark with spans and
 # metrics on, export + validate the Chrome trace, then reproduce the

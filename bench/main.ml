@@ -1026,6 +1026,128 @@ let serve_bench () =
     Format.printf "wrote BENCH_serve.json@."
   end
 
+(* ------------------------------------------------------------------ *)
+(* lib/analysis: parallelism certifier + dynamic race sanitizer         *)
+(* ------------------------------------------------------------------ *)
+
+type pc_row = {
+  pr_name : string;
+  pr_dims : int;
+  pr_cert : int;
+  pr_race : int;
+  pr_unknown : int;
+  pr_san_accesses : int;
+  pr_san_races : int;  (** dynamic races on certified dims (must be 0) *)
+  pr_xcheck_ok : bool;
+  pr_static_s : float;
+  pr_san_s : float;
+}
+
+let parcheck_bench () =
+  section "lib/analysis: parallelism certifier + dynamic race sanitizer";
+  let now = Obs.Clock.monotonic in
+  let ws =
+    Workloads.Rodinia.all
+    @ [ Workloads.Gems_fdtd.workload ]
+    @ Workloads.Polybench.all @ Workloads.Polybench.seeded
+  in
+  let rows =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        let prog = Vm.Hir.lower w.hir in
+        let t0 = now () in
+        let pc = Analysis.Parcheck.analyse prog in
+        let t_static = now () -. t0 in
+        let t0 = now () in
+        let san = Analysis.Parcheck.sanitize pc in
+        let t_san = now () -. t0 in
+        let diags = Analysis.Parcheck.crosscheck pc san in
+        let count v =
+          List.length
+            (List.filter
+               (fun (d : Analysis.Parcheck.dim_report) ->
+                 Analysis.Parcheck.verdict_code d.Analysis.Parcheck.dr_verdict
+                 = v)
+               pc.Analysis.Parcheck.pc_dims)
+        in
+        { pr_name = w.w_name;
+          pr_dims = List.length pc.Analysis.Parcheck.pc_dims;
+          pr_cert = Analysis.Parcheck.n_certified pc;
+          pr_race = Analysis.Parcheck.n_races pc;
+          pr_unknown = count "unknown";
+          pr_san_accesses = san.Ddg.Race_san.sr_accesses;
+          pr_san_races = Ddg.Race_san.races_on_certified san;
+          pr_xcheck_ok = Analysis.Parcheck.crosscheck_ok diags;
+          pr_static_s = t_static;
+          pr_san_s = t_san })
+      ws
+  in
+  let header =
+    [ "benchmark"; "dims"; "certified"; "race"; "unknown"; "san acc";
+      "san races"; "xcheck"; "static s"; "san s" ]
+  in
+  let table =
+    List.map
+      (fun r ->
+        [ r.pr_name;
+          string_of_int r.pr_dims;
+          string_of_int r.pr_cert;
+          string_of_int r.pr_race;
+          string_of_int r.pr_unknown;
+          string_of_int r.pr_san_accesses;
+          string_of_int r.pr_san_races;
+          (if r.pr_xcheck_ok then "ok" else "FAIL");
+          Printf.sprintf "%.4f" r.pr_static_s;
+          Printf.sprintf "%.4f" r.pr_san_s ])
+      rows
+  in
+  print_string (Report.Texttable.render ~header table);
+  let tot f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let all_sound =
+    List.for_all (fun r -> r.pr_san_races = 0 && r.pr_xcheck_ok) rows
+  in
+  Format.printf
+    "@.suite: %d claimed dims, %d certified, %d racy, %d unknown; sanitizer \
+     races on certified dims: %d (soundness requires 0)@."
+    (tot (fun r -> r.pr_dims))
+    (tot (fun r -> r.pr_cert))
+    (tot (fun r -> r.pr_race))
+    (tot (fun r -> r.pr_unknown))
+    (tot (fun r -> r.pr_san_races));
+  if not all_sound then
+    failwith "parcheck: sanitizer observed a race on a certified dimension";
+  if !json_out then begin
+    let open Obs.Json_emit in
+    let doc =
+      Obj
+        (schema_header ~schema_version:Obs.Schemas.parcheck
+        @ [ ("dims", Int (tot (fun r -> r.pr_dims)));
+            ("certified", Int (tot (fun r -> r.pr_cert)));
+            ("racy", Int (tot (fun r -> r.pr_race)));
+            ("unknown", Int (tot (fun r -> r.pr_unknown)));
+            ("sanitizer_races_on_certified", Int (tot (fun r -> r.pr_san_races)));
+            ("all_sound", Bool all_sound);
+            ( "workloads",
+              List
+                (List.map
+                   (fun r ->
+                     Obj
+                       [ ("name", Str r.pr_name);
+                         ("dims", Int r.pr_dims);
+                         ("certified", Int r.pr_cert);
+                         ("racy", Int r.pr_race);
+                         ("unknown", Int r.pr_unknown);
+                         ("sanitizer_accesses", Int r.pr_san_accesses);
+                         ("sanitizer_races_on_certified", Int r.pr_san_races);
+                         ("crosscheck_ok", Bool r.pr_xcheck_ok);
+                         ("static_seconds", Float r.pr_static_s);
+                         ("sanitizer_seconds", Float r.pr_san_s) ])
+                   rows) ) ])
+    in
+    write_file ~pretty:true "BENCH_parcheck.json" doc;
+    Format.printf "wrote BENCH_parcheck.json@."
+  end
+
 let () =
   let sections =
     [ ("table1-2", tables_1_and_2); ("table3", table_3); ("table4", table_4);
@@ -1033,7 +1155,8 @@ let () =
       ("fig5", fig_5); ("fig7", fig_7);
       ("ablation", ablation); ("perf", perf); ("overhead", overhead);
       ("stream", stream_bench); ("staticdep", staticdep_bench);
-      ("obs", obs_bench); ("autotune", autotune_bench); ("serve", serve_bench) ]
+      ("obs", obs_bench); ("autotune", autotune_bench);
+      ("parcheck", parcheck_bench); ("serve", serve_bench) ]
   in
   let argv = Array.to_list Sys.argv in
   json_out := List.mem "--json" argv;

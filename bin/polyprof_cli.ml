@@ -50,7 +50,7 @@ let find_workload name =
       match
         List.find_opt
           (fun (w : Workloads.Workload.t) -> w.w_name = name)
-          Workloads.Polybench.all
+          (Workloads.Polybench.all @ Workloads.Polybench.seeded)
       with
       | Some w -> Ok w
       | None ->
@@ -452,8 +452,10 @@ let lint_cmd =
     let e =
       Analysis.Lint.analyse_profiled ~name:w.Workloads.Workload.w_name prog
     in
-    (* the opt-in near-miss advisory of the static dependence engine *)
-    (prog, Analysis.Lint.with_almost_affine e prog)
+    (* the opt-in advisories of the static dependence engine: the
+       near-miss prunability report and the parallelism certifier *)
+    let e = Analysis.Lint.with_almost_affine e prog in
+    (prog, Analysis.Lint.with_parallelism e prog)
   in
   let run bench json telemetry =
     with_telemetry telemetry @@ fun () ->
@@ -668,6 +670,203 @@ let staticdep_cmd =
              $(b,--prune), validate the pruned profile against the \
              unpruned one)")
     Term.(const run $ bench $ prune $ json_flag $ telemetry_flag)
+
+let parcheck_cmd =
+  let bench =
+    let doc =
+      "Benchmark to certify verbosely; without it, print the summary table \
+       over every bundled benchmark (plus the seeded par_* variants)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let static_only =
+    Arg.(
+      value & flag
+      & info [ "static-only" ]
+          ~doc:
+            "Skip the dynamic race sanitizer run (and with it the \
+             static/dynamic cross-check); report static verdicts only.")
+  in
+  let module J = struct
+    let dim (d : Analysis.Parcheck.dim_report) =
+      let open Obs.Json_emit in
+      Obj
+        ([ ("fid", Int d.Analysis.Parcheck.dr_fid);
+           ("header", Int d.Analysis.Parcheck.dr_header);
+           ("depth", Int d.Analysis.Parcheck.dr_depth);
+           ( "loc",
+             match d.Analysis.Parcheck.dr_loc with
+             | Some l ->
+                 Str (Printf.sprintf "%s:%d" l.Vm.Prog.file l.Vm.Prog.line)
+             | None -> Null );
+           ( "verdict",
+             Str (Analysis.Parcheck.verdict_code d.Analysis.Parcheck.dr_verdict)
+           ) ]
+        @
+        match d.Analysis.Parcheck.dr_verdict with
+        | Analysis.Parcheck.Certified c ->
+            [ ("pairs", Int c.Analysis.Parcheck.ct_pairs);
+              ( "private_regions",
+                Int (List.length c.Analysis.Parcheck.ct_private) );
+              ( "reduction_accesses",
+                Int (List.length c.Analysis.Parcheck.ct_reductions) ) ]
+        | Analysis.Parcheck.Race ws -> [ ("witnesses", Int (List.length ws)) ]
+        | Analysis.Parcheck.Unknown why -> [ ("reason", Str why) ])
+
+    let sanitizer (r : Ddg.Race_san.report) =
+      let open Obs.Json_emit in
+      Obj
+        [ ("accesses", Int r.Ddg.Race_san.sr_accesses);
+          ( "races_on_certified",
+            Int (Ddg.Race_san.races_on_certified r) );
+          ( "claims",
+            List
+              (List.map
+                 (fun (cs : Ddg.Race_san.claim_stats) ->
+                   Obj
+                     [ ( "label",
+                         Str cs.Ddg.Race_san.cs_claim.Ddg.Race_san.cl_label );
+                       ( "certified",
+                         Bool
+                           cs.Ddg.Race_san.cs_claim.Ddg.Race_san.cl_certified
+                       );
+                       ("instances", Int cs.Ddg.Race_san.cs_instances);
+                       ("iterations", Int cs.Ddg.Race_san.cs_iterations);
+                       ("races", Int cs.Ddg.Race_san.cs_n_races);
+                       ("covered", Int cs.Ddg.Race_san.cs_covered) ])
+                 r.Ddg.Race_san.sr_claims) ) ]
+
+    let workload name (pc : Analysis.Parcheck.t) san diags =
+      let open Obs.Json_emit in
+      Obj
+        ([ ("name", Str name);
+           ("dims", List (List.map dim pc.Analysis.Parcheck.pc_dims));
+           ("certified", Int (Analysis.Parcheck.n_certified pc));
+           ("races", Int (Analysis.Parcheck.n_races pc)) ]
+        @ (match san with
+          | Some r -> [ ("sanitizer", sanitizer r) ]
+          | None -> [])
+        @
+        match diags with
+        | Some ds ->
+            [ ( "crosscheck_ok",
+                Bool (Analysis.Parcheck.crosscheck_ok ds) );
+              ( "diagnostics",
+                List
+                  (List.map
+                     (fun d -> Str (Analysis.Diag.to_string d))
+                     ds) ) ]
+        | None -> [])
+  end in
+  let analyse_one ~static_only (w : Workloads.Workload.t) =
+    let prog = Vm.Hir.lower w.Workloads.Workload.hir in
+    let pc = Analysis.Parcheck.analyse prog in
+    if static_only then (pc, None, None)
+    else
+      let san = Analysis.Parcheck.sanitize pc in
+      let diags = Analysis.Parcheck.crosscheck pc san in
+      (pc, Some san, Some diags)
+  in
+  let failed diags =
+    match diags with
+    | Some ds -> not (Analysis.Parcheck.crosscheck_ok ds)
+    | None -> false
+  in
+  let run bench static_only json telemetry =
+    with_telemetry telemetry @@ fun () ->
+    match bench with
+    | Some name -> (
+        match find_workload name with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok w ->
+            let pc, san, diags = analyse_one ~static_only w in
+            if json then
+              print_endline
+                (Obs.Json_emit.to_string ~pretty:true
+                   (J.workload name pc san diags))
+            else begin
+              Format.printf "%a@." Analysis.Parcheck.pp pc;
+              (match san with
+              | Some r -> Format.printf "%a" Ddg.Race_san.pp_report r
+              | None -> ());
+              match diags with
+              | Some ds ->
+                  List.iter
+                    (fun d ->
+                      Format.printf "%s@." (Analysis.Diag.to_string d))
+                    ds
+              | None -> ()
+            end;
+            if failed diags then 1 else 0)
+    | None ->
+        let ws =
+          Workloads.Rodinia.all
+          @ [ Workloads.Gems_fdtd.workload ]
+          @ Workloads.Polybench.all @ Workloads.Polybench.seeded
+        in
+        let rows =
+          List.map
+            (fun (w : Workloads.Workload.t) ->
+              let pc, san, diags = analyse_one ~static_only w in
+              (w.Workloads.Workload.w_name, pc, san, diags))
+            ws
+        in
+        let any_failed =
+          List.exists (fun (_, _, _, diags) -> failed diags) rows
+        in
+        if json then
+          print_endline
+            (Obs.Json_emit.to_string ~pretty:true
+               (Obs.Json_emit.List
+                  (List.map
+                     (fun (name, pc, san, diags) ->
+                       J.workload name pc san diags)
+                     rows)))
+        else begin
+          let header =
+            [ "Workload"; "Dims"; "Cert"; "Race"; "Unk" ]
+            @ if static_only then [] else [ "SanRaces"; "Xcheck" ]
+          in
+          let trows =
+            List.map
+              (fun (name, (pc : Analysis.Parcheck.t), san, diags) ->
+                let dims = List.length pc.Analysis.Parcheck.pc_dims in
+                let cert = Analysis.Parcheck.n_certified pc in
+                let race = Analysis.Parcheck.n_races pc in
+                [ name;
+                  string_of_int dims;
+                  string_of_int cert;
+                  string_of_int race;
+                  string_of_int (dims - cert - race) ]
+                @
+                if static_only then []
+                else
+                  [ (match san with
+                    | Some r ->
+                        string_of_int
+                          (List.fold_left
+                             (fun a (cs : Ddg.Race_san.claim_stats) ->
+                               a + cs.Ddg.Race_san.cs_n_races)
+                             0 r.Ddg.Race_san.sr_claims)
+                    | None -> "-");
+                    (if failed diags then "FAIL!" else "ok") ])
+              rows
+          in
+          print_string (Report.Texttable.render ~header trows)
+        end;
+        if any_failed then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "parcheck"
+       ~doc:
+         "Certify claimed-parallel loop dimensions: static DOALL \
+          certificates (with reduction and privatisation discharge) or \
+          concrete race witnesses per chain dimension, cross-checked \
+          against one run under the dynamic race sanitizer (a sanitizer \
+          race on a certified dimension is a hard failure)")
+    Term.(const run $ bench $ static_only $ json_flag $ telemetry_flag)
 
 let transform_cmd =
   let verify =
@@ -1030,14 +1229,15 @@ let kind_arg =
   let kinds =
     [ ("profile", Serve.Proto.Profile); ("transform", Serve.Proto.Transform);
       ("verify", Serve.Proto.Verify); ("autotune", Serve.Proto.Autotune);
-      ("crash", Serve.Proto.Crash) ]
+      ("parcheck", Serve.Proto.Parcheck); ("crash", Serve.Proto.Crash) ]
   in
   Arg.(
     required
     & pos 0 (some (enum kinds)) None
     & info [] ~docv:"KIND"
         ~doc:"Job kind: $(b,profile), $(b,transform), $(b,verify), \
-              $(b,autotune) or $(b,crash) (the crash-isolation self-test).")
+              $(b,autotune), $(b,parcheck) or $(b,crash) (the \
+              crash-isolation self-test).")
 
 let submit_cmd =
   let bench =
@@ -1268,6 +1468,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; run_cmd; flamegraph_cmd; table5_cmd; polly_cmd; trace_cmd;
-            deps_cmd; lint_cmd; staticdep_cmd; transform_cmd; autotune_cmd;
+            deps_cmd; lint_cmd; staticdep_cmd; parcheck_cmd; transform_cmd;
+            autotune_cmd;
             source_cmd; telemetry_cmd; overhead_cmd; serve_cmd; submit_cmd;
             status_cmd; fetch_cmd; shutdown_cmd; version_cmd ]))

@@ -187,6 +187,69 @@ let almost_affine (prog : Vm.Prog.t) =
 let with_almost_affine e prog =
   { e with e_diags = List.sort Diag.compare (e.e_diags @ almost_affine prog) }
 
+(* Parallelism advisories from the certifier (opt-in, like
+   {!almost_affine}: runs the static dependence engine).  One warning
+   per chain dimension that is either provably racy ([W-race], with a
+   concrete witness pair) or certified only thanks to a discharge the
+   programmer must honour when parallelizing by hand ([W-privatizable],
+   [W-reduction]). *)
+let parallelism (prog : Vm.Prog.t) =
+  let pc = Parcheck.analyse prog in
+  let diags =
+    List.concat_map
+      (fun (d : Parcheck.dim_report) ->
+        let where =
+          match d.Parcheck.dr_loc with
+          | Some l -> Printf.sprintf " (%s:%d)" l.Vm.Prog.file l.Vm.Prog.line
+          | None -> ""
+        in
+        let loop = Printf.sprintf "loop f%d.b%d%s" d.Parcheck.dr_fid d.Parcheck.dr_header where in
+        match d.Parcheck.dr_verdict with
+        | Parcheck.Race ws ->
+            let w = List.hd ws in
+            [ Diag.warning ~sid:w.Parcheck.w_src ~code:"W-race"
+                ~fid:d.Parcheck.dr_fid
+                (Printf.sprintf
+                   "%s is not parallel: %d loop-carried conflict pair%s, \
+                    e.g. %s between %s and %s"
+                   loop (List.length ws)
+                   (if List.length ws = 1 then "" else "s")
+                   (if w.Parcheck.w_ww then "W/W" else "R/W")
+                   (Vm.Isa.Sid.to_string w.Parcheck.w_src)
+                   (Vm.Isa.Sid.to_string w.Parcheck.w_dst)) ]
+        | Parcheck.Certified c ->
+            (if c.Parcheck.ct_private = [] then []
+             else
+               [ Diag.warning ~code:"W-privatizable" ~fid:d.Parcheck.dr_fid
+                   (Printf.sprintf
+                      "%s is parallel only with %d region%s privatized \
+                       per-thread"
+                      loop
+                      (List.length c.Parcheck.ct_private)
+                      (if List.length c.Parcheck.ct_private = 1 then ""
+                       else "s")) ])
+            @
+            if c.Parcheck.ct_reductions = [] then []
+            else
+              [ Diag.warning
+                  ~sid:(List.hd c.Parcheck.ct_reductions)
+                  ~code:"W-reduction" ~fid:d.Parcheck.dr_fid
+                  (Printf.sprintf
+                     "%s is parallel only as a reduction (%d \
+                      read-modify-write access%s must combine atomically or \
+                      per-thread)"
+                     loop
+                     (List.length c.Parcheck.ct_reductions)
+                     (if List.length c.Parcheck.ct_reductions = 1 then ""
+                      else "es")) ]
+        | Parcheck.Unknown _ -> [])
+      pc.Parcheck.pc_dims
+  in
+  List.sort Diag.compare diags
+
+let with_parallelism e prog =
+  { e with e_diags = List.sort Diag.compare (e.e_diags @ parallelism prog) }
+
 let static_entry name (prog : Vm.Prog.t) =
   let diags =
     List.sort Diag.compare

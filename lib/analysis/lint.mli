@@ -40,6 +40,17 @@ val with_almost_affine : entry -> Vm.Prog.t -> entry
 (** Append the {!almost_affine} diagnostics to an entry (for the CLI
     lint command). *)
 
+val parallelism : Vm.Prog.t -> Diag.t list
+(** Parallelism advisories from the certifier ({!Parcheck}), one per
+    chain dimension: [W-race] (provably racy, with a concrete witness
+    pair), [W-privatizable] (parallel only with named regions
+    privatized per-thread), [W-reduction] (parallel only as a
+    reduction).  Opt-in (not part of {!analyse}): runs the static
+    dependence engine and is advisory. *)
+
+val with_parallelism : entry -> Vm.Prog.t -> entry
+(** Append the {!parallelism} diagnostics to an entry. *)
+
 val analyse : ?name:string -> Vm.Prog.t -> entry
 (** Static passes only (no execution, no cross-check), including
     {!deadcode} and {!redundant_load}. *)

@@ -25,6 +25,7 @@ type resolved = {
   r_base : int;
   r_coefs : int array;
   r_bounds : (int * int array) array;
+  r_dims : (int * int) array;
   r_sched : int array;
   r_lo : int;
   r_hi : int;
@@ -382,6 +383,11 @@ let resolve_access b fi dims ~bid ?spec (a : AC.access) out =
                     r_base = base;
                     r_coefs = coefs;
                     r_bounds = bounds;
+                    r_dims =
+                      Array.of_list
+                        (List.map
+                           (fun d -> (d.dm_fid, d.dm_li.AC.li_header))
+                           dims);
                     r_sched = [||];  (* filled by the post-construction walk *)
                     r_lo = lo;
                     r_hi = hi;

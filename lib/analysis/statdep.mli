@@ -63,6 +63,11 @@ type resolved = {
           (clamped at 0 at runtime): dimension [i]'s coefficient array
           has [i] entries, one per strictly-outer dimension; constant
           boxes have all-zero coefficients *)
+  r_dims : (int * int) array;
+      (** per-dimension loop identity [(fid, header bid)] of the chain
+          loop providing that coordinate — the bridge from a claimed
+          source loop (located by its header) to the coordinate it
+          contributes to every access it encloses *)
   r_sched : int array;
       (** static schedule: position of each ancestor chain item within
           its parent, plus the access's own position (length
@@ -138,6 +143,15 @@ val fallback_profile :
     to a non-speculative plan if refinement does not converge.
     Returns the final analysis, the profile result and the number of
     reruns (0 when every witness held first try). *)
+
+val domain_rows :
+  int -> offset:int -> (int * int array) array -> Minisl.Constr.t list
+(** Iteration-domain constraint rows for the given per-dimension affine
+    bounds ([resolved.r_bounds] shape), occupying variable positions
+    [offset ..] of an [n]-variable polyhedron: [x_i >= 0] and
+    [x_i <= trip_i - 1] with the trip affine in the outer coordinates.
+    Exposed for consumers building bespoke polyhedra over resolved
+    accesses ({!Parcheck}). *)
 
 val pair_of :
   t -> src:Vm.Isa.Sid.t -> dst:Vm.Isa.Sid.t -> Ddg.Depprof.dep_kind ->

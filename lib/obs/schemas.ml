@@ -5,6 +5,7 @@ let staticdep = 1
 let obs = 1
 let autotune = 1
 let overhead = 1
+let parcheck = 1
 let serve = 1
 
 let all =
@@ -12,6 +13,8 @@ let all =
     { s_name = "obs"; s_file = "BENCH_obs.json"; s_version = obs };
     { s_name = "overhead"; s_file = "(stdout: polyprof overhead --json)";
       s_version = overhead };
+    { s_name = "parcheck"; s_file = "BENCH_parcheck.json";
+      s_version = parcheck };
     { s_name = "serve"; s_file = "BENCH_serve.json"; s_version = serve };
     { s_name = "staticdep"; s_file = "BENCH_staticdep.json";
       s_version = staticdep };

@@ -17,6 +17,7 @@ val staticdep : int
 val obs : int
 val autotune : int
 val overhead : int
+val parcheck : int
 val serve : int
 
 val all : t list

@@ -11,7 +11,7 @@ let find_workload name =
       match
         List.find_opt
           (fun (w : Workloads.Workload.t) -> w.w_name = name)
-          Workloads.Polybench.all
+          (Workloads.Polybench.all @ Workloads.Polybench.seeded)
       with
       | Some w -> Ok w
       | None ->
@@ -102,6 +102,51 @@ let run_apply spec (w : Workloads.Workload.t) ~max_plans =
   in
   report ~spec [ ("transform", xform_json s) ]
 
+let run_parcheck spec (w : Workloads.Workload.t) =
+  let static_only = Proto.param_int spec "static_only" ~default:0 <> 0 in
+  let prog = Vm.Hir.lower w.Workloads.Workload.hir in
+  let pc = Analysis.Parcheck.analyse prog in
+  let dims =
+    J.List
+      (List.map
+         (fun (d : Analysis.Parcheck.dim_report) ->
+           J.Obj
+             [ ("fid", J.Int d.Analysis.Parcheck.dr_fid);
+               ("header", J.Int d.Analysis.Parcheck.dr_header);
+               ("depth", J.Int d.Analysis.Parcheck.dr_depth);
+               ( "verdict",
+                 J.Str
+                   (Analysis.Parcheck.verdict_code
+                      d.Analysis.Parcheck.dr_verdict) ) ])
+         pc.Analysis.Parcheck.pc_dims)
+  in
+  let base =
+    [ ("dims", dims);
+      ("certified", J.Int (Analysis.Parcheck.n_certified pc));
+      ("races", J.Int (Analysis.Parcheck.n_races pc)) ]
+  in
+  let dyn =
+    if static_only then []
+    else begin
+      let san = Analysis.Parcheck.sanitize pc in
+      let diags = Analysis.Parcheck.crosscheck pc san in
+      (* a sanitizer race on a certified dim is a soundness failure:
+         fail the job loudly instead of caching a bad certificate *)
+      if not (Analysis.Parcheck.crosscheck_ok diags) then
+        failwith
+          (String.concat "; "
+             (List.map Analysis.Diag.to_string
+                (List.filter Analysis.Diag.is_error diags)));
+      [ ( "sanitizer",
+          J.Obj
+            [ ("accesses", J.Int san.Ddg.Race_san.sr_accesses);
+              ( "races_on_certified",
+                J.Int (Ddg.Race_san.races_on_certified san) ) ] );
+        ("crosscheck_ok", J.Bool true) ]
+    end
+  in
+  report ~spec [ ("parcheck", J.Obj (base @ dyn)) ]
+
 let run_autotune spec (w : Workloads.Workload.t) =
   let d = Tune.Search.default in
   let config =
@@ -162,6 +207,7 @@ let execute (spec : Proto.spec) =
     | Proto.Transform -> run_apply spec w ~max_plans:1
     | Proto.Verify -> run_apply spec w ~max_plans:8
     | Proto.Autotune -> run_autotune spec w
+    | Proto.Parcheck -> run_parcheck spec w
     | Proto.Crash -> failwith "deliberate worker crash (kind=crash)"
   in
   let wall_ns = int_of_float ((Obs.Clock.monotonic () -. t0) *. 1e9) in

@@ -1,10 +1,11 @@
-type kind = Profile | Transform | Verify | Autotune | Crash
+type kind = Profile | Transform | Verify | Autotune | Parcheck | Crash
 
 let kind_to_string = function
   | Profile -> "profile"
   | Transform -> "transform"
   | Verify -> "verify"
   | Autotune -> "autotune"
+  | Parcheck -> "parcheck"
   | Crash -> "crash"
 
 let kind_of_string = function
@@ -12,12 +13,13 @@ let kind_of_string = function
   | "transform" -> Ok Transform
   | "verify" -> Ok Verify
   | "autotune" -> Ok Autotune
+  | "parcheck" -> Ok Parcheck
   | "crash" -> Ok Crash
   | s ->
       Error
         (Printf.sprintf
            "unknown job kind %S (expected profile, transform, verify, \
-            autotune or crash)"
+            autotune, parcheck or crash)"
            s)
 
 type spec = {

@@ -7,6 +7,9 @@ type kind =
   | Transform  (** apply the hottest suggested plan, report the rewrite *)
   | Verify  (** differential verification of every suggested plan *)
   | Autotune  (** verified beam search ([beam]/[depth]/[repeat]/[seed] params) *)
+  | Parcheck
+      (** parallelism certifier + race sanitizer: per-dimension DOALL
+          certificates / race witnesses with the dynamic cross-check *)
   | Crash  (** deliberately raise inside the worker — the crash-isolation
                self-test; never cached (failed jobs are not cacheable) *)
 

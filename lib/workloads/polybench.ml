@@ -429,3 +429,87 @@ let bicg =
 let all =
   [ gemm; jacobi_2d; atax; mvt; gesummv; bicg; seidel_1d; trisolv; cholesky;
     trmm; lu; seidel_wd ]
+
+(* ------------------------------------------------------------------ *)
+(* Seeded parallelism-certifier variants.  Not part of [all]: each one
+   pins one verdict of the certifier ({!Analysis.Parcheck}) on its
+   outer kernel loop, for the parcheck smoke gates and tests.          *)
+(* ------------------------------------------------------------------ *)
+
+(* par_racy: a true loop-carried flow dependence on the outer loop,
+   A[r] = A[r-1] + B[r] -- must yield a race witness, never a
+   certificate (and the dynamic sanitizer must observe the conflict). *)
+let par_racy =
+  let n = 24 in
+  let kernel =
+    H.fundef "par_racy_kernel" []
+      [ H.for_ ~loc:(loc "par-racy.c" 5) "r" (i 1) (i n)
+          [ H.Let ("p", "A".%[v "r" -! i 1]);
+            H.Let ("b", "B".%[v "r"]);
+            store "A" (v "r") (v "p" +? v "b") ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "A" n
+      @ Workload.init_float_array "B" n
+      @ [ H.CallS (None, "par_racy_kernel", []) ])
+  in
+  Workload.make ~name:"par_racy" ~kernel:"par_racy_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("A", n); ("B", n) ];
+      main = "main" }
+
+(* par_reduction: S[0] += A[r] * A[r] -- a commutative read-modify-write
+   chain on a single location; the outer loop is certified with a
+   non-empty reduction access set. *)
+let par_reduction =
+  let n = 24 in
+  let kernel =
+    H.fundef "par_reduction_kernel" []
+      [ H.for_ ~loc:(loc "par-reduction.c" 5) "r" (i 0) (i n)
+          [ H.Let ("a", "A".%[v "r"]);
+            H.Let ("acc", "S".%[i 0]);
+            store "S" (i 0) (v "acc" +? (v "a" *? v "a")) ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "A" n
+      @ Workload.init_float_array "S" 1
+      @ [ H.CallS (None, "par_reduction_kernel", []) ])
+  in
+  Workload.make ~name:"par_reduction" ~kernel:"par_reduction_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("A", n); ("S", 1) ];
+      main = "main" }
+
+(* par_private: the scratch row T is fully overwritten before being
+   read in every outer iteration -- the outer loop is certified by
+   array privatisation of T. *)
+let par_private =
+  let n = 10 in
+  let at r c = (r *! i n) +! c in
+  let kernel =
+    H.fundef "par_private_kernel" []
+      [ H.for_ ~loc:(loc "par-private.c" 5) "r" (i 0) (i n)
+          [ H.for_ ~loc:(loc "par-private.c" 6) "c" (i 0) (i n)
+              [ H.Let ("a", "A".%[at (v "r") (v "c")]);
+                store "T" (v "c") (v "a" *? f 0.5) ];
+            H.for_ ~loc:(loc "par-private.c" 8) "c2" (i 0) (i n)
+              [ H.Let ("t", "T".%[v "c2"]);
+                H.Let ("cc", "C".%[at (v "r") (v "c2")]);
+                store "C" (at (v "r") (v "c2")) (v "cc" +? v "t") ] ] ]
+  in
+  let main =
+    H.fundef "main" []
+      (Workload.init_float_array "A" (n * n)
+      @ Workload.init_float_array "C" (n * n)
+      @ Workload.init_float_array "T" n
+      @ [ H.CallS (None, "par_private_kernel", []) ])
+  in
+  Workload.make ~name:"par_private" ~kernel:"par_private_kernel"
+    { H.funs = Workload.libm @ [ kernel; main ];
+      arrays = [ ("A", n * n); ("C", n * n); ("T", n) ];
+      main = "main" }
+
+(* findable by name (CLI, serve) without joining the benchmark suite *)
+let seeded = [ par_racy; par_reduction; par_private ]

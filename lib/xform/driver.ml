@@ -32,6 +32,8 @@ type entry = {
   en_applied : Apply.applied list;
   en_skipped : (Sched.Transform.step * string) list;
   en_static : Sched.Plan.legality option;
+  en_certs : (Sched.Transform.step * Analysis.Parcheck.verdict) list;
+      (* parallelism-certifier verdict per Parallelize/Vectorize step *)
   en_equiv : Verify.equiv option;
   en_dynamic : Verify.legality option;
   en_profit : profit option;
@@ -86,7 +88,7 @@ let find_nest ?(min_depth = 0) ?target_weight (xa : Sched.Depanalysis.t)
          | _ -> Some n)
        None
 
-let compute_profit (plan : Sched.Plan.t) (o : Apply.outcome)
+let compute_profit ?(certs = []) (plan : Sched.Plan.t) (o : Apply.outcome)
     (xa : Sched.Depanalysis.t) =
   let depth = Array.length plan.Sched.Plan.p_stride01 in
   let before =
@@ -121,26 +123,48 @@ let compute_profit (plan : Sched.Plan.t) (o : Apply.outcome)
         if required then after > before +. 1e-9 else after >= before -. 1e-9
       in
       let xlocs = Sched.Plan.nest_dim_locs xa xn in
+      let dyn_parallel d =
+        match plan.Sched.Plan.p_targets.(d - 1).Sched.Plan.t_loc with
+        | None -> true  (* cannot locate: trust static *)
+        | Some l ->
+            Array.exists Fun.id
+              (Array.mapi
+                 (fun i lo ->
+                   match lo with
+                   | Some lo ->
+                       Vm.Hir_rewrite.same_loc lo l
+                       && xn.Sched.Depanalysis.nparallel.(i)
+                   | None -> false)
+                 xlocs)
+      in
+      (* The certifier has the last word on a claimed dim: a DOALL
+         certificate stands even when the dynamic nparallel bit is
+         pessimistic, a static race witness sinks the claim even when
+         this run's trace happened to be conflict-free.  Only an
+         [Unknown] defers to the dynamic evidence. *)
+      let race = ref false in
       let parallel =
         List.filter_map
           (fun (step : Sched.Transform.step) ->
             match step with
             | Sched.Transform.Parallelize d -> (
-                match plan.Sched.Plan.p_targets.(d - 1).Sched.Plan.t_loc with
-                | None -> Some (d, true)  (* cannot locate: trust static *)
-                | Some l ->
-                    let still =
-                      Array.exists Fun.id
-                        (Array.mapi
-                           (fun i lo ->
-                             match lo with
-                             | Some lo ->
-                                 Vm.Hir_rewrite.same_loc lo l
-                                 && xn.Sched.Depanalysis.nparallel.(i)
-                             | None -> false)
-                           xlocs)
-                    in
-                    Some (d, still))
+                match List.assoc_opt step certs with
+                | Some (Analysis.Parcheck.Certified _) -> Some (d, true)
+                | Some (Analysis.Parcheck.Race _) ->
+                    race := true;
+                    Some (d, false)
+                | Some (Analysis.Parcheck.Unknown _) | None ->
+                    Some (d, dyn_parallel d))
+            | Sched.Transform.Vectorize d -> (
+                match List.assoc_opt step certs with
+                | Some (Analysis.Parcheck.Certified _) -> Some (d, true)
+                | Some (Analysis.Parcheck.Race _) ->
+                    race := true;
+                    Some (d, false)
+                | Some (Analysis.Parcheck.Unknown _) | None ->
+                    (* no dynamic innermost-SIMD oracle: an unknown keeps
+                       the historical trust-the-mark behaviour *)
+                    Some (d, true))
             | _ -> None)
           plan.Sched.Plan.p_steps
       in
@@ -155,7 +179,10 @@ let compute_profit (plan : Sched.Plan.t) (o : Apply.outcome)
              Printf.sprintf "stride-0/1 went %.0f%% -> %.0f%%%s"
                (100. *. before) (100. *. after)
                (if required then " (improvement required)" else " (regressed)")
-           else if not parallel_ok then "a marked-parallel dim lost parallelism"
+           else if not parallel_ok then
+             if !race then
+               "the parallelism certifier found a race on a marked dim"
+             else "a marked-parallel dim lost parallelism"
            else "") }
 
 let structural_steps (plan : Sched.Plan.t) =
@@ -167,6 +194,45 @@ let structural_steps (plan : Sched.Plan.t) =
           true
       | Sched.Transform.Parallelize _ | Sched.Transform.Vectorize _ -> false)
     plan.Sched.Plan.p_steps
+
+let marked_steps (plan : Sched.Plan.t) =
+  List.exists
+    (fun (s : Sched.Transform.step) ->
+      match s with
+      | Sched.Transform.Parallelize _ | Sched.Transform.Vectorize _ -> true
+      | _ -> false)
+    plan.Sched.Plan.p_steps
+
+(* Static parallelism certification of the claimed dims: each
+   [Parallelize]/[Vectorize] step is decided against the level-carried
+   dependence polyhedra ([Analysis.Parcheck]) of the given program —
+   the original one for marking-only plans, the transformed one when
+   structural steps may have moved the claimed loops to new levels. *)
+let certify_steps ~sd (plan : Sched.Plan.t) =
+  List.filter_map
+    (fun (step : Sched.Transform.step) ->
+      let verdict d =
+        if d < 1 || d > Array.length plan.Sched.Plan.p_targets then
+          Analysis.Parcheck.Unknown "claimed dim out of range"
+        else
+          let t = plan.Sched.Plan.p_targets.(d - 1) in
+          match t.Sched.Plan.t_loc with
+          | None ->
+              Analysis.Parcheck.Unknown "claimed dim has no source location"
+          | Some l ->
+              Analysis.Parcheck.certify_loc sd ?fid:t.Sched.Plan.t_fid l
+      in
+      match step with
+      | Sched.Transform.Parallelize d | Sched.Transform.Vectorize d ->
+          Some (step, verdict d)
+      | _ -> None)
+    plan.Sched.Plan.p_steps
+
+let cert_race certs =
+  List.find_opt
+    (fun (_, v) ->
+      match v with Analysis.Parcheck.Race _ -> true | _ -> false)
+    certs
 
 let verify_transformed ~eps ?max_steps ~orig_prog xhir =
   let xprog = Vm.Hir.lower xhir in
@@ -201,14 +267,17 @@ let oracle ?(eps = 1e-9) ?max_steps ~orig_prog xhir =
         or_analysis = Some xa;
         or_ok = equiv.Verify.eq_ok && dyn.Verify.dl_ok }
 
-let nest_entry ~eps ?max_steps ~orig_prog ~analysis hir (plan : Sched.Plan.t) =
+let nest_entry ~eps ?max_steps ~orig_prog ~analysis ~sd hir
+    (plan : Sched.Plan.t) =
   let target = Sched.Plan.describe plan in
-  let base ?applied ?skipped ?static ?equiv ?dynamic ?profit status =
+  let base ?applied ?skipped ?static ?(certs = []) ?equiv ?dynamic ?profit
+      status =
     { en_target = target;
       en_kind = Nest plan;
       en_applied = Option.value applied ~default:[];
       en_skipped = Option.value skipped ~default:[];
       en_static = static;
+      en_certs = certs;
       en_equiv = equiv;
       en_dynamic = dynamic;
       en_profit = profit;
@@ -218,8 +287,20 @@ let nest_entry ~eps ?max_steps ~orig_prog ~analysis hir (plan : Sched.Plan.t) =
   if not static.Sched.Plan.lg_ok then
     base ~static
       (Rejected "static legality: the profiled direction vectors forbid a step")
-  else if not (structural_steps plan) then
-    base ~static (Verified : status)
+  else if not (structural_steps plan) then begin
+    (* Marking-only plan: nothing to run differentially — but the claims
+       themselves are no longer waved through on static legality alone;
+       each one is decided by the parallelism certifier against the
+       original program's dependence polyhedra. *)
+    let certs = certify_steps ~sd:(Lazy.force sd) plan in
+    match cert_race certs with
+    | Some (step, _) ->
+        base ~static ~certs
+          (Rejected
+             (Format.asprintf "parallelism certifier: race on %a"
+                Sched.Transform.pp_step step))
+    | None -> base ~static ~certs (Verified : status)
+  end
   else
     match Apply.apply_plan hir plan with
     | Error e -> base ~static (Skipped e)
@@ -234,18 +315,27 @@ let nest_entry ~eps ?max_steps ~orig_prog ~analysis hir (plan : Sched.Plan.t) =
         | exception Vm.Hir.Lower_error m ->
             base ~static ~applied:o.Apply.o_applied ~skipped:o.Apply.o_skipped
               (Skipped ("lowering the transformed program failed: " ^ m))
-        | _ -> (
+        | xprog -> (
+            (* Claimed dims are re-certified against the *transformed*
+               program: structural steps may have moved the claimed
+               loops to new nest levels, so the original program's
+               verdicts do not transfer. *)
+            let certs =
+              if marked_steps plan then
+                certify_steps ~sd:(Analysis.Statdep.analyse xprog) plan
+              else []
+            in
             let equiv, xanalysis =
               verify_transformed ~eps ?max_steps ~orig_prog o.Apply.o_hir
             in
             match xanalysis with
             | None ->
-                base ~static ~applied:o.Apply.o_applied
+                base ~static ~certs ~applied:o.Apply.o_applied
                   ~skipped:o.Apply.o_skipped ~equiv
                   (Rejected "observable equivalence failed")
             | Some xa ->
                 let dyn = Verify.dynamic_legality xa in
-                let profit = compute_profit plan o xa in
+                let profit = compute_profit ~certs plan o xa in
                 let status =
                   if not dyn.Verify.dl_ok then
                     Rejected "a dependence was reversed (re-folded DDG)"
@@ -253,7 +343,7 @@ let nest_entry ~eps ?max_steps ~orig_prog ~analysis hir (plan : Sched.Plan.t) =
                     Rejected ("profitability: " ^ profit.pf_note)
                   else Verified
                 in
-                base ~static ~applied:o.Apply.o_applied
+                base ~static ~certs ~applied:o.Apply.o_applied
                   ~skipped:o.Apply.o_skipped ~equiv ~dynamic:dyn ~profit
                   status))
 
@@ -293,6 +383,7 @@ let fusion_entry ~eps ?max_steps ~orig_prog hir locs =
       en_applied = [];
       en_skipped = [];
       en_static = None;
+      en_certs = [];
       en_equiv = equiv;
       en_dynamic = dynamic;
       en_profit = None;
@@ -330,8 +421,11 @@ let apply_and_verify ?(eps = 1e-9) ?max_steps ?(max_plans = 8) ~name
   let plans =
     List.filteri (fun i _ -> i < max_plans) plans
   in
+  (* one static dependence model of the original program serves every
+     marking-only plan's certification *)
+  let sd = lazy (Analysis.Statdep.analyse orig_prog) in
   let entries =
-    List.map (nest_entry ~eps ?max_steps ~orig_prog ~analysis hir) plans
+    List.map (nest_entry ~eps ?max_steps ~orig_prog ~analysis ~sd hir) plans
   in
   let entries =
     entries
@@ -384,6 +478,11 @@ let pp_entry fmt e =
       if not l.Sched.Plan.lg_ok then
         Format.fprintf fmt "%a" Sched.Plan.pp_legality l
   | None -> ());
+  List.iter
+    (fun (step, v) ->
+      Format.fprintf fmt "  certifier: %a: %a@\n" Sched.Transform.pp_step step
+        Analysis.Parcheck.pp_verdict v)
+    e.en_certs;
   (match e.en_equiv with
   | Some eq ->
       Format.fprintf fmt "  observable equivalence: %s@\n"

@@ -723,6 +723,180 @@ let test_prune_equal_all_workloads () =
         (Ddg.Depprof.equal_result full pruned))
     ws
 
+(* ---------------- parallelism certifier ---------------- *)
+
+module PC = Analysis.Parcheck
+
+let parcheck_of (w : Workloads.Workload.t) =
+  PC.analyse (H.lower w.Workloads.Workload.hir)
+
+(* verdict of the single dim whose header carries [file:line] (the
+   seeded kernels attach a unique source location to each loop) *)
+let verdict_at pc file line =
+  match
+    List.filter
+      (fun (d : PC.dim_report) ->
+        match d.PC.dr_loc with
+        | Some l -> l.P.file = file && l.P.line = line
+        | None -> false)
+      pc.PC.pc_dims
+  with
+  | [ d ] -> d.PC.dr_verdict
+  | ds -> Alcotest.failf "%s:%d: expected 1 dim, got %d" file line (List.length ds)
+
+let test_parcheck_gemm () =
+  let pc = parcheck_of Workloads.Polybench.gemm in
+  Alcotest.(check int) "6 chain dims" 6 (List.length pc.PC.pc_dims);
+  Alcotest.(check int) "all certified" 6 (PC.n_certified pc);
+  Alcotest.(check int) "no races" 0 (PC.n_races pc);
+  let has_reduction =
+    List.exists
+      (fun (d : PC.dim_report) ->
+        match d.PC.dr_verdict with
+        | PC.Certified c -> c.PC.ct_reductions <> []
+        | _ -> false)
+      pc.PC.pc_dims
+  in
+  Alcotest.(check bool) "k dim certified as reduction" true has_reduction;
+  let san = PC.sanitize pc in
+  Alcotest.(check int) "sanitizer: no races on certified dims" 0
+    (Ddg.Race_san.races_on_certified san);
+  Alcotest.(check bool) "crosscheck ok" true
+    (PC.crosscheck_ok (PC.crosscheck pc san))
+
+let test_parcheck_jacobi () =
+  let pc = parcheck_of Workloads.Polybench.jacobi_2d in
+  Alcotest.(check int) "6 certified dims (the parallel space dims)" 6
+    (PC.n_certified pc);
+  let san = PC.sanitize pc in
+  Alcotest.(check int) "sanitizer: no races on certified dims" 0
+    (Ddg.Race_san.races_on_certified san);
+  Alcotest.(check bool) "crosscheck ok" true
+    (PC.crosscheck_ok (PC.crosscheck pc san))
+
+let test_parcheck_seeded_race () =
+  let pc = parcheck_of Workloads.Polybench.par_racy in
+  (match verdict_at pc "par-racy.c" 5 with
+  | PC.Race (w :: _) ->
+      Alcotest.(check bool) "witness endpoints differ" true (w.PC.w_src <> w.PC.w_dst)
+  | v -> Alcotest.failf "expected race witness, got %s" (PC.verdict_code v));
+  let san = PC.sanitize pc in
+  let stats =
+    List.find
+      (fun (s : Ddg.Race_san.claim_stats) ->
+        not s.Ddg.Race_san.cs_claim.Ddg.Race_san.cl_certified)
+      san.Ddg.Race_san.sr_claims
+  in
+  Alcotest.(check bool) "sanitizer confirms the race dynamically" true
+    (stats.Ddg.Race_san.cs_n_races > 0);
+  Alcotest.(check bool) "crosscheck ok (confirmed, not unsound)" true
+    (PC.crosscheck_ok (PC.crosscheck pc san))
+
+let test_parcheck_seeded_reduction () =
+  let pc = parcheck_of Workloads.Polybench.par_reduction in
+  (match verdict_at pc "par-reduction.c" 5 with
+  | PC.Certified c ->
+      Alcotest.(check bool) "non-empty reduction access set" true
+        (c.PC.ct_reductions <> [])
+  | v -> Alcotest.failf "expected reduction certificate, got %s" (PC.verdict_code v));
+  let san = PC.sanitize pc in
+  Alcotest.(check int) "sanitizer: reduction accesses covered" 0
+    (Ddg.Race_san.races_on_certified san)
+
+let test_parcheck_seeded_private () =
+  let pc = parcheck_of Workloads.Polybench.par_private in
+  (match verdict_at pc "par-private.c" 5 with
+  | PC.Certified c ->
+      Alcotest.(check bool) "non-empty private region set" true
+        (c.PC.ct_private <> [])
+  | v -> Alcotest.failf "expected privatisation certificate, got %s" (PC.verdict_code v));
+  let san = PC.sanitize pc in
+  Alcotest.(check int) "sanitizer: private scratch covered" 0
+    (Ddg.Race_san.races_on_certified san)
+
+(* random single-loop reduction nests: [S[0] <- S[0] op A[a*r+b] ...]
+   must always certify with a non-empty reduction set, and the
+   sanitizer must agree (no uncovered dynamic race) *)
+let gen_reduction_program seed : H.program =
+  let st = Random.State.make [| seed; 0x5d |] in
+  let rand n = Random.State.int st (max 1 n) in
+  let n = 4 + rand 12 in
+  let addr = (v "r" *! i (1 + rand 2)) +! i (rand 4) in
+  let combine =
+    let t = v "a" *! v "a" in
+    if rand 2 = 0 then v "acc" +! t else v "acc" *! t
+  in
+  let body =
+    [ H.Let ("a", "A".%[addr]);
+      H.Let ("acc", "S".%[i 0]);
+      store "S" (i 0) combine ]
+  in
+  { H.funs = [ H.fundef "main" [] [ H.for_ "r" (i 0) (i n) body ] ];
+    arrays = [ ("A", 64); ("S", 1) ];
+    main = "main" }
+
+let check_reduction_seed seed =
+  let prog = H.lower (gen_reduction_program seed) in
+  let pc = PC.analyse prog in
+  let certified_with_reduction =
+    List.for_all
+      (fun (d : PC.dim_report) ->
+        match d.PC.dr_verdict with
+        | PC.Certified c -> c.PC.ct_reductions <> []
+        | _ -> false)
+      pc.PC.pc_dims
+  in
+  let san = PC.sanitize pc in
+  certified_with_reduction
+  && pc.PC.pc_dims <> []
+  && Ddg.Race_san.races_on_certified san = 0
+  && PC.crosscheck_ok (PC.crosscheck pc san)
+
+let prop_reduction_certifies =
+  QCheck.Test.make ~name:"injected reduction idioms always certify" ~count:40
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    check_reduction_seed
+
+(* random seeded races: [A[r] <- A[r-d] + c] carries a true dependence
+   at distance d >= 1 -- the certifier must produce a race witness and
+   never a certificate, and the sanitizer must observe it *)
+let gen_racy_program seed : H.program =
+  let st = Random.State.make [| seed; 0x7b |] in
+  let rand n = Random.State.int st (max 1 n) in
+  let d = 1 + rand 3 in
+  let n = d + 4 + rand 12 in
+  let body =
+    [ H.Let ("p", "A".%[v "r" -! i d]);
+      store "A" (v "r") (v "p" +! i 1) ]
+  in
+  { H.funs = [ H.fundef "main" [] [ H.for_ "r" (i d) (i n) body ] ];
+    arrays = [ ("A", 64) ];
+    main = "main" }
+
+let check_racy_seed seed =
+  let prog = H.lower (gen_racy_program seed) in
+  let pc = PC.analyse prog in
+  let raced =
+    List.for_all
+      (fun (d : PC.dim_report) ->
+        match d.PC.dr_verdict with
+        | PC.Race (_ :: _) -> true
+        | _ -> false)
+      pc.PC.pc_dims
+  in
+  let san = PC.sanitize pc in
+  raced
+  && pc.PC.pc_dims <> []
+  && PC.n_certified pc = 0
+  && Ddg.Race_san.races_on_certified san = 0
+  && PC.crosscheck_ok (PC.crosscheck pc san)
+
+let prop_seeded_race_never_certifies =
+  QCheck.Test.make ~name:"seeded races yield a witness, never a certificate"
+    ~count:40
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    check_racy_seed
+
 (* ---------------- whole-workload sweep ---------------- *)
 
 let test_sweep_all_workloads () =
@@ -819,6 +993,19 @@ let () =
           QCheck_alcotest.to_alcotest prop_triangular_static_sound;
           Alcotest.test_case "pruned == unpruned on every workload" `Slow
             test_prune_equal_all_workloads ] );
+      ( "parcheck",
+        [ Alcotest.test_case "gemm fully certified (k as reduction)" `Quick
+            test_parcheck_gemm;
+          Alcotest.test_case "jacobi_2d space dims certified" `Quick
+            test_parcheck_jacobi;
+          Alcotest.test_case "seeded race: witness + dynamic confirm" `Quick
+            test_parcheck_seeded_race;
+          Alcotest.test_case "seeded reduction certificate" `Quick
+            test_parcheck_seeded_reduction;
+          Alcotest.test_case "seeded privatisation certificate" `Quick
+            test_parcheck_seeded_private;
+          QCheck_alcotest.to_alcotest prop_reduction_certifies;
+          QCheck_alcotest.to_alcotest prop_seeded_race_never_certifies ] );
       ( "polly-agreement",
         [ Alcotest.test_case "figure 3" `Quick test_agreement_figure3;
           Alcotest.test_case "rodinia kernels" `Quick test_agreement_rodinia ] );

@@ -1,6 +1,6 @@
-.PHONY: all check test bench bench-json stream-smoke staticdep-smoke \
-  obs-smoke autotune-smoke serve-smoke parcheck-smoke lint-gate \
-  lint-baseline clean
+.PHONY: all check test bench bench-json bench-record stream-smoke \
+  staticdep-smoke obs-smoke autotune-smoke serve-smoke parcheck-smoke \
+  perfdiff-smoke lint-gate lint-baseline clean
 
 all:
 	dune build @all
@@ -17,6 +17,11 @@ bench:
 # autotuning search results -> BENCH_autotune.json
 bench-json:
 	dune exec bench/main.exe -- stream autotune --json
+
+# every bench suite -> BENCH_*.json, each appended to bench/history/
+# for `polyprof perfdiff` to gate against
+bench-record:
+	dune exec bench/main.exe -- --json --record
 
 # quick end-to-end check of the out-of-core path: record, decode,
 # profile with 2 domains
@@ -126,15 +131,18 @@ obs-smoke:
 # profiling-as-a-service end to end: start the daemon, submit the same
 # job twice, assert the second submission was served from the cache
 # (exactly one execution according to the live /metrics counter) with a
-# byte-identical report, check crash isolation, shut down gracefully.
-# The built binary is invoked directly so the daemon pid is killable.
+# byte-identical report, check crash isolation, fetch the first job's
+# trace by its id and check the span tree plus the JSON log, shut down
+# gracefully.  The built binary is invoked directly so the daemon pid
+# is killable.
 serve-smoke: all
 	@set -e; \
 	dir=$$(mktemp -d); \
 	cli=$$(pwd)/_build/default/bin/polyprof_cli.exe; \
 	sock=$$dir/polyprof.sock; \
 	trap 'kill $$pid 2>/dev/null || true; rm -rf $$dir' EXIT; \
-	$$cli serve --socket $$sock --workers 2 --quiet & pid=$$!; \
+	$$cli serve --socket $$sock --workers 2 --quiet \
+	  --log-json $$dir/serve.log.jsonl & pid=$$!; \
 	for i in $$(seq 1 100); do test -S $$sock && break; sleep 0.1; done; \
 	test -S $$sock || { echo "FAIL: daemon never bound $$sock"; exit 1; }; \
 	$$cli submit profile gemm --socket $$sock --wait > $$dir/r1.json; \
@@ -152,10 +160,37 @@ serve-smoke: all
 	echo "executions_total = $$execs (expect 3: gemm cold, crash, atax)"; \
 	test "$$execs" = 3 \
 	  || { echo "FAIL: cache hit re-executed the job"; exit 1; }; \
+	tid=$$(curl -s --unix-socket $$sock http://localhost/jobs/1 \
+	  | sed -n 's/.*"trace_id":"\([0-9a-f]\{16\}\)".*/\1/p'); \
+	test -n "$$tid" || { echo "FAIL: job status has no trace id"; exit 1; }; \
+	$$cli trace fetch $$tid --socket $$sock -o $$dir/trace.json; \
+	for span in traceEvents queue.wait execute cache.store; do \
+	  grep -q "$$span" $$dir/trace.json \
+	    || { echo "FAIL: serve trace is missing $$span"; exit 1; }; \
+	done; \
 	$$cli shutdown --socket $$sock > /dev/null; \
 	wait $$pid; \
+	grep -q '"serve.job.done"' $$dir/serve.log.jsonl \
+	  || { echo "FAIL: JSON log sink missed the job lifecycle"; exit 1; }; \
 	test ! -e $$sock || { echo "FAIL: socket not unlinked"; exit 1; }; \
-	echo "serve-smoke OK: 1 execution for 2 submissions, bit-identical reports, crash isolated, graceful shutdown"
+	echo "serve-smoke OK: 1 execution for 2 submissions, bit-identical reports, crash isolated, trace resolvable, graceful shutdown"
+
+# perf-regression sentinel end to end against checked-in fixtures: a
+# seeded +30% wall-clock regression (25% band) must exit nonzero, an
+# identical rerun must exit zero, and --report-only always exits zero
+perfdiff-smoke: all
+	@set -e; \
+	cli=$$(pwd)/_build/default/bin/polyprof_cli.exe; \
+	$$cli perfdiff --history test/perfdiff/history \
+	  test/perfdiff/ok/BENCH_smoke.json \
+	  || { echo "FAIL: identical rerun flagged as a regression"; exit 1; }; \
+	if $$cli perfdiff --history test/perfdiff/history \
+	  test/perfdiff/regressed/BENCH_smoke.json; then \
+	  echo "FAIL: seeded regression not caught"; exit 1; fi; \
+	$$cli perfdiff --report-only --history test/perfdiff/history \
+	  test/perfdiff/regressed/BENCH_smoke.json > /dev/null \
+	  || { echo "FAIL: report-only mode exited nonzero"; exit 1; }; \
+	echo "perfdiff-smoke OK: seeded regression caught, identical rerun clean, report-only soft"
 
 clean:
 	dune clean

@@ -512,6 +512,19 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 
 let json_out = ref false
+let record_history = ref false
+
+(* write BENCH_<name>.json only when its content changed modulo
+   generated_utc (so reruns diff clean), and append the flattened
+   metrics to the perf history when --record was given *)
+let emit_bench name doc =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let wrote = Obs.Json_emit.write_file_stable ~pretty:true path doc in
+  Format.printf "%s %s@." (if wrote then "wrote" else "unchanged") path;
+  if !record_history then begin
+    Obs.Perfhist.record ~dir:(Filename.concat "bench" "history") ~bench:name doc;
+    Format.printf "recorded %s into bench/history/%s.jsonl@." name name
+  end
 
 type stream_row = {
   sr_name : string;
@@ -674,8 +687,7 @@ let stream_bench () =
                          ("identical", Bool r.sr_identical) ])
                    rows) ) ])
     in
-    write_file ~pretty:true "BENCH_stream.json" doc;
-    Format.printf "wrote BENCH_stream.json@."
+    emit_bench "stream" doc
   end
 
 (* ------------------------------------------------------------------ *)
@@ -821,8 +833,7 @@ let staticdep_bench () =
                          ("identical", Bool r.dr_equal) ])
                    rows) ) ])
     in
-    write_file ~pretty:true "BENCH_staticdep.json" doc;
-    Format.printf "wrote BENCH_staticdep.json@."
+    emit_bench "staticdep" doc
   end
 
 (* ------------------------------------------------------------------ *)
@@ -887,8 +898,7 @@ let obs_bench () =
             ("spans", List (List.map span_json roots));
             ("metrics", List (List.map metric_json metrics)) ])
     in
-    write_file ~pretty:true "BENCH_obs.json" doc;
-    Format.printf "wrote BENCH_obs.json@."
+    emit_bench "obs" doc
   end
 
 (* ------------------------------------------------------------------ *)
@@ -907,9 +917,7 @@ let autotune_bench () =
     improved (List.length results)
     ((config.Tune.Search.margin -. 1.0) *. 100.);
   if !json_out then begin
-    Obs.Json_emit.write_file ~pretty:true "BENCH_autotune.json"
-      (Tune.Tune_report.suite_json ~config results);
-    Format.printf "wrote BENCH_autotune.json@."
+    emit_bench "autotune" (Tune.Tune_report.suite_json ~config results)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -975,7 +983,7 @@ let serve_bench () =
   let slow _spec =
     Atomic.incr ran;
     Unix.sleepf 0.05;
-    { E.x_report = "{}"; x_artifact = None }
+    { E.x_report = "{}"; x_span = None }
   in
   let engine2 =
     E.create ~exec:slow
@@ -1022,8 +1030,7 @@ let serve_bench () =
                   ("overloaded", Int !overloaded);
                   ("executed", Int (Atomic.get ran)) ] ) ])
     in
-    write_file ~pretty:true "BENCH_serve.json" doc;
-    Format.printf "wrote BENCH_serve.json@."
+    emit_bench "serve" doc
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1144,8 +1151,7 @@ let parcheck_bench () =
                          ("sanitizer_seconds", Float r.pr_san_s) ])
                    rows) ) ])
     in
-    write_file ~pretty:true "BENCH_parcheck.json" doc;
-    Format.printf "wrote BENCH_parcheck.json@."
+    emit_bench "parcheck" doc
   end
 
 let () =
@@ -1160,8 +1166,9 @@ let () =
   in
   let argv = Array.to_list Sys.argv in
   json_out := List.mem "--json" argv;
+  record_history := List.mem "--record" argv;
   let requested =
-    match List.filter (fun a -> a <> "--json") argv with
+    match List.filter (fun a -> a <> "--json" && a <> "--record") argv with
     | _ :: (_ :: _ as rest) -> rest
     | _ -> []
   in

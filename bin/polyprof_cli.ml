@@ -342,11 +342,78 @@ let trace_stats_cmd =
              and scaling counters")
     Term.(const run $ bench_arg $ domains $ telemetry_flag)
 
+(* daemon endpoint args, shared by the serve-client commands and
+   [trace fetch] *)
+let socket_arg =
+  Arg.(
+    value
+    & opt string Serve.Server.default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port on 127.0.0.1 (in addition to the Unix socket).")
+
+let endpoint_of socket port =
+  match port with
+  | Some p -> Serve.Client.Tcp ("127.0.0.1", p)
+  | None -> Serve.Client.Unix_sock socket
+
+let trace_fetch_cmd =
+  let tid =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE_ID"
+          ~doc:
+            "Trace id, as returned in every job response ($(b,trace_id)) \
+             and in the /metrics exemplar lines.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let run socket port tid out =
+    match
+      Serve.Client.request (endpoint_of socket port) ~meth:"GET"
+        ~path:("/trace/" ^ tid) ()
+    with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok { Serve.Http.rs_status = 200; rs_body; _ } ->
+        (match out with
+        | None ->
+            print_string rs_body;
+            print_newline ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc rs_body;
+            close_out oc);
+        0
+    | Ok rs ->
+        prerr_endline rs.Serve.Http.rs_body;
+        1
+  in
+  Cmd.v
+    (Cmd.info "fetch"
+       ~doc:
+         "Resolve a serve-daemon trace id to its span tree (queue wait, \
+          execution, cache store) as a Chrome-trace JSON document, ready \
+          for chrome://tracing or Perfetto")
+    Term.(const run $ socket_arg $ port_arg $ tid $ out)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace"
        ~doc:"Record, inspect and profile execution traces")
-    [ trace_cmd; trace_record_cmd; trace_stats_cmd ]
+    [ trace_cmd; trace_record_cmd; trace_stats_cmd; trace_fetch_cmd ]
 
 let deps_cmd =
   let run name telemetry =
@@ -1144,25 +1211,6 @@ let autotune_cmd =
 (* Profiling as a service: serve / submit / status / fetch / shutdown   *)
 (* ------------------------------------------------------------------ *)
 
-let socket_arg =
-  Arg.(
-    value
-    & opt string Serve.Server.default_socket
-    & info [ "socket" ] ~docv:"PATH"
-        ~doc:"Unix-domain socket the daemon listens on.")
-
-let port_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "port" ] ~docv:"PORT"
-        ~doc:"TCP port on 127.0.0.1 (in addition to the Unix socket).")
-
-let endpoint_of socket port =
-  match port with
-  | Some p -> Serve.Client.Tcp ("127.0.0.1", p)
-  | None -> Serve.Client.Unix_sock socket
-
 let serve_cmd =
   let workers =
     Arg.(
@@ -1198,12 +1246,21 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No lifecycle chatter on stdout.")
   in
-  let run socket port workers queue cache_mb persist deadline quiet =
+  let log_json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "log-json" ] ~docv:"FILE"
+          ~doc:
+            "Append structured JSON-lines logs (one object per event, with \
+             trace_id/job_id correlation fields) to $(docv).")
+  in
+  let run socket port workers queue cache_mb persist deadline quiet log_json =
     (* the /metrics endpoint is the daemon's point: telemetry is on *)
     Obs.Registry.enable ();
     Serve.Server.serve ~quiet
       { Serve.Server.socket_path = socket;
         tcp_port = port;
+        log_json;
         engine =
           { Serve.Engine.workers;
             queue_capacity = queue;
@@ -1223,7 +1280,7 @@ let serve_cmd =
           Prometheus metrics on /metrics")
     Term.(
       const run $ socket_arg $ port_arg $ workers $ queue $ cache_mb $ persist
-      $ deadline $ quiet)
+      $ deadline $ quiet $ log_json)
 
 let kind_arg =
   let kinds =
@@ -1423,6 +1480,223 @@ let shutdown_cmd =
              workers)")
     Term.(const run $ socket_arg $ port_arg)
 
+(* ------------------------------------------------------------------ *)
+(* perfdiff: the BENCH_* regression sentinel                            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_name_of_file path =
+  let base = Filename.basename path in
+  let base =
+    match Filename.chop_suffix_opt ~suffix:".json" base with
+    | Some b -> b
+    | None -> base
+  in
+  if String.length base > 6 && String.sub base 0 6 = "BENCH_" then
+    String.sub base 6 (String.length base - 6)
+  else base
+
+let perfdiff_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILES"
+          ~doc:
+            "BENCH_*.json documents to compare (default: every \
+             BENCH_*.json in the current directory).")
+  in
+  let history =
+    Arg.(
+      value & opt string "bench/history"
+      & info [ "history" ] ~docv:"DIR"
+          ~doc:"Performance-history directory (one JSONL file per bench).")
+  in
+  let window =
+    Arg.(
+      value & opt int 5
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Baseline = per-metric median over the last $(docv) recorded \
+                runs.")
+  in
+  let report_only =
+    Arg.(
+      value & flag
+      & info [ "report-only" ]
+          ~doc:"Report regressions but always exit 0 (CI soak mode).")
+  in
+  let bless =
+    Arg.(
+      value & flag
+      & info [ "bless" ]
+          ~doc:
+            "Append $(i,FILES) to the history as accepted baselines instead \
+             of diffing against it.")
+  in
+  let fmt_val = Printf.sprintf "%.6g" in
+  let fmt_opt = function Some v -> fmt_val v | None -> "-" in
+  let run files history window report_only bless json =
+    let files =
+      if files <> [] then files
+      else
+        Sys.readdir "." |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 6
+               && String.sub f 0 6 = "BENCH_"
+               && Filename.check_suffix f ".json")
+        |> List.sort compare
+    in
+    if files = [] then begin
+      prerr_endline
+        "perfdiff: no BENCH_*.json documents found (run the benches with \
+         --json first, or pass files explicitly)";
+      1
+    end
+    else begin
+      let broken = ref false in
+      let docs =
+        List.filter_map
+          (fun path ->
+            match Obs.Json_emit.parse_file path with
+            | Ok doc -> Some (path, bench_name_of_file path, doc)
+            | Error e ->
+                Printf.eprintf "perfdiff: %s: %s\n" path e;
+                broken := true;
+                None)
+          files
+      in
+      if bless then begin
+        List.iter
+          (fun (path, bench, doc) ->
+            Obs.Perfhist.record ~dir:history ~bench doc;
+            Printf.printf "blessed %s -> %s\n" path
+              (Obs.Perfhist.history_file ~dir:history ~bench))
+          docs;
+        if !broken then 1 else 0
+      end
+      else begin
+        let regressed_total = ref 0 in
+        let results =
+          List.map
+            (fun (path, bench, doc) ->
+              let entries = Obs.Perfhist.load ~dir:history ~bench in
+              let current = Obs.Perfhist.flatten doc in
+              if entries = [] then (path, bench, None)
+              else begin
+                let baseline = Obs.Perfhist.baseline ~window entries in
+                let rows = Obs.Perfhist.diff ~baseline ~current in
+                regressed_total :=
+                  !regressed_total
+                  + List.length (Obs.Perfhist.regressions rows);
+                (path, bench, Some (List.length entries, rows))
+              end)
+            docs
+        in
+        let gating = not report_only in
+        if json then
+          print_endline
+            (Obs.Json_emit.to_string ~pretty:true
+               (Obs.Json_emit.Obj
+                  [ ("schema_version", Obs.Json_emit.Int Obs.Schemas.perfhist);
+                    ("history_dir", Obs.Json_emit.Str history);
+                    ("window", Obs.Json_emit.Int window);
+                    ("gating", Obs.Json_emit.Bool gating);
+                    ("regressed_total", Obs.Json_emit.Int !regressed_total);
+                    ( "benches",
+                      Obs.Json_emit.List
+                        (List.map
+                           (fun (path, bench, res) ->
+                             Obs.Json_emit.Obj
+                               ([ ("bench", Obs.Json_emit.Str bench);
+                                  ("file", Obs.Json_emit.Str path) ]
+                               @
+                               match res with
+                               | None ->
+                                   [ ("history", Obs.Json_emit.Bool false) ]
+                               | Some (n, rows) ->
+                                   [ ("history", Obs.Json_emit.Bool true);
+                                     ("history_entries", Obs.Json_emit.Int n);
+                                     ( "regressed",
+                                       Obs.Json_emit.Int
+                                         (List.length
+                                            (Obs.Perfhist.regressions rows))
+                                     );
+                                     ( "rows",
+                                       Obs.Json_emit.List
+                                         (List.map Obs.Perfhist.row_json rows)
+                                     ) ]))
+                           results) ) ]))
+        else
+          List.iter
+            (fun (path, bench, res) ->
+              match res with
+              | None ->
+                  Printf.printf
+                    "%s: no recorded history in %s (accept with: polyprof \
+                     perfdiff --bless %s)\n"
+                    bench history path
+              | Some (n, rows) ->
+                  let interesting =
+                    List.filter
+                      (fun (r : Obs.Perfhist.row) ->
+                        match r.Obs.Perfhist.r_verdict with
+                        | Obs.Perfhist.Regressed | Obs.Perfhist.Improved
+                        | Obs.Perfhist.New_metric | Obs.Perfhist.Missing ->
+                            true
+                        | Obs.Perfhist.Within | Obs.Perfhist.Info -> false)
+                      rows
+                  in
+                  let count v =
+                    List.length
+                      (List.filter
+                         (fun (r : Obs.Perfhist.row) ->
+                           r.Obs.Perfhist.r_verdict = v)
+                         rows)
+                  in
+                  Printf.printf
+                    "%s: %d metrics vs median of last %d run(s): %d ok, %d \
+                     regressed, %d improved, %d new, %d missing, %d info\n"
+                    bench (List.length rows) (min window n)
+                    (count Obs.Perfhist.Within)
+                    (count Obs.Perfhist.Regressed)
+                    (count Obs.Perfhist.Improved)
+                    (count Obs.Perfhist.New_metric)
+                    (count Obs.Perfhist.Missing)
+                    (count Obs.Perfhist.Info);
+                  if interesting <> [] then
+                    print_string
+                      (Report.Texttable.render
+                         ~header:
+                           [ "metric"; "baseline"; "current"; "delta";
+                             "tol"; "verdict" ]
+                         (List.map
+                            (fun (r : Obs.Perfhist.row) ->
+                              [ r.Obs.Perfhist.r_metric;
+                                fmt_opt r.Obs.Perfhist.r_base;
+                                fmt_opt r.Obs.Perfhist.r_cur;
+                                (match r.Obs.Perfhist.r_delta_pct with
+                                | Some d -> Printf.sprintf "%+.1f%%" d
+                                | None -> "-");
+                                Printf.sprintf "%.0f%%"
+                                  (r.Obs.Perfhist.r_tol *. 100.0);
+                                Obs.Perfhist.verdict_name
+                                  r.Obs.Perfhist.r_verdict ])
+                            interesting)))
+            results;
+        if !broken || (gating && !regressed_total > 0) then 1 else 0
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "perfdiff"
+       ~doc:
+         "Compare current BENCH_*.json documents against the recorded \
+          performance history with noise-aware per-metric tolerance bands \
+          (wall-clock 25%, allocation 15%, deterministic fractions 2%); \
+          exits nonzero when a gated metric regressed beyond its band \
+          unless $(b,--report-only)")
+    Term.(
+      const run $ files_arg $ history $ window $ report_only $ bless
+      $ json_flag)
+
 let version_cmd =
   let run json =
     if json then
@@ -1471,4 +1745,4 @@ let () =
             deps_cmd; lint_cmd; staticdep_cmd; parcheck_cmd; transform_cmd;
             autotune_cmd;
             source_cmd; telemetry_cmd; overhead_cmd; serve_cmd; submit_cmd;
-            status_cmd; fetch_cmd; shutdown_cmd; version_cmd ]))
+            status_cmd; fetch_cmd; shutdown_cmd; perfdiff_cmd; version_cmd ]))

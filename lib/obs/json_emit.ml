@@ -285,6 +285,34 @@ let member k = function
   | Obj fields -> List.assoc_opt k fields
   | _ -> None
 
+let rec strip_fields ~names = function
+  | Obj fields ->
+      Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if List.mem k names then None
+             else Some (k, strip_fields ~names v))
+           fields)
+  | List items -> List (List.map (strip_fields ~names) items)
+  | v -> v
+
+let equal_ignoring ~ignore:names a b =
+  strip_fields ~names a = strip_fields ~names b
+
+let write_file_stable ?pretty ?(ignore = [ "generated_utc" ]) path v =
+  let unchanged =
+    Sys.file_exists path
+    &&
+    match parse_file path with
+    | Ok old -> equal_ignoring ~ignore old v
+    | Error _ -> false
+  in
+  if unchanged then false
+  else begin
+    write_file ?pretty path v;
+    true
+  end
+
 let schema_header ~schema_version =
   [ ("schema_version", Int schema_version);
     ("host_cores", Int (Domain.recommended_domain_count ()));

@@ -34,6 +34,22 @@ val parse_file : string -> (t, string) result
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] elsewhere. *)
 
+val strip_fields : names:string list -> t -> t
+(** Recursively remove every object field whose key is in [names], at
+    any depth. *)
+
+val equal_ignoring : ignore:string list -> t -> t -> bool
+(** Structural equality after {!strip_fields} — the comparison every
+    rerun-stability consumer (perf diffing, the serve result cache,
+    stable benchmark rewrites) uses to disregard volatile fields like
+    [generated_utc]. *)
+
+val write_file_stable : ?pretty:bool -> ?ignore:string list -> string -> t -> bool
+(** Write [v] to [path] unless the file already holds a document equal
+    up to the ignored fields (default [["generated_utc"]]), in which
+    case the file is left byte-untouched so reruns diff clean.  Returns
+    [true] when the file was (re)written. *)
+
 val schema_header : schema_version:int -> (string * t) list
 (** The uniform report preamble every benchmark JSON carries:
     [schema_version], [host_cores]

@@ -79,6 +79,41 @@ type hist_summary = {
 type value = Vint of int | Vhist of hist_summary
 type snapshot = (desc * value) list
 
+(* Quantile estimate from the cumulative power-of-two buckets: find the
+   bucket holding the target rank, interpolate linearly inside its value
+   range, clamp to the exact observed [min, max].  The bucket bounds
+   limit the error to one power of two — property-tested against known
+   synthetic distributions.                                            *)
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank =
+      Float.max 1.0
+        (Float.min (float_of_int h.h_count)
+           (Float.ceil (q *. float_of_int h.h_count)))
+    in
+    let rec find k cum =
+      if k >= n_buckets then float_of_int h.h_max
+      else begin
+        let here = h.h_buckets.(k) in
+        let cum' = cum + here in
+        if here > 0 && float_of_int cum' >= rank then begin
+          let lo = if k = 0 then 0.0 else float_of_int (bucket_le (k - 1) + 1) in
+          let hi = if k = 0 then 0.0 else float_of_int (bucket_le k) in
+          let frac = (rank -. float_of_int cum) /. float_of_int here in
+          lo +. (frac *. (hi -. lo))
+        end
+        else find (k + 1) cum'
+      end
+    in
+    let est = find 0 0 in
+    Float.min (float_of_int h.h_max) (Float.max (float_of_int h.h_min) est)
+  end
+
+let default_quantiles = [ 0.5; 0.9; 0.99 ]
+let quantiles h = List.map (fun q -> (q, quantile h q)) default_quantiles
+
 (* ------------------------------------------------------------------ *)
 (* Sinks: plain mutable per-domain accumulators.  Merge semantics per
    kind: counters and histogram buckets add, gauges take the max —

@@ -68,6 +68,20 @@ val bucket_le : int -> int
 (** [bucket_le k] is the inclusive upper bound of bucket [k]
     ([2{^k} - 1]), the Prometheus [le] label. *)
 
+val quantile : hist_summary -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0..1]) of the observed
+    samples from the power-of-two buckets: linear interpolation inside
+    the bucket holding the target rank, clamped to the exact observed
+    [h_min]/[h_max].  The coarse buckets bound the error to one power
+    of two.  [0.0] when the histogram is empty. *)
+
+val quantiles : hist_summary -> (float * float) list
+(** The p50/p90/p99 summary derived with {!quantile}. *)
+
+val default_quantiles : float list
+(** [[0.5; 0.9; 0.99]] — the quantiles every surface (text tables,
+    Prometheus summary lines, [polyprof telemetry]) reports. *)
+
 val snapshot : unit -> snapshot
 (** Merge every retired sink and the calling domain's live sink. *)
 

@@ -41,7 +41,16 @@ let exposition (snap : Metrics.snapshot) =
             (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.h_count);
           Buffer.add_string buf
             (Printf.sprintf "%s_sum %d\n%s_count %d\n" name h.Metrics.h_sum name
-               h.Metrics.h_count))
+               h.Metrics.h_count);
+          (* summary-style quantile estimates next to the buckets, so a
+             scrape answers "what is p99?" without client-side
+             histogram_quantile math *)
+          if h.Metrics.h_count > 0 then
+            List.iter
+              (fun (q, v) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s{quantile=\"%g\"} %.0f\n" name q v))
+              (Metrics.quantiles h))
     snap;
   Buffer.contents buf
 

@@ -3,7 +3,9 @@
     Metric names are prefixed with [polyprof_] and dots become
     underscores; histograms expose the cumulative power-of-two buckets
     with [le] labels plus [_sum]/[_count], exactly as a scrape endpoint
-    would serve them. *)
+    would serve them, followed by summary-style
+    [name{quantile="0.5|0.9|0.99"}] lines estimated with
+    {!Metrics.quantile}. *)
 
 val exposition : Metrics.snapshot -> string
 

@@ -20,5 +20,11 @@ val overhead : int
 val parcheck : int
 val serve : int
 
+val perfhist : int
+(** [bench/history/*.jsonl] perf-history lines ({!Perfhist}). *)
+
+val log : int
+(** JSON-lines log records ({!Log.to_jsonl}). *)
+
 val all : t list
 (** Every emitter, sorted by name. *)

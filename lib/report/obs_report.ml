@@ -9,8 +9,12 @@ let pretty_value = function
   | Obs.Metrics.Vhist h ->
       if h.Obs.Metrics.h_count = 0 then "n=0"
       else
-        Printf.sprintf "n=%d sum=%d min=%d max=%d" h.Obs.Metrics.h_count
-          h.Obs.Metrics.h_sum h.Obs.Metrics.h_min h.Obs.Metrics.h_max
+        Printf.sprintf "n=%d sum=%d min=%d max=%d p50=%.0f p90=%.0f p99=%.0f"
+          h.Obs.Metrics.h_count h.Obs.Metrics.h_sum h.Obs.Metrics.h_min
+          h.Obs.Metrics.h_max
+          (Obs.Metrics.quantile h 0.5)
+          (Obs.Metrics.quantile h 0.9)
+          (Obs.Metrics.quantile h 0.99)
 
 let kind_name = function
   | Obs.Metrics.Counter -> "counter"

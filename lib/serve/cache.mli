@@ -39,6 +39,15 @@ val add : t -> string -> entry -> unit
 (** Insert (or refresh) an entry, evicting least-recently-used entries
     until the byte budget holds.  An entry larger than the whole budget
     is not admitted.  Persists to disk when enabled; eviction removes
-    the persisted file too. *)
+    the persisted file too.  When the key is already present with a
+    report equal modulo [generated_utc], the incumbent entry is kept
+    (touched, not rewritten) so re-executions leave the cache and its
+    persisted files byte-stable. *)
+
+val set_artifact : t -> string -> string -> unit
+(** Attach (or replace) the Chrome-trace artifact of an existing entry
+    in place, adjusting the byte accounting and re-persisting.  No-op
+    for absent keys or if the grown entry would exceed the whole
+    budget. *)
 
 val stats : t -> stats

@@ -13,17 +13,19 @@ let default_config =
     persist_dir = None;
     default_deadline_s = None }
 
-type exec_result = { x_report : string; x_artifact : string option }
+type exec_result = { x_report : string; x_span : Obs.Span.t option }
 
 type job = {
   j_id : int;
   j_key : string;
+  j_trace : string;
   j_spec : Proto.spec;
   j_deadline : float option;
   mutable j_state : Proto.state;
   mutable j_from_cache : bool;
   mutable j_report : string option;
   mutable j_artifact : string option;
+  mutable j_trace_json : string option;
   mutable j_wall_s : float;
 }
 
@@ -60,11 +62,13 @@ type t = {
   queue : job Queue.t;
   active : (string, job) Hashtbl.t;  (* key -> queued/running job *)
   jobs : (int, job) Hashtbl.t;  (* id -> job, pruned FIFO *)
+  traces : (string, int) Hashtbl.t;  (* trace id -> job id, pruned with jobs *)
   finished : int Queue.t;  (* prune order *)
   cache : Cache.t;
   started : float;
   mutable submit_times : (int * float) list;  (* id -> submit instant *)
-  mutable latencies : (string * int) list;  (* drained by the scraper *)
+  mutable latencies : (string * int * string) list;
+      (* (kind, wall-ns, trace id), drained by the scraper *)
   mutable next_id : int;
   mutable closing : bool;
   mutable in_flight : int;
@@ -80,6 +84,54 @@ type t = {
 
 let now () = Obs.Clock.monotonic ()
 
+(* ------------------------------------------------------------------ *)
+(* Trace ids and span trees.  The id is content-derived (job key + id)
+   so it is unique per job yet stable across identical reruns of the
+   daemon; the span tree covers every phase a job passes through —
+   queue wait, execution (with the executor's GC deltas), cache store —
+   and is exported as a per-job Chrome trace.                           *)
+(* ------------------------------------------------------------------ *)
+
+let trace_id ~key ~id =
+  String.sub (Polyprof.Prog_hash.sha256_hex (key ^ ":" ^ string_of_int id)) 0 16
+
+let mk_span ?(children = []) ?(args = []) ~name ~start_ns ~dur_ns () =
+  { Obs.Span.sp_name = name;
+    sp_cat = "serve";
+    sp_tid = (Domain.self () :> int);
+    sp_start_ns = start_ns;
+    sp_dur_ns = max 0 dur_ns;
+    sp_minor_words = 0.0;
+    sp_major_words = 0.0;
+    sp_top_heap_words = 0;
+    sp_children = children;
+    sp_args = args }
+
+let job_root job ~dur_ns children =
+  let spec = job.j_spec in
+  mk_span
+    ~name:
+      (Printf.sprintf "job.%s.%s"
+         (Proto.kind_to_string spec.Proto.sp_kind)
+         spec.Proto.sp_bench)
+    ~start_ns:0 ~dur_ns ~children
+    ~args:
+      ([ ("trace_id", job.j_trace);
+         ("job_id", string_of_int job.j_id);
+         ("bench", spec.Proto.sp_bench) ]
+      @ List.map (fun (k, v) -> ("param." ^ k, v)) spec.Proto.sp_params)
+    ()
+
+let trace_json job ~dur_ns children =
+  Obs.Chrome.to_string ~process_name:"polyprof-serve"
+    [ job_root job ~dur_ns children ]
+
+let log_fields job =
+  [ ("trace_id", job.j_trace);
+    ("job_id", string_of_int job.j_id);
+    ("kind", Proto.kind_to_string job.j_spec.Proto.sp_kind);
+    ("bench", job.j_spec.Proto.sp_bench) ]
+
 (* -- all helpers below run with t.mutex held ----------------------- *)
 
 let submit_time t id =
@@ -91,7 +143,11 @@ let forget_submit_time t id =
 let prune_history t =
   while Hashtbl.length t.jobs > history_capacity
         && not (Queue.is_empty t.finished) do
-    Hashtbl.remove t.jobs (Queue.pop t.finished)
+    let id = Queue.pop t.finished in
+    (match Hashtbl.find_opt t.jobs id with
+    | Some job -> Hashtbl.remove t.traces job.j_trace
+    | None -> ());
+    Hashtbl.remove t.jobs id
   done
 
 let finish t job state =
@@ -118,16 +174,19 @@ let new_job t ~key spec =
   let job =
     { j_id = id;
       j_key = key;
+      j_trace = trace_id ~key ~id;
       j_spec = spec;
       j_deadline = Option.map (fun d -> now () +. d) deadline_s;
       j_state = Proto.Queued;
       j_from_cache = false;
       j_report = None;
       j_artifact = None;
+      j_trace_json = None;
       j_wall_s = 0.0 }
   in
   t.submit_times <- (id, now ()) :: t.submit_times;
   Hashtbl.replace t.jobs id job;
+  Hashtbl.replace t.traces job.j_trace id;
   t.submitted <- t.submitted + 1;
   job
 
@@ -136,13 +195,15 @@ let new_job t ~key spec =
 (* ------------------------------------------------------------------ *)
 
 let run_one t job =
+  Obs.Log.info "serve.job.start" ~fields:(log_fields job) "executing";
   (* mutex NOT held: the expensive part *)
   let t0 = now () in
   let outcome =
     try Ok (t.exec job.j_spec)
     with e -> Error (Printexc.to_string e)
   in
-  let wall_ns = int_of_float ((now () -. t0) *. 1e9) in
+  let t1 = now () in
+  let wall_ns = int_of_float ((t1 -. t0) *. 1e9) in
   (* make this job's subsystem counters visible to /metrics scrapes from
      the daemon's domain, and keep the retired-sink pool O(1) *)
   Obs.Metrics.flush_domain ();
@@ -151,21 +212,70 @@ let run_one t job =
   Mutex.lock t.mutex;
   t.in_flight <- t.in_flight - 1;
   t.latencies <-
-    (Proto.kind_to_string job.j_spec.Proto.sp_kind, wall_ns) :: t.latencies;
+    (Proto.kind_to_string job.j_spec.Proto.sp_kind, wall_ns, job.j_trace)
+    :: t.latencies;
+  let queue_ns =
+    max 0 (int_of_float ((t0 -. submit_time t job.j_id) *. 1e9))
+  in
+  let queue_span = mk_span ~name:"queue.wait" ~start_ns:0 ~dur_ns:queue_ns () in
+  let exec_span x_span =
+    match x_span with
+    | Some (sp : Obs.Span.t) ->
+        (* the executor measured itself (GC deltas and all); rebase it
+           onto the job timeline after the queue wait *)
+        { sp with
+          Obs.Span.sp_name = "execute";
+          sp_start_ns = queue_ns;
+          sp_dur_ns = wall_ns }
+    | None -> mk_span ~name:"execute" ~start_ns:queue_ns ~dur_ns:wall_ns ()
+  in
   (match outcome with
-  | Error msg -> finish t job (Proto.Failed msg)
+  | Error msg ->
+      job.j_trace_json <-
+        Some
+          (trace_json job ~dur_ns:(queue_ns + wall_ns)
+             [ queue_span; exec_span None ]);
+      finish t job (Proto.Failed msg);
+      Obs.Log.error "serve.job.failed"
+        ~fields:(log_fields job @ [ ("error", msg) ])
+        "job failed"
   | Ok r -> (
       match job.j_deadline with
       | Some d when now () > d ->
+          job.j_trace_json <-
+            Some
+              (trace_json job ~dur_ns:(queue_ns + wall_ns)
+                 [ queue_span; exec_span r.x_span ]);
           finish t job
             (Proto.Failed "deadline exceeded during execution (result \
-                           discarded)")
+                           discarded)");
+          Obs.Log.error "serve.job.failed" ~fields:(log_fields job)
+            "deadline exceeded during execution"
       | _ ->
           job.j_report <- Some r.x_report;
-          job.j_artifact <- r.x_artifact;
+          let s0 = now () in
           Cache.add t.cache job.j_key
-            { Cache.e_report = r.x_report; e_artifact = r.x_artifact };
-          finish t job Proto.Done));
+            { Cache.e_report = r.x_report; e_artifact = None };
+          let store_ns = max 0 (int_of_float ((now () -. s0) *. 1e9)) in
+          let store_span =
+            mk_span ~name:"cache.store" ~start_ns:(queue_ns + wall_ns)
+              ~dur_ns:store_ns ()
+          in
+          let artifact =
+            trace_json job
+              ~dur_ns:(queue_ns + wall_ns + store_ns)
+              [ queue_span; exec_span r.x_span; store_span ]
+          in
+          job.j_artifact <- Some artifact;
+          job.j_trace_json <- Some artifact;
+          Cache.set_artifact t.cache job.j_key artifact;
+          finish t job Proto.Done;
+          Obs.Log.info "serve.job.done"
+            ~fields:
+              (log_fields job
+              @ [ ("wall_ns", string_of_int wall_ns);
+                  ("queue_ns", string_of_int queue_ns) ])
+            "job done"));
   Mutex.unlock t.mutex
 
 let rec worker_loop t =
@@ -181,7 +291,16 @@ let rec worker_loop t =
     let job = Queue.pop t.queue in
     match job.j_deadline with
     | Some d when now () > d ->
+        let queue_ns =
+          max 0 (int_of_float ((now () -. submit_time t job.j_id) *. 1e9))
+        in
+        job.j_trace_json <-
+          Some
+            (trace_json job ~dur_ns:queue_ns
+               [ mk_span ~name:"queue.wait" ~start_ns:0 ~dur_ns:queue_ns () ]);
         finish t job (Proto.Failed "deadline exceeded before execution");
+        Obs.Log.error "serve.job.failed" ~fields:(log_fields job)
+          "deadline exceeded before execution";
         Mutex.unlock t.mutex;
         worker_loop t
     | _ ->
@@ -205,6 +324,7 @@ let create ~exec (config : config) =
       queue = Queue.create ();
       active = Hashtbl.create 64;
       jobs = Hashtbl.create 256;
+      traces = Hashtbl.create 256;
       finished = Queue.create ();
       cache =
         Cache.create ?persist_dir:config.persist_dir
@@ -234,28 +354,44 @@ let create ~exec (config : config) =
 let submit t ~key spec =
   Mutex.protect t.mutex @@ fun () ->
   if t.closing then Closed
-  else
+  else begin
+    let l0 = now () in
     match Cache.find t.cache key with
     | Some entry ->
+        let lookup_ns = max 0 (int_of_float ((now () -. l0) *. 1e9)) in
         let job = new_job t ~key spec in
         job.j_from_cache <- true;
         job.j_report <- Some entry.Cache.e_report;
         job.j_artifact <- entry.Cache.e_artifact;
+        job.j_trace_json <-
+          Some
+            (trace_json job ~dur_ns:lookup_ns
+               [ mk_span ~name:"cache.hit" ~start_ns:0 ~dur_ns:lookup_ns () ]);
         t.cache_hits <- t.cache_hits + 1;
         finish t job Proto.Done;
         (* finish counted it as completed; a hit is not a completion of
            new work *)
         t.completed <- t.completed - 1;
+        Obs.Log.info "serve.job.hit" ~fields:(log_fields job)
+          "served from cache";
         Hit job
     | None -> (
         match Hashtbl.find_opt t.active key with
         | Some job ->
             t.joined <- t.joined + 1;
             t.submitted <- t.submitted + 1;
+            Obs.Log.info "serve.job.joined" ~fields:(log_fields job)
+              "joined in-flight job";
             Joined job
         | None ->
             if Queue.length t.queue >= t.config.queue_capacity then begin
               t.overloaded <- t.overloaded + 1;
+              Obs.Log.warn "serve.job.overloaded"
+                ~fields:
+                  [ ("kind", Proto.kind_to_string spec.Proto.sp_kind);
+                    ("bench", spec.Proto.sp_bench);
+                    ("queue_depth", string_of_int (Queue.length t.queue)) ]
+                "queue full, submission rejected";
               Overloaded
             end
             else begin
@@ -263,11 +399,20 @@ let submit t ~key spec =
               Hashtbl.replace t.active key job;
               Queue.push job t.queue;
               Condition.signal t.cond;
+              Obs.Log.info "serve.job.enqueued" ~fields:(log_fields job)
+                "enqueued";
               Enqueued job
             end)
+  end
 
 let find_job t id =
   Mutex.protect t.mutex (fun () -> Hashtbl.find_opt t.jobs id)
+
+let find_trace t tid =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.traces tid with
+      | None -> None
+      | Some id -> Hashtbl.find_opt t.jobs id)
 
 let terminal = function
   | Proto.Done | Proto.Failed _ -> true

@@ -15,6 +15,13 @@
       discarded and never cached.
     + {b Backpressure}: submissions beyond [queue_capacity] are rejected
       immediately ([Overloaded]) instead of queueing unboundedly.
+    + {b Traceability}: every job carries a content-derived trace id;
+      when it reaches a terminal state it owns a span tree covering the
+      phases it passed through (queue wait, execution with the
+      executor's GC deltas, cache store — or the cache lookup, for
+      hits), exported as a Chrome-trace artifact and resolvable by
+      {!find_trace}.  State transitions are logged through {!Obs.Log}
+      with the trace id as a correlation field.
 
     The engine is executor-agnostic (the daemon injects {!Jobs.execute};
     tests inject fakes), and all state is guarded by one mutex. *)
@@ -31,17 +38,27 @@ val default_config : config
 (** 2 workers, 64-deep queue, 64 MiB cache, no persistence, no
     deadline. *)
 
-type exec_result = { x_report : string; x_artifact : string option }
+type exec_result = {
+  x_report : string;
+  x_span : Obs.Span.t option;
+      (** the executor's own measurement of the run (GC deltas in the
+          span fields); the engine rebases it into the job's span tree
+          as the [execute] phase *)
+}
 
 type job = private {
   j_id : int;
   j_key : string;
+  j_trace : string;  (** 16-hex trace id, unique per job *)
   j_spec : Proto.spec;
   j_deadline : float option;  (** absolute, on the monotonic clock *)
   mutable j_state : Proto.state;
   mutable j_from_cache : bool;
   mutable j_report : string option;
   mutable j_artifact : string option;
+  mutable j_trace_json : string option;
+      (** Chrome-trace span tree, set when the job reaches a terminal
+          state *)
   mutable j_wall_s : float;  (** submit to terminal state *)
 }
 
@@ -76,6 +93,11 @@ val submit : t -> key:string -> Proto.spec -> submit_outcome
 
 val find_job : t -> int -> job option
 
+val find_trace : t -> string -> job option
+(** Resolve a trace id (as returned in job responses) to its job, whose
+    [j_trace_json] holds the span tree once terminal.  [None] for
+    unknown or pruned ids. *)
+
 val await : t -> int -> ?timeout_s:float -> unit -> job option
 (** Block until the job reaches a terminal state ([Done]/[Failed]) or
     the timeout elapses; [None] for an unknown id. *)
@@ -85,9 +107,10 @@ val recent_jobs : t -> int -> job list
 
 val stats : t -> stats
 
-val drain_latencies : t -> (string * int) list
-(** Per-job [(kind, wall-ns)] samples recorded since the last call —
-    the scrape endpoint feeds these into latency histograms. *)
+val drain_latencies : t -> (string * int * string) list
+(** Per-job [(kind, wall-ns, trace-id)] samples recorded since the last
+    call — the scrape endpoint feeds these into latency histograms and
+    keeps the trace ids as exemplars. *)
 
 val shutdown : t -> unit
 (** Graceful: refuse new submissions, let the workers drain the queue,

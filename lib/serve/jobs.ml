@@ -165,33 +165,12 @@ let run_autotune spec (w : Workloads.Workload.t) =
     [ ("autotune", Tune.Tune_report.workload_json ~name:w.Workloads.Workload.w_name r) ]
 
 (* ------------------------------------------------------------------ *)
-(* Per-job Chrome-trace artifact.  Spans from Obs.Span would interleave
-   across concurrently running worker domains (the completed-span list
-   is process-global), so the artifact is a single hand-built span per
-   job instead: wall time and GC deltas measured around the executor.   *)
+(* Execution measurement.  Spans from Obs.Span would interleave across
+   concurrently running worker domains (the completed-span list is
+   process-global), so each job gets a single hand-built span instead:
+   wall time and GC deltas measured around the executor.  The engine
+   rebases it into the job's trace tree as the [execute] phase.         *)
 (* ------------------------------------------------------------------ *)
-
-let artifact_of ~spec ~wall_ns ~minor ~major ~top_heap =
-  let span : Obs.Span.t =
-    { Obs.Span.sp_name =
-        Printf.sprintf "job.%s.%s"
-          (Proto.kind_to_string spec.Proto.sp_kind)
-          spec.Proto.sp_bench;
-      sp_cat = "serve";
-      sp_tid = (Domain.self () :> int);
-      sp_start_ns = 0;
-      sp_dur_ns = wall_ns;
-      sp_minor_words = minor;
-      sp_major_words = major;
-      sp_top_heap_words = top_heap;
-      sp_children = [];
-      sp_args =
-        ("bench", spec.Proto.sp_bench)
-        :: List.map
-             (fun (k, v) -> ("param." ^ k, v))
-             spec.Proto.sp_params }
-  in
-  Obs.Chrome.to_string ~process_name:"polyprof-serve" [ span ]
 
 let execute (spec : Proto.spec) =
   let w =
@@ -212,11 +191,16 @@ let execute (spec : Proto.spec) =
   in
   let wall_ns = int_of_float ((Obs.Clock.monotonic () -. t0) *. 1e9) in
   let g1 = Gc.quick_stat () in
-  let x_artifact =
-    Some
-      (artifact_of ~spec ~wall_ns
-         ~minor:(g1.Gc.minor_words -. g0.Gc.minor_words)
-         ~major:(g1.Gc.major_words -. g0.Gc.major_words)
-         ~top_heap:g1.Gc.top_heap_words)
+  let x_span : Obs.Span.t =
+    { Obs.Span.sp_name = "execute";
+      sp_cat = "serve";
+      sp_tid = (Domain.self () :> int);
+      sp_start_ns = 0;
+      sp_dur_ns = wall_ns;
+      sp_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      sp_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      sp_top_heap_words = g1.Gc.top_heap_words;
+      sp_children = [];
+      sp_args = [] }
   in
-  { Engine.x_report; x_artifact }
+  { Engine.x_report; x_span = Some x_span }

@@ -3,6 +3,7 @@ module J = Obs.Json_emit
 type config = {
   socket_path : string;
   tcp_port : int option;
+  log_json : string option;  (** JSON-lines log sink, appended *)
   engine : Engine.config;
 }
 
@@ -11,6 +12,7 @@ let default_socket = "polyprof.sock"
 let default_config =
   { socket_path = default_socket;
     tcp_port = None;
+    log_json = None;
     engine = Engine.default_config }
 
 (* ------------------------------------------------------------------ *)
@@ -22,6 +24,7 @@ let job_json ?(inline_report = false) (job : Engine.job) =
   J.Obj
     ([ ("id", J.Int job.Engine.j_id);
        ("key", J.Str job.Engine.j_key);
+       ("trace_id", J.Str job.Engine.j_trace);
        ("kind", J.Str (Proto.kind_to_string job.Engine.j_spec.Proto.sp_kind));
        ("bench", J.Str job.Engine.j_spec.Proto.sp_bench);
        ("state", J.Str (Proto.state_to_string state));
@@ -72,17 +75,35 @@ let latency_hist kind =
     ~help:(Printf.sprintf "serve: %s job wall time (ns)" kind)
     (Printf.sprintf "serve.job.%s.ns" kind)
 
+(* last-seen trace id per job kind: links a latency histogram bucket on
+   the scrape page to one concrete resolvable trace *)
+let exemplars : (string, int * string) Hashtbl.t = Hashtbl.create 8
+
 let metrics_body engine =
   (* fold the latency samples recorded since the last scrape into the
      per-kind histograms (observed on this domain's live sink, which
      Obs.Metrics.snapshot includes) *)
   List.iter
-    (fun (kind, ns) -> Obs.Metrics.observe (latency_hist kind) ns)
+    (fun (kind, ns, trace) ->
+      Obs.Metrics.observe (latency_hist kind) ns;
+      Hashtbl.replace exemplars kind (ns, trace))
     (Engine.drain_latencies engine);
   let s = Engine.stats engine in
   let c = s.Engine.s_cache in
   let b = Buffer.create 4096 in
   Buffer.add_string b (Obs.Prometheus.exposition (Obs.Metrics.snapshot ()));
+  let kinds = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) exemplars []) in
+  List.iter
+    (fun kind ->
+      let ns, trace = Hashtbl.find exemplars kind in
+      let name = Printf.sprintf "polyprof_serve_job_%s_ns_exemplar" kind in
+      Buffer.add_string b
+        (Printf.sprintf
+           "# HELP %s most recent %s job latency, with its trace id\n\
+            # TYPE %s gauge\n\
+            %s{trace_id=\"%s\"} %d\n"
+           name kind name name trace ns))
+    kinds;
   let line ?(typ = "gauge") name help v =
     Buffer.add_string b
       (Printf.sprintf "# HELP polyprof_serve_%s %s\n# TYPE polyprof_serve_%s %s\npolyprof_serve_%s %s\n"
@@ -167,6 +188,20 @@ let handle engine (rq : Http.request) : action =
       json_action
         (200, J.List (List.map (job_json ?inline_report:None)
                         (Engine.recent_jobs engine n)))
+  | "GET", path when String.length path > 7 && String.sub path 0 7 = "/trace/"
+    -> (
+      let tid = String.sub path 7 (String.length path - 7) in
+      match Engine.find_trace engine tid with
+      | None -> json_action (error_json 404 "no such trace")
+      | Some job -> (
+          match job.Engine.j_trace_json with
+          | Some t -> Respond (200, "application/json", t)
+          | None ->
+              json_action
+                (error_json 404
+                   (Printf.sprintf "trace %s not complete yet (job %d is %s)"
+                      tid job.Engine.j_id
+                      (Proto.state_to_string job.Engine.j_state)))))
   | "GET", path when String.length path > 6 && String.sub path 0 6 = "/jobs/"
     -> (
       let rest = String.sub path 6 (String.length path - 6) in
@@ -195,6 +230,10 @@ let handle engine (rq : Http.request) : action =
                   match job.Engine.j_artifact with
                   | Some a -> Respond (200, "application/json", a)
                   | None -> json_action (error_json 404 "job has no artifact"))
+              | "trace" -> (
+                  match job.Engine.j_trace_json with
+                  | Some t -> Respond (200, "application/json", t)
+                  | None -> json_action (error_json 404 "job has no trace yet"))
               | _ -> json_action (error_json 404 "unknown route"))))
   | _ -> json_action (error_json 404 "unknown route")
 
@@ -219,9 +258,21 @@ let listen_tcp port =
 let stop_requested = ref false
 
 let serve ?(quiet = false) config =
-  let say fmt =
-    Printf.ksprintf (fun s -> if not quiet then print_endline s; flush stdout) fmt
+  (* structured logging replaces the old ad-hoc prints: the daemon logs
+     at Info unless the operator chose a level via POLYPROF_LOG, the
+     human sink follows [quiet], and --log-json adds a JSON-lines sink *)
+  if Sys.getenv_opt Obs.Log.env_var = None then
+    Obs.Log.set_level (Some Obs.Log.Info);
+  let jsonl_oc =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      config.log_json
   in
+  let sinks =
+    (if quiet then [] else [ Obs.Log.Human stdout ])
+    @ match jsonl_oc with Some oc -> [ Obs.Log.Jsonl oc ] | None -> []
+  in
+  let flush_logs () = Obs.Log.flush_to sinks in
   (* a client hanging up mid-response must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   stop_requested := false;
@@ -232,16 +283,22 @@ let serve ?(quiet = false) config =
   let unix_fd = listen_unix config.socket_path in
   let tcp_fd = Option.map listen_tcp config.tcp_port in
   let listeners = unix_fd :: Option.to_list tcp_fd in
-  say "polyprof-serve: listening on %s%s (workers=%d queue=%d cache=%dMiB%s)"
-    config.socket_path
-    (match config.tcp_port with
-    | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
-    | None -> "")
-    config.engine.Engine.workers config.engine.Engine.queue_capacity
-    (config.engine.Engine.cache_bytes / (1024 * 1024))
-    (match config.engine.Engine.persist_dir with
-    | Some d -> ", persist=" ^ d
-    | None -> "");
+  Obs.Log.info "serve.start"
+    ~fields:
+      ([ ("socket", config.socket_path);
+         ("workers", string_of_int config.engine.Engine.workers);
+         ("queue", string_of_int config.engine.Engine.queue_capacity);
+         ( "cache_mib",
+           string_of_int (config.engine.Engine.cache_bytes / (1024 * 1024)) ) ]
+      @ (match config.tcp_port with
+        | Some p -> [ ("tcp_port", string_of_int p) ]
+        | None -> [])
+      @
+      match config.engine.Engine.persist_dir with
+      | Some d -> [ ("persist", d) ]
+      | None -> [])
+    "listening";
+  flush_logs ();
   let handle_conn client =
     let ic = Unix.in_channel_of_descr client in
     let oc = Unix.out_channel_of_descr client in
@@ -255,8 +312,11 @@ let serve ?(quiet = false) config =
             Http.write_response oc ~status ~content_type body
         | Shutdown (status, body) ->
             Http.write_response oc ~status body;
+            Obs.Log.info "serve.shutdown_requested" "shutdown via POST /shutdown";
             stop_requested := true)
     | exception Http.Bad_request msg ->
+        Obs.Log.warn "serve.bad_request" ~fields:[ ("error", msg) ]
+          "rejected malformed request";
         Http.write_response oc ~status:400
           (J.to_string (J.Obj [ ("error", J.Str msg) ]))
     | exception (Sys_error _ | End_of_file | Unix.Unix_error _) -> ()
@@ -272,15 +332,21 @@ let serve ?(quiet = false) config =
               | client, _ -> handle_conn client
               | exception Unix.Unix_error ((EAGAIN | EINTR), _, _) -> ())
             readable;
+          flush_logs ();
           loop ()
       | exception Unix.Unix_error (EINTR, _, _) -> loop ()
   in
   loop ();
-  say "polyprof-serve: draining %d queued job(s), joining workers"
-    (Engine.stats engine).Engine.s_queue_depth;
+  Obs.Log.info "serve.drain"
+    ~fields:
+      [ ("queued", string_of_int (Engine.stats engine).Engine.s_queue_depth) ]
+    "draining queue, joining workers";
+  flush_logs ();
   Engine.shutdown engine;
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
   (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
   Sys.set_signal Sys.sigint old_int;
   Sys.set_signal Sys.sigterm old_term;
-  say "polyprof-serve: bye"
+  Obs.Log.info "serve.stop" "bye";
+  flush_logs ();
+  Option.iter close_out jsonl_oc

@@ -10,11 +10,15 @@
     - [GET /jobs/{id}] — job status (and the report inline once done).
     - [GET /jobs/{id}/report] — the raw report document.
     - [GET /jobs/{id}/artifact] — the per-job Chrome trace.
+    - [GET /jobs/{id}/trace] and [GET /trace/{trace_id}] — the job's
+      span tree (queue wait, execute, cache store) as a Chrome trace;
+      every job response carries its [trace_id].
     - [GET /jobs] — recent jobs, newest first.
     - [GET /metrics] — Prometheus text exposition: every [Obs] metric
       flushed by the workers plus the live [polyprof_serve_*] section
       (queue depth, in-flight, cache hit ratio, per-kind latency
-      histograms).
+      histograms with p50/p90/p99 summary lines and per-kind exemplar
+      lines carrying the last trace id).
     - [GET /healthz] — liveness.
     - [POST /shutdown] — graceful: drain the queue, join the workers,
       stop serving.
@@ -27,6 +31,7 @@
 type config = {
   socket_path : string;  (** Unix-domain listener; unlinked on exit *)
   tcp_port : int option;  (** optional TCP listener on 127.0.0.1 *)
+  log_json : string option;  (** JSON-lines log sink, appended *)
   engine : Engine.config;
 }
 
@@ -37,4 +42,7 @@ val default_config : config
 
 val serve : ?quiet:bool -> config -> unit
 (** Run until [POST /shutdown] (or SIGINT/SIGTERM).  Blocks the calling
-    domain.  Prints one line per lifecycle event unless [quiet]. *)
+    domain.  Lifecycle and per-job events go through {!Obs.Log} (level
+    Info unless [POLYPROF_LOG] says otherwise): human-readable lines on
+    stdout unless [quiet], JSON lines appended to [log_json] when
+    set. *)

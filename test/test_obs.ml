@@ -175,11 +175,258 @@ let test_json_escape_roundtrip () =
       | Error e -> Alcotest.failf "parse error on %S: %s" s e)
     [ ""; hostile; "plain"; "\\"; "\""; "\x00\x1f"; "caf\xc3\xa9 \xe2\x82\xac" ]
 
+(* --- quantiles ----------------------------------------------------- *)
+
+(* the power-of-two buckets bound the estimate to the true value's
+   bucket (one power of two); check against distributions with known
+   quantiles *)
+let hist_of values =
+  let h = M.histogram "t.quant" in
+  let sink = M.Sink.create () in
+  List.iter (M.Sink.observe sink h) values;
+  match
+    List.find_map
+      (fun ((d : M.desc), v) ->
+        if d.M.d_name = "t.quant" then Some v else None)
+      (M.Sink.snapshot_of [ sink ])
+  with
+  | Some (M.Vhist h) -> h
+  | _ -> Alcotest.fail "histogram summary missing"
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and x = ref v in
+    while !x > 0 do incr i; x := !x lsr 1 done;
+    !i
+  end
+
+let check_quantile ~what h q truth =
+  let est = M.quantile h q in
+  let bt = bucket_of truth and be = bucket_of (int_of_float est) in
+  if abs (bt - be) > 1 then
+    Alcotest.failf "%s: p%.0f estimate %.0f (bucket %d) vs truth %d (bucket %d)"
+      what (q *. 100.) est be truth bt
+
+let test_quantiles () =
+  (* empty histogram (snapshots omit never-updated metrics, so build
+     the summary directly) *)
+  let empty =
+    { M.h_count = 0; h_sum = 0; h_min = 0; h_max = 0;
+      h_buckets = Array.make 63 0 }
+  in
+  Alcotest.(check (float 0.0)) "empty" 0.0 (M.quantile empty 0.5);
+  (* constant distribution: every quantile is the value itself (exact,
+     thanks to the min/max clamp) *)
+  let const = hist_of (List.init 100 (fun _ -> 777)) in
+  List.iter
+    (fun q -> Alcotest.(check (float 0.0)) "constant" 777.0 (M.quantile const q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+  (* uniform 1..4096: true p50 = 2048, p90 = 3687, p99 = 4056 *)
+  let uni = hist_of (List.init 4096 (fun i -> i + 1)) in
+  check_quantile ~what:"uniform" uni 0.5 2048;
+  check_quantile ~what:"uniform" uni 0.9 3687;
+  check_quantile ~what:"uniform" uni 0.99 4056;
+  (* heavy tail: 99 fast samples, 1 slow outlier — p50 stays small,
+     p100 hits the outlier *)
+  let tail = hist_of (List.init 99 (fun i -> 10 + i) @ [ 1_000_000 ]) in
+  check_quantile ~what:"tail" tail 0.5 59;
+  Alcotest.(check (float 0.0)) "tail p100 is the observed max" 1_000_000.0
+    (M.quantile tail 1.0);
+  (* estimates are monotone in q *)
+  List.iter
+    (fun h ->
+      ignore
+        (List.fold_left
+           (fun prev q ->
+             let v = M.quantile h q in
+             Alcotest.(check bool) "monotone in q" true (v >= prev);
+             v)
+           neg_infinity
+           [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]))
+    [ uni; tail ]
+
+(* --- structured logging -------------------------------------------- *)
+
+let mk_record i =
+  { Obs.Log.r_seq = i;
+    r_ts_ns = i * 1000;
+    r_domain = 0;
+    r_level = Obs.Log.Info;
+    r_event = "t.ring";
+    r_msg = Printf.sprintf "m%d" i;
+    r_fields = [] }
+
+let test_log_ring_wraparound () =
+  let ring = Obs.Log.Ring.create ~capacity:8 in
+  for i = 0 to 19 do
+    Obs.Log.Ring.push ring (mk_record i)
+  done;
+  Alcotest.(check int) "dropped" 12 (Obs.Log.Ring.dropped ring);
+  let drained = Obs.Log.Ring.drain ring in
+  Alcotest.(check (list int))
+    "last 8 records in order"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun (r : Obs.Log.record) -> r.Obs.Log.r_seq) drained);
+  Alcotest.(check int) "drain clears" 0
+    (List.length (Obs.Log.Ring.drain ring))
+
+let with_logging f =
+  Obs.Log.reset ();
+  Obs.Log.set_level (Some Obs.Log.Debug);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.set_level None;
+      Obs.Log.reset ())
+    f
+
+let test_log_concurrent_merge () =
+  with_logging @@ fun () ->
+  let domains = 4 and per_domain = 50 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Obs.Log.info "t.par" "%d:%d" d i
+            done))
+  in
+  List.iter Domain.join workers;
+  let records =
+    List.filter
+      (fun (r : Obs.Log.record) -> r.Obs.Log.r_event = "t.par")
+      (Obs.Log.drain ())
+  in
+  Alcotest.(check int) "all records drained" (domains * per_domain)
+    (List.length records);
+  ignore
+    (List.fold_left
+       (fun prev (r : Obs.Log.record) ->
+         Alcotest.(check bool) "seq strictly increasing" true
+           (r.Obs.Log.r_seq > prev);
+         r.Obs.Log.r_seq)
+       (-1) records);
+  (* within each domain the emission order is preserved *)
+  for d = 0 to domains - 1 do
+    let prefix = Printf.sprintf "%d:" d in
+    let mine =
+      List.filter_map
+        (fun (r : Obs.Log.record) ->
+          let m = r.Obs.Log.r_msg in
+          if String.length m > String.length prefix
+             && String.sub m 0 (String.length prefix) = prefix
+          then
+            int_of_string_opt
+              (String.sub m (String.length prefix)
+                 (String.length m - String.length prefix))
+          else None)
+        records
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "domain %d order preserved" d)
+      (List.init per_domain Fun.id) mine
+  done
+
+let test_log_jsonl_roundtrip () =
+  with_logging @@ fun () ->
+  Obs.Log.with_context
+    [ ("trace_id", "abc123"); ("job_id", "7") ]
+    (fun () -> Obs.Log.warn "t.hostile" ~fields:[ ("blob", hostile) ] "%s" hostile);
+  match Obs.Log.drain () with
+  | [ r ] -> (
+      Alcotest.(check string) "msg intact" hostile r.Obs.Log.r_msg;
+      let line = Obs.Log.to_jsonl r in
+      Alcotest.(check bool) "single line" false (String.contains line '\n');
+      match J.parse line with
+      | Error e -> Alcotest.failf "jsonl line does not parse: %s" e
+      | Ok doc ->
+          let str name =
+            match J.member name doc with
+            | Some (J.Str s) -> s
+            | _ -> Alcotest.failf "missing %s" name
+          in
+          Alcotest.(check string) "hostile msg round-trips" hostile (str "msg");
+          Alcotest.(check string) "trace_id promoted" "abc123" (str "trace_id");
+          Alcotest.(check string) "job_id promoted" "7" (str "job_id");
+          Alcotest.(check string) "level" "warn" (str "level");
+          (match J.member "fields" doc with
+          | Some (J.Obj fields) ->
+              Alcotest.(check bool) "hostile field round-trips" true
+                (List.assoc_opt "blob" fields = Some (J.Str hostile))
+          | _ -> Alcotest.fail "no fields object");
+          match J.member "schema_version" doc with
+          | Some (J.Int v) ->
+              Alcotest.(check int) "schema" Obs.Schemas.log v
+          | _ -> Alcotest.fail "no schema_version")
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l)
+
+let test_log_off_and_sampling () =
+  Obs.Log.reset ();
+  Obs.Log.set_level None;
+  Obs.Log.info "t.off" "never recorded";
+  Alcotest.(check int) "off means nothing lands" 0
+    (List.length (Obs.Log.drain ()));
+  with_logging @@ fun () ->
+  let admitted = ref 0 in
+  for _ = 1 to 10 do
+    if Obs.Log.sample ~every:5 "t.sampled" then incr admitted
+  done;
+  Alcotest.(check int) "1st and every 5th admitted" 2 !admitted
+
+(* --- equal_ignoring / stable writes -------------------------------- *)
+
+let test_equal_ignoring () =
+  let doc utc =
+    J.Obj
+      [ ("schema_version", J.Int 1);
+        ("generated_utc", J.Str utc);
+        ( "nested",
+          J.Obj [ ("generated_utc", J.Str (utc ^ "-nested")); ("v", J.Int 3) ]
+        ) ]
+  in
+  Alcotest.(check bool) "differs only by timestamp" true
+    (J.equal_ignoring ~ignore:[ "generated_utc" ] (doc "a") (doc "b"));
+  let changed =
+    J.Obj
+      [ ("schema_version", J.Int 2);
+        ("generated_utc", J.Str "a");
+        ("nested", J.Obj [ ("generated_utc", J.Str "x"); ("v", J.Int 3) ]) ]
+  in
+  Alcotest.(check bool) "real change detected" false
+    (J.equal_ignoring ~ignore:[ "generated_utc" ] (doc "a") changed);
+  (* write_file_stable leaves the file untouched on a timestamp-only
+     rerun *)
+  let path = Filename.temp_file "polyprof_stable" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Alcotest.(check bool) "first write happens" true
+    (J.write_file_stable path (doc "t0"));
+  let bytes0 = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check bool) "timestamp-only rerun skipped" false
+    (J.write_file_stable path (doc "t1"));
+  let bytes1 = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check string) "file bytes untouched" bytes0 bytes1;
+  Alcotest.(check bool) "real change rewrites" true
+    (J.write_file_stable path
+       (J.Obj [ ("schema_version", J.Int 99); ("generated_utc", J.Str "t2") ]))
+
 let () =
   Alcotest.run "obs"
     [ ( "metrics",
         [ merge_qcheck;
-          Alcotest.test_case "merge semantics" `Quick test_merge_semantics ] );
+          Alcotest.test_case "merge semantics" `Quick test_merge_semantics;
+          Alcotest.test_case "quantile estimation" `Quick test_quantiles ] );
+      ( "log",
+        [ Alcotest.test_case "ring wraparound" `Quick test_log_ring_wraparound;
+          Alcotest.test_case "concurrent emission merges deterministically"
+            `Quick test_log_concurrent_merge;
+          Alcotest.test_case "hostile jsonl round-trip" `Quick
+            test_log_jsonl_roundtrip;
+          Alcotest.test_case "off threshold and sampling" `Quick
+            test_log_off_and_sampling ] );
+      ( "json",
+        [ Alcotest.test_case "equal_ignoring + stable writes" `Quick
+            test_equal_ignoring ] );
       ( "spans",
         [ Alcotest.test_case "unbalanced raises" `Quick test_span_unbalanced;
           Alcotest.test_case "nesting order" `Quick test_span_nesting;

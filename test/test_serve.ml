@@ -174,7 +174,7 @@ let slow_exec ?(delay = 0.02) () =
     { E.x_report =
         Printf.sprintf "{\"bench\":%s,\"run\":\"report\"}"
           (J.escape_string spec.P.sp_bench);
-      x_artifact = None }
+      x_span = None }
   in
   (runs, exec)
 
@@ -217,7 +217,7 @@ let test_engine_dedup_determinism () =
 let test_engine_crash_isolation () =
   let exec (spec : P.spec) =
     if spec.P.sp_bench = "boom" then failwith "executor exploded"
-    else { E.x_report = "{\"ok\":true}"; x_artifact = None }
+    else { E.x_report = "{\"ok\":true}"; x_span = None }
   in
   let engine = E.create ~exec { E.default_config with E.workers = 1 } in
   let key_boom = String.make 64 'b' in
@@ -234,6 +234,14 @@ let test_engine_crash_isolation () =
   (match E.await engine jo.E.j_id ~timeout_s:10.0 () with
   | Some { E.j_state = P.Done; _ } -> ()
   | _ -> Alcotest.fail "worker died with the crashed job");
+  (* a failed job still owns a trace: queue wait + execution, and no
+     cache store (nothing was cached) *)
+  (match (Option.get (E.find_job engine jb.E.j_id)).E.j_trace_json with
+  | Some tree ->
+      check sb "failed trace has execute span" true (contains tree "execute");
+      check sb "failed trace has no cache.store" false
+        (contains tree "cache.store")
+  | None -> Alcotest.fail "failed job has no trace");
   (* failed jobs are never cached: resubmitting boom executes again *)
   let jb2 = submit_ok engine ~key:key_boom (P.spec ~kind:P.Profile ~bench:"boom" ()) in
   check sb "failed job not served from cache" false jb2.E.j_from_cache;
@@ -268,6 +276,111 @@ let test_engine_deadline () =
   | _ -> Alcotest.fail "slow job did not finish");
   E.shutdown engine;
   check si "expired job never executed" 1 (Atomic.get runs)
+
+let test_engine_tracing () =
+  let _, exec = slow_exec ~delay:0.01 () in
+  let engine = E.create ~exec { E.default_config with E.workers = 1 } in
+  let spec = P.spec ~kind:P.Profile ~bench:"gemm" () in
+  let key = String.make 64 'f' in
+  let j = submit_ok engine ~key spec in
+  check si "trace id is 16 chars" 16 (String.length j.E.j_trace);
+  check sb "trace id is hex" true
+    (String.for_all
+       (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+       j.E.j_trace);
+  (match E.await engine j.E.j_id ~timeout_s:30.0 () with
+  | Some { E.j_state = P.Done; _ } -> ()
+  | _ -> Alcotest.fail "traced job did not finish");
+  (* the id resolves back to the job, and the span tree covers every
+     phase: queue wait, execution, cache store, under the job root *)
+  (match E.find_trace engine j.E.j_trace with
+  | Some j' -> check si "find_trace resolves" j.E.j_id j'.E.j_id
+  | None -> Alcotest.fail "trace id did not resolve");
+  check sb "unknown trace id is None" true
+    (E.find_trace engine (String.make 16 '0') = None);
+  let tree =
+    match (Option.get (E.find_job engine j.E.j_id)).E.j_trace_json with
+    | Some t -> t
+    | None -> Alcotest.fail "done job has no trace json"
+  in
+  (match J.parse tree with
+  | Error e -> Alcotest.failf "trace json does not parse: %s" e
+  | Ok doc -> (
+      match J.member "traceEvents" doc with
+      | Some (J.List events) ->
+          let names =
+            List.filter_map
+              (fun ev ->
+                match J.member "name" ev with
+                | Some (J.Str n) -> Some n
+                | _ -> None)
+              events
+          in
+          List.iter
+            (fun n ->
+              check sb (Printf.sprintf "span %s present" n) true
+                (List.mem n names))
+            [ "job.profile.gemm"; "queue.wait"; "execute"; "cache.store" ]
+      | _ -> Alcotest.fail "no traceEvents array"));
+  (* the latency sample drained by the scraper carries the trace id *)
+  (match E.drain_latencies engine with
+  | [ (kind, ns, trace) ] ->
+      check ss "latency kind" "profile" kind;
+      check sb "latency positive" true (ns > 0);
+      check ss "latency exemplar trace id" j.E.j_trace trace
+  | l -> Alcotest.failf "expected one latency sample, got %d" (List.length l));
+  (* a cache hit gets its own fresh trace with a cache.hit span *)
+  let j2 =
+    match E.submit engine ~key spec with
+    | E.Hit j2 -> j2
+    | _ -> Alcotest.fail "expected a cache Hit"
+  in
+  check sb "hit gets a fresh trace id" true (j2.E.j_trace <> j.E.j_trace);
+  (match j2.E.j_trace_json with
+  | Some t -> check sb "hit trace has cache.hit span" true (contains t "cache.hit")
+  | None -> Alcotest.fail "hit has no trace json");
+  E.shutdown engine
+
+let test_cache_artifact_and_stability () =
+  let dir = tmpdir "polyprof_cache_art" in
+  let c = Serve.Cache.create ~persist_dir:dir ~max_bytes:1_000_000 () in
+  let key = key_of 42 in
+  Serve.Cache.add c key (entry "{\"v\":1,\"generated_utc\":\"t0\"}");
+  let bytes0 = (Serve.Cache.stats c).Serve.Cache.c_bytes in
+  (* a rerun differing only in generated_utc keeps the incumbent entry *)
+  Serve.Cache.add c key (entry "{\"v\":1,\"generated_utc\":\"t1\"}");
+  (match Serve.Cache.find c key with
+  | Some e ->
+      check ss "timestamp-only rerun keeps incumbent bytes"
+        "{\"v\":1,\"generated_utc\":\"t0\"}" e.Serve.Cache.e_report
+  | None -> Alcotest.fail "entry vanished");
+  check si "byte accounting unchanged" bytes0
+    (Serve.Cache.stats c).Serve.Cache.c_bytes;
+  (* a real change replaces it *)
+  Serve.Cache.add c key (entry "{\"v\":2,\"generated_utc\":\"t1\"}");
+  (match Serve.Cache.find c key with
+  | Some e ->
+      check ss "real change replaces" "{\"v\":2,\"generated_utc\":\"t1\"}"
+        e.Serve.Cache.e_report
+  | None -> Alcotest.fail "entry vanished after update");
+  (* set_artifact attaches in place, adjusts accounting and persists *)
+  let before = (Serve.Cache.stats c).Serve.Cache.c_bytes in
+  Serve.Cache.set_artifact c key "TRACE";
+  (match Serve.Cache.find c key with
+  | Some { Serve.Cache.e_artifact = Some "TRACE"; _ } -> ()
+  | _ -> Alcotest.fail "artifact not attached");
+  check si "accounting grew by the artifact size" (before + 5)
+    (Serve.Cache.stats c).Serve.Cache.c_bytes;
+  (* no-op on an absent key *)
+  Serve.Cache.set_artifact c (key_of 43) "GHOST";
+  check si "absent key untouched" 1 (Serve.Cache.stats c).Serve.Cache.c_entries;
+  (* the artifact survives a warm restart *)
+  let c2 = Serve.Cache.create ~persist_dir:dir ~max_bytes:1_000_000 () in
+  match Serve.Cache.find c2 key with
+  | Some { Serve.Cache.e_artifact = Some "TRACE"; e_report; _ } ->
+      check ss "report survives restart" "{\"v\":2,\"generated_utc\":\"t1\"}"
+        e_report
+  | _ -> Alcotest.fail "artifact lost across restart"
 
 let test_engine_backpressure () =
   let _, exec = slow_exec ~delay:0.2 () in
@@ -341,6 +454,7 @@ let test_end_to_end () =
   let config =
     { Serve.Server.socket_path = sock;
       tcp_port = None;
+      log_json = Some (Filename.concat dir "serve.log.jsonl");
       engine = { E.default_config with E.workers = 1 } }
   in
   (* the daemon loop runs on its own domain; /shutdown stops it *)
@@ -392,17 +506,55 @@ let test_end_to_end () =
           | _ -> Alcotest.fail "no from_cache field")
       | Error e -> Alcotest.failf "bad status JSON: %s" e)
   | _ -> Alcotest.fail "status fetch failed");
-  (* live metrics report exactly one execution *)
+  (* the status response carries a trace id that resolves over HTTP to
+     a Chrome trace covering every phase the job passed through *)
+  (match
+     Serve.Client.request ep ~meth:"GET" ~path:(Printf.sprintf "/jobs/%d" id1) ()
+   with
+  | Ok { Serve.Http.rs_status = 200; rs_body; _ } -> (
+      match J.parse rs_body with
+      | Error e -> Alcotest.failf "bad status JSON: %s" e
+      | Ok doc -> (
+          match J.member "trace_id" doc with
+          | Some (J.Str tid) -> (
+              match
+                Serve.Client.request ep ~meth:"GET" ~path:("/trace/" ^ tid) ()
+              with
+              | Ok { Serve.Http.rs_status = 200; rs_body = trace; _ } ->
+                  (match J.parse trace with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.failf "trace is not JSON: %s" e);
+                  List.iter
+                    (fun phase ->
+                      check sb (phase ^ " span served") true
+                        (contains trace phase))
+                    [ "traceEvents"; "queue.wait"; "execute"; "cache.store" ]
+              | _ -> Alcotest.fail "trace fetch failed")
+          | _ -> Alcotest.fail "status has no trace_id"))
+  | _ -> Alcotest.fail "status fetch for trace failed");
+  (* live metrics report exactly one execution, with an exemplar trace *)
   (match Serve.Client.request ep ~meth:"GET" ~path:"/metrics" () with
   | Ok { Serve.Http.rs_status = 200; rs_body; _ } ->
       check sb "metrics carry the execution counter" true
-        (contains rs_body "polyprof_serve_executions_total 1")
+        (contains rs_body "polyprof_serve_executions_total 1");
+      check sb "metrics carry a latency exemplar" true
+        (contains rs_body "polyprof_serve_job_profile_ns_exemplar{trace_id=")
   | _ -> Alcotest.fail "metrics fetch failed");
   (match Serve.Client.request ep ~meth:"POST" ~path:"/shutdown" () with
   | Ok { Serve.Http.rs_status = 200; _ } -> ()
   | _ -> Alcotest.fail "shutdown failed");
   Domain.join daemon;
-  check sb "socket unlinked" false (Sys.file_exists sock)
+  check sb "socket unlinked" false (Sys.file_exists sock);
+  (* the JSON-lines log sink captured the whole session *)
+  let log_path = Filename.concat dir "serve.log.jsonl" in
+  check sb "jsonl log written" true (Sys.file_exists log_path);
+  let ic = open_in log_path in
+  let n = in_channel_length ic in
+  let log = really_input_string ic n in
+  close_in ic;
+  List.iter
+    (fun ev -> check sb ("log has " ^ ev) true (contains log ev))
+    [ "serve.start"; "serve.job.done"; "serve.job.hit"; "serve.stop" ]
 
 let () =
   Alcotest.run "serve"
@@ -414,7 +566,9 @@ let () =
       ( "cache",
         [ Alcotest.test_case "lru eviction" `Quick test_cache_lru;
           Alcotest.test_case "persistence + corruption" `Quick
-            test_cache_persistence ] );
+            test_cache_persistence;
+          Alcotest.test_case "artifact attach + timestamp stability" `Quick
+            test_cache_artifact_and_stability ] );
       ( "engine",
         [ Alcotest.test_case "concurrent dedup determinism" `Quick
             test_engine_dedup_determinism;
@@ -422,6 +576,7 @@ let () =
             test_engine_crash_isolation;
           Alcotest.test_case "queued deadline expiry" `Quick
             test_engine_deadline;
+          Alcotest.test_case "request tracing" `Quick test_engine_tracing;
           Alcotest.test_case "backpressure + graceful shutdown" `Quick
             test_engine_backpressure ] );
       ( "http",
